@@ -1,0 +1,103 @@
+"""Ablation A5 (§2.3) — fast machines talking to slow machines.
+
+"Bottlenecks, such as occur when fast machines are talking to slow
+machines, need to be addressed.  In some cases, simple buffering to
+allow the slow machine to catch up will be sufficient.  In others, the
+slower machine may need to filter the data selectively."
+
+The benchmark streams monitoring data from a Cray-speed producer to a
+workstation-speed consumer under all three strategies and reports the
+producer utilization each achieves — the shape: filtering > buffering >
+blocking for sustained rate mismatches, buffering sufficient for bursts.
+"""
+
+import pytest
+
+from repro.network import BottleneckChannel, Strategy
+
+# a Cray producing visualization frames 5x faster than a Sun consumes them
+SUSTAINED = dict(produce_seconds=0.004, transfer_seconds=0.002, consume_seconds=0.020)
+
+
+def test_blocking_strategy(benchmark):
+    ch = BottleneckChannel(**SUSTAINED)
+    report = benchmark(ch.run, 500, Strategy.BLOCK)
+    assert report.items_consumed == 500
+    assert report.producer_utilization < 0.5  # the fast machine mostly waits
+    benchmark.extra_info.update(
+        {
+            "producer_utilization": round(report.producer_utilization, 3),
+            "total_s": round(report.total_seconds, 2),
+        }
+    )
+
+
+def test_buffering_strategy(benchmark):
+    ch = BottleneckChannel(**SUSTAINED, buffer_capacity=32)
+    report = benchmark(ch.run, 500, Strategy.BUFFER)
+    assert report.items_consumed == 500
+    benchmark.extra_info.update(
+        {
+            "producer_utilization": round(report.producer_utilization, 3),
+            "peak_queue": report.peak_queue_depth,
+            "total_s": round(report.total_seconds, 2),
+        }
+    )
+
+
+def test_filtering_strategy(benchmark):
+    """Keeping every 5th item matches the 5x rate mismatch: the producer
+    never stalls and the consumer keeps up — 'the slower machine may
+    need to filter the data selectively rather than attempt to use all
+    of it.'"""
+    ch = BottleneckChannel(**SUSTAINED, filter_keep_every=5)
+    report = benchmark(ch.run, 500, Strategy.FILTER)
+    assert report.items_dropped == 400
+    assert report.producer_utilization == pytest.approx(1.0)
+    benchmark.extra_info.update(
+        {
+            "producer_utilization": round(report.producer_utilization, 3),
+            "dropped": report.items_dropped,
+            "total_s": round(report.total_seconds, 2),
+        }
+    )
+
+
+def test_strategy_comparison_shape(benchmark):
+    """The cross-strategy shape for sustained mismatch: filtering keeps
+    the producer busiest, buffering helps bursts but not sustained
+    rates, blocking is the floor."""
+
+    def run_all():
+        ch_block = BottleneckChannel(**SUSTAINED)
+        ch_buf = BottleneckChannel(**SUSTAINED, buffer_capacity=32)
+        ch_filt = BottleneckChannel(**SUSTAINED, filter_keep_every=5)
+        return {
+            "block": ch_block.run(400, Strategy.BLOCK),
+            "buffer": ch_buf.run(400, Strategy.BUFFER),
+            "filter": ch_filt.run(400, Strategy.FILTER),
+        }
+
+    reports = benchmark(run_all)
+    u = {k: r.producer_utilization for k, r in reports.items()}
+    assert u["filter"] > u["buffer"] >= u["block"]
+    # sustained mismatch: total time for lossless strategies is
+    # consumer-bound and nearly identical
+    assert reports["buffer"].total_seconds == pytest.approx(
+        reports["block"].total_seconds, rel=0.1
+    )
+    # filtering finishes ~5x sooner
+    assert reports["filter"].total_seconds < reports["block"].total_seconds / 3
+    benchmark.extra_info.update({k: round(v, 3) for k, v in u.items()})
+
+
+def test_buffering_sufficient_for_bursts(benchmark):
+    """A burst shorter than the buffer drains without any stall —
+    the paper's 'in some cases, simple buffering ... will be
+    sufficient'."""
+    ch = BottleneckChannel(**SUSTAINED, buffer_capacity=64)
+
+    report = benchmark(ch.run, 40, Strategy.BUFFER)
+    assert report.producer_stall_seconds == 0.0
+    assert report.producer_utilization == 1.0
+    benchmark.extra_info["burst_items"] = 40

@@ -1,0 +1,144 @@
+"""Figure 1 — a Schooner program.
+
+The figure shows sequential control flow hopping between procedures on
+heterogeneous machines, one of which encapsulates a parallel algorithm.
+The benchmark runs that program shape — workstation main, vector-Cray
+procedure, and an SGI procedure that internally drives a PVM-style
+workstation cluster — and verifies the figure's two claims: control is
+purely sequential for the caller, and encapsulated parallelism still
+yields real speedup.
+"""
+
+import math
+
+import pytest
+
+from repro.machines import Language
+from repro.parallel import PVMachine
+from repro.schooner import (
+    Executable,
+    Procedure,
+    SchoonerEnvironment,
+    SchoonerProgram,
+)
+from repro.uts import SpecFile
+
+N_ITEMS = 24
+
+VECTOR_SPEC = SpecFile.parse(
+    'export sweep prog("n" val integer, "scale" val double,'
+    ' "loads" res array[24] of double)'
+)
+CLUSTER_SPEC = SpecFile.parse(
+    'export relax prog("loads" val array[24] of double, "total" res double)'
+)
+
+
+def build_program(env, n_workers: int, state: dict) -> SchoonerProgram:
+    def sweep(n, scale):
+        return [scale * (1.0 + math.sin(0.3 * i)) for i in range(n)] + [0.0] * (
+            N_ITEMS - n
+        )
+
+    env.park["lerc-cray"].install(
+        "/bin/sweep",
+        Executable(
+            "sweep",
+            (Procedure(name="sweep", signature=VECTOR_SPEC.export_named("sweep"),
+                       impl=sweep, language=Language.FORTRAN, flops=5e7),),
+        ),
+    )
+
+    workers = [env.park[n] for n in
+               ("lerc-sgi480", "lerc-sgi420", "lerc-rs6000", "lerc-sparc10")]
+    pvm = PVMachine(master=env.park["lerc-sgi480"], transport=env.transport,
+                    clock=env.clock, name=f"bench-cluster-{n_workers}-{state['run']}")
+    pvm.spawn(workers[:n_workers])
+
+    def relax(loads, _timeline):
+        res = pvm.scatter_gather(loads, compute=lambda x: 0.97 * x,
+                                 flops_per_item=2e7, master_timeline=_timeline)
+        state["barrier"] = res.elapsed_seconds
+        return sum(res.results)
+
+    env.park["lerc-sgi480"].install(
+        "/bin/relax",
+        Executable(
+            "relax",
+            (Procedure(name="relax", signature=CLUSTER_SPEC.export_named("relax"),
+                       impl=relax, language=Language.C, flops=1e4),),
+        ),
+    )
+
+    def main(ctx):
+        t0 = ctx.line.timeline.now
+        loads = ctx.import_proc(VECTOR_SPEC.as_imports(), name="sweep")(
+            n=N_ITEMS, scale=1000.0
+        )["loads"]
+        total = ctx.import_proc(CLUSTER_SPEC.as_imports(), name="relax")(
+            loads=loads
+        )["total"]
+        return total, ctx.line.timeline.now - t0
+
+    return SchoonerProgram(
+        env=env, host=env.park["ua-sparc10"], main=main,
+        placements=[("lerc-cray", "/bin/sweep"), ("lerc-sgi480", "/bin/relax")],
+        name=f"figure1-{n_workers}w-{state['run']}",
+    )
+
+
+def run_figure1(n_workers: int, state: dict):
+    env = SchoonerEnvironment.standard()
+    program = build_program(env, n_workers, state)
+    total, elapsed = program.run()
+    return total, elapsed
+
+
+def test_figure1_sequential_program(benchmark):
+    """One full Figure-1 program execution (3 workers)."""
+    state = {"run": 0}
+
+    def run():
+        state["run"] += 1
+        return run_figure1(3, state)
+
+    total, elapsed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert total == pytest.approx(
+        sum(0.97 * 1000.0 * (1 + math.sin(0.3 * i)) for i in range(N_ITEMS))
+    )
+    benchmark.extra_info.update(
+        {
+            "virtual_elapsed_s": round(elapsed, 3),
+            "cluster_barrier_s": round(state["barrier"], 3),
+        }
+    )
+
+
+def test_figure1_encapsulated_speedup(benchmark):
+    """The parallel procedure speeds up with workers, invisibly to the
+    sequential caller."""
+    state = {"run": 100}
+    elapsed = {}
+
+    def run():
+        for w in (1, 2, 3):
+            state["run"] += 1
+            _, elapsed[w] = run_figure1(w, state)
+        return elapsed
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert elapsed[2] < elapsed[1]
+    assert elapsed[3] < elapsed[2]
+    speedup2 = elapsed[1] / elapsed[2]
+    speedup3 = elapsed[1] / elapsed[3]
+    assert speedup2 > 1.5
+    assert speedup3 > 2.0
+    benchmark.extra_info.update(
+        {
+            "elapsed_1w_s": round(elapsed[1], 3),
+            "elapsed_2w_s": round(elapsed[2], 3),
+            "elapsed_3w_s": round(elapsed[3], 3),
+            "speedup_2w": round(speedup2, 2),
+            "speedup_3w": round(speedup3, 2),
+        }
+    )

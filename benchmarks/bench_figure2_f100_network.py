@@ -1,0 +1,84 @@
+"""Figure 2 — the prototype executive running the TESS F100 network.
+
+Benchmarks building the F100 engine network in the Network Editor
+(Figure 2's workspace), rendering the low-speed-shaft control panel
+(the figure's left side), and executing the network through the
+dataflow scheduler.
+"""
+
+import pytest
+
+from conftest import make_executive
+from repro.avs import NetworkEditor
+from repro.core import NPSSExecutive, TESS_PALETTE
+
+
+def test_figure2_build_network(benchmark):
+    """Dragging the F100's modules into the workspace and wiring them."""
+
+    def build():
+        ex = NPSSExecutive()
+        ex.build_f100_network()
+        return ex
+
+    ex = benchmark(build)
+    mods = ex.editor.modules
+    by_type = {}
+    for m in mods.values():
+        by_type.setdefault(m.module_name, 0)
+        by_type[m.module_name] += 1
+    # Figure 2's multiple instances
+    assert by_type["compressor"] == 2
+    assert by_type["duct"] == 3
+    assert by_type["shaft"] == 2
+    assert by_type["turbine"] == 2
+    benchmark.extra_info.update(
+        {"modules": len(mods), "connections": len(ex.editor.connections),
+         "instances_by_type": by_type}
+    )
+
+
+def test_figure2_control_panel(benchmark):
+    """Rendering the low-speed shaft control panel (Figure 2, left)."""
+    ex = NPSSExecutive()
+    ex.build_f100_network()
+    panel = ex.panel("low speed shaft")
+
+    text = benchmark(panel.render)
+    for widget in ("moment inertia", "spool speed", "spool speed-op",
+                   "remote machine", "pathname"):
+        assert widget in text
+    benchmark.extra_info["panel_lines"] = len(text.splitlines())
+
+
+def test_figure2_execute_network(benchmark):
+    """One full network execution: system solves, stations publish."""
+    ex = make_executive()
+    ex.modules["system"].set_param("transient seconds", 0.0)
+
+    def run():
+        return ex.execute()
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert report.executed[0] == "system"
+    assert len(report.executed) == len(ex.editor.modules)
+    assert ex.solution.converged
+    benchmark.extra_info.update(
+        {
+            "modules_executed": len(report.executed),
+            "thrust_N": round(ex.solution.thrust_N, 1),
+        }
+    )
+
+
+def test_figure2_save_and_reload(benchmark):
+    """AVS's 'create, modify, and save programs' capability."""
+    ex = make_executive()
+
+    def roundtrip():
+        saved = ex.editor.save()
+        return NetworkEditor.load(saved, TESS_PALETTE)
+
+    rebuilt = benchmark(roundtrip)
+    assert set(rebuilt.modules) == set(ex.editor.modules)
+    assert len(rebuilt.connections) == len(ex.editor.connections)

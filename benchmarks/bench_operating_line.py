@@ -1,0 +1,112 @@
+"""Operating-line sweep: the performance series an engine deck reports.
+
+Not a numbered figure in the paper (the paper's evaluation is the
+system experience of Tables 1-2), but the series its *domain* lives on:
+thrust, SFC, T4, and spool speeds along the steady operating line, at
+sea level and at cruise.  The sweep doubles as a regression net over
+the whole TESS stack — every point is a full 7-dimensional balance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tess import FlightCondition, build_f100
+
+SLS = FlightCondition(0.0, 0.0)
+CRUISE = FlightCondition(9000.0, 0.8)
+
+FUEL_POINTS = [1.25, 1.30, 1.35, 1.40, 1.45, 1.50, 1.55]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return build_f100()
+
+
+def test_sls_operating_line(benchmark, engine):
+    """Sweep the sea-level-static operating line."""
+
+    def sweep():
+        return [engine.balance(SLS, wf) for wf in FUEL_POINTS]
+
+    ops = benchmark.pedantic(sweep, rounds=2, iterations=1, warmup_rounds=1)
+    assert all(op.converged for op in ops)
+    thrust = [op.thrust_N for op in ops]
+    t4 = [op.t4 for op in ops]
+    n2 = [op.n2 for op in ops]
+    # the operating-line shape: all monotone in fuel
+    assert all(b > a for a, b in zip(thrust, thrust[1:]))
+    assert all(b > a for a, b in zip(t4, t4[1:]))
+    assert all(b > a for a, b in zip(n2, n2[1:]))
+    benchmark.extra_info.update(
+        {
+            "wf": FUEL_POINTS,
+            "thrust_kN": [round(t / 1e3, 2) for t in thrust],
+            "t4_K": [round(t, 0) for t in t4],
+            "n1": [round(op.n1, 4) for op in ops],
+            "n2": [round(v, 4) for v in n2],
+            "sfc_mg_Ns": [round(op.sfc * 1e6, 2) for op in ops],
+        }
+    )
+
+
+def test_cruise_operating_line(benchmark, engine):
+    """The same sweep at 9 km / Mach 0.8: thrust lapses, corrected
+    behaviour holds."""
+    cruise_fuel = [wf * 0.45 for wf in FUEL_POINTS]
+
+    def sweep():
+        return [engine.balance(CRUISE, wf) for wf in cruise_fuel]
+
+    ops = benchmark.pedantic(sweep, rounds=2, iterations=1, warmup_rounds=1)
+    assert all(op.converged for op in ops)
+    sls_mid = engine.balance(SLS, FUEL_POINTS[3])
+    cruise_mid = ops[3]
+    assert cruise_mid.thrust_N < 0.6 * sls_mid.thrust_N  # altitude lapse
+    assert cruise_mid.airflow < sls_mid.airflow  # thin air
+    benchmark.extra_info.update(
+        {
+            "thrust_kN": [round(op.thrust_N / 1e3, 2) for op in ops],
+            "airflow_kgs": [round(op.airflow, 1) for op in ops],
+            "lapse_vs_sls": round(cruise_mid.thrust_N / sls_mid.thrust_N, 3),
+        }
+    )
+
+
+def test_surge_margin_along_the_line(benchmark, engine):
+    """Surge margins shrink toward full power but stay positive."""
+
+    def sweep():
+        return [
+            engine.balance(SLS, wf).diagnostics["hpc_surge_margin"]
+            for wf in FUEL_POINTS
+        ]
+
+    margins = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(m > 0.02 for m in margins)
+    benchmark.extra_info["hpc_surge_margin"] = [round(m, 4) for m in margins]
+
+
+def test_augmented_thrust(benchmark, engine):
+    """Wet vs dry: the afterburner buys thrust at an SFC penalty,
+    through the opened variable nozzle."""
+
+    def run():
+        dry = engine.balance(SLS, 1.5)
+        wet = engine.balance(SLS, 1.5, ab_fuel=2.0, nozzle_area_factor=1.35)
+        return dry, wet
+
+    dry, wet = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    assert wet.thrust_N > dry.thrust_N * 1.15
+    augmentation = wet.thrust_N / dry.thrust_N
+    sfc_dry = dry.wf / dry.thrust_N
+    sfc_wet = (wet.wf + 2.0) / wet.thrust_N
+    assert sfc_wet > sfc_dry
+    benchmark.extra_info.update(
+        {
+            "dry_thrust_kN": round(dry.thrust_N / 1e3, 1),
+            "wet_thrust_kN": round(wet.thrust_N / 1e3, 1),
+            "augmentation_ratio": round(augmentation, 3),
+            "sfc_penalty": round(sfc_wet / sfc_dry, 2),
+        }
+    )

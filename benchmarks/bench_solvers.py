@@ -1,0 +1,121 @@
+"""Ablation A6 (§3.2) — the TESS solution-method menus.
+
+Compares the two steady-state methods and the four transient methods on
+the F100 engine itself: cost (function evaluations, wall time) and
+accuracy against a fine-step reference.  Expected shape: Newton-Raphson
+beats RK4 relaxation on evaluations near a good guess; the higher-order
+transient methods hold accuracy at larger steps; Gear survives stiff
+dynamics that break the explicit methods.
+"""
+
+import numpy as np
+import pytest
+
+from repro.solvers import gear, modified_euler, newton_flow_rk4, newton_raphson
+from repro.tess import FlightCondition, Schedule, build_f100
+
+SLS = FlightCondition(0.0, 0.0)
+RAMP = Schedule.of((0.0, 1.35), (0.3, 1.5), (2.0, 1.5))
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return build_f100()
+
+
+@pytest.fixture(scope="module")
+def transient_reference(engine):
+    """A fine-step RK4 trajectory as ground truth."""
+    res = engine.transient(SLS, RAMP, t_end=1.0, dt=0.002, method="Runge-Kutta")
+    return float(res.n1[-1]), float(res.n2[-1])
+
+
+@pytest.mark.parametrize("method", ["Newton-Raphson", "Runge-Kutta"])
+def test_steady_method(benchmark, engine, method):
+    op = benchmark.pedantic(
+        lambda: engine.balance(SLS, 1.4, method=method),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert op.converged
+    benchmark.extra_info.update(
+        {"method": method, "n1": round(op.n1, 6), "thrust_N": round(op.thrust_N, 1)}
+    )
+
+
+def test_steady_methods_cost_shape(benchmark, engine):
+    """Newton needs far fewer residual evaluations than the RK4 flow."""
+
+    def run():
+        z0 = np.concatenate([engine.design_x, [1.0, 1.0]])
+
+        def residuals(z):
+            op = engine.evaluate(SLS, 1.4, z[5], z[6], z[:5])
+            r_low = engine.low_shaft.power_residual(
+                [op.powers["fan"]], 1, [op.powers["lpt"]], 1
+            )
+            r_high = engine.high_shaft.power_residual(
+                [op.powers["hpc"]], 1, [op.powers["hpt"]], 1
+            )
+            return np.concatenate([op.residuals, [r_low, r_high]])
+
+        nr = newton_raphson(residuals, z0, tol=1e-8)
+        rk = newton_flow_rk4(residuals, z0, tol=1e-8)
+        return nr, rk
+
+    nr, rk = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert nr.converged and rk.converged
+    assert np.allclose(nr.x, rk.x, atol=1e-5)
+    assert nr.fevals < rk.fevals
+    benchmark.extra_info.update(
+        {"newton_fevals": nr.fevals, "rk4flow_fevals": rk.fevals}
+    )
+
+
+@pytest.mark.parametrize(
+    "method", ["Modified Euler", "Runge-Kutta", "Adams", "Gear"]
+)
+def test_transient_method(benchmark, engine, transient_reference, method):
+    """One second of throttle transient with each menu method at the
+    paper-scale step of 20 ms."""
+
+    def run():
+        return engine.transient(SLS, RAMP, t_end=1.0, dt=0.02, method=method)
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    n1_ref, n2_ref = transient_reference
+    err = abs(float(res.n1[-1]) - n1_ref) + abs(float(res.n2[-1]) - n2_ref)
+    assert err < 5e-4  # every menu method lands on the same trajectory
+    benchmark.extra_info.update(
+        {
+            "method": method,
+            "rhs_evals": res.ode.fevals,
+            "endpoint_error": float(err),
+            "newton_iterations": res.ode.newton_iterations,
+        }
+    )
+
+
+def test_gear_survives_stiffness(benchmark):
+    """The reason Gear is on the menu: a stiff rotor/volume mode
+    (lambda = -500/s) at dt = 10 ms breaks Modified Euler but not Gear."""
+
+    lam = -500.0
+
+    def stiff(t, y):
+        return lam * (y - np.cos(t))
+
+    def run():
+        me = modified_euler(stiff, 0.0, np.array([0.0]), 0.5, 0.01)
+        g = gear(stiff, 0.0, np.array([0.0]), 0.5, 0.01)
+        return me, g
+
+    me, g = benchmark(run)
+    assert not np.isfinite(me.final[0]) or abs(me.final[0]) > 10
+    assert g.final[0] == pytest.approx(np.cos(0.5), abs=1e-2)
+    benchmark.extra_info.update(
+        {
+            "euler_final": float(me.final[0]),
+            "gear_final": float(g.final[0]),
+            "exact": float(np.cos(0.5)),
+        }
+    )

@@ -1,0 +1,98 @@
+"""Table 1 — individual adapted-module tests on machine combinations.
+
+Each benchmark reproduces one row of the paper's Table 1: an adapted
+TESS module (the shaft) computes remotely on the row's machine pair over
+the row's network tier, while the rest of the engine runs on the AVS
+workstation.  Correctness is the paper's check — steady-state and
+transient results must match the local-compute-only run — and the
+benchmark's ``extra_info`` records the modelled per-call RPC cost so the
+three network tiers can be compared.
+
+Expected shape (not absolute numbers): per-call cost ordering
+local Ethernet < same-building-gateways < Internet, with identical
+simulation results everywhere.
+"""
+
+import pytest
+
+from conftest import local_reference, make_executive, per_call_stats, place
+
+# (row id, AVS machine, remote machine, expected tier name)
+TABLE1_ROWS = [
+    ("row1-ethernet", "lerc-sparc10", "sgi4d480.lerc.nasa.gov", "local Ethernet"),
+    ("row2-campus", "lerc-sparc10", "convex-c220.lerc.nasa.gov",
+     "same building, multiple gateways"),
+    ("row3-campus", "lerc-sgi480", "cray-ymp.lerc.nasa.gov",
+     "same building, multiple gateways"),
+    ("row4-internet", "lerc-sgi480", "sparc10.cs.arizona.edu", "via Internet"),
+    ("row5-internet", "ua-sparc10", "rs6000.lerc.nasa.gov", "via Internet"),
+]
+
+
+@pytest.fixture(scope="module")
+def reference_results():
+    return local_reference()
+
+
+@pytest.mark.parametrize("row_id,avs,remote,tier", TABLE1_ROWS,
+                         ids=[r[0] for r in TABLE1_ROWS])
+def test_table1_row(benchmark, reference_results, row_id, avs, remote, tier):
+    ex = make_executive(avs_machine=avs)
+    place(ex, **{"shaft-low": remote})
+
+    # verify the tier matches the paper's connectivity column
+    link = ex.env.topology.classify(ex.avs_machine, ex.env.park[remote])
+    assert link.name == tier
+
+    def run():
+        ex.env.reset_traces()
+        ex.execute()
+        return ex
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+
+    # the paper's validation: remote == local
+    assert result.solution.converged
+    assert result.solution.thrust_N == pytest.approx(
+        reference_results["thrust"], rel=1e-9
+    )
+    assert float(result.transient_result.n1[-1]) == pytest.approx(
+        reference_results["n1_end"], abs=1e-9
+    )
+
+    stats = per_call_stats(result.env, "shaft")
+    benchmark.extra_info.update(
+        {
+            "avs_machine": avs,
+            "remote_machine": remote,
+            "network": tier,
+            "rpc_calls": stats["calls"],
+            "percall_virtual_ms": round(stats["mean_ms"], 3),
+            "percall_network_ms": round(stats["network_ms"], 3),
+            "thrust_rel_err": abs(
+                result.solution.thrust_N - reference_results["thrust"]
+            ) / reference_results["thrust"],
+        }
+    )
+
+
+def test_table1_tier_ordering(benchmark, reference_results):
+    """The cross-row shape: WAN per-call cost >> campus >> Ethernet."""
+    costs = {}
+
+    def run_all():
+        for row_id, avs, remote, tier in TABLE1_ROWS:
+            ex = make_executive(avs_machine=avs)
+            ex.modules["system"].set_param("transient seconds", 0.2)
+            place(ex, **{"shaft-low": remote})
+            ex.env.reset_traces()
+            ex.execute()
+            costs[row_id] = per_call_stats(ex.env, "shaft")["mean_ms"]
+        return costs
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert costs["row1-ethernet"] < costs["row2-campus"]
+    assert costs["row2-campus"] < costs["row4-internet"]
+    assert costs["row3-campus"] < costs["row5-internet"]
+    assert costs["row4-internet"] > 5 * costs["row1-ethernet"]
+    benchmark.extra_info.update({k: round(v, 3) for k, v in costs.items()})

@@ -1,0 +1,98 @@
+"""Table 2 — the combined test: six remote module instances.
+
+Reproduces the paper's combined experiment: TESS runs on the Sun Sparc
+10 at the University of Arizona, with the combustor on an SGI 4D/340 at
+Arizona, two duct instances on the Cray Y-MP at LeRC, the nozzle on an
+SGI 4D/420 at LeRC, and two shaft instances on the IBM RS6000 at LeRC.
+"TESS was run through a steady-state computation using the
+Newton-Raphson method ... and a one second transient simulation using
+the Improved Euler method," and the results are compared against the
+local-compute-only versions.
+"""
+
+import pytest
+
+from conftest import make_executive, per_call_stats, place
+
+TABLE2_PLACEMENT = {
+    "combustor": "sgi4d340.cs.arizona.edu",     # 1 instance, UA
+    "duct-bypass": "cray-ymp.lerc.nasa.gov",    # 2 duct instances, LeRC
+    "duct-core": "cray-ymp.lerc.nasa.gov",
+    "nozzle": "sgi4d420.lerc.nasa.gov",         # 1 instance, LeRC
+    "shaft-low": "rs6000.lerc.nasa.gov",        # 2 shaft instances, LeRC
+    "shaft-high": "rs6000.lerc.nasa.gov",
+}
+
+
+def configure(remote: bool):
+    ex = make_executive(avs_machine="ua-sparc10")
+    ex.modules["system"].set_param("steady-state method", "Newton-Raphson")
+    ex.modules["system"].set_param("transient method", "Modified Euler")
+    ex.modules["system"].set_param("transient seconds", 1.0)
+    if remote:
+        place(ex, **TABLE2_PLACEMENT)
+    return ex
+
+
+def test_table2_local_baseline(benchmark):
+    """The local-compute-only configuration the paper compares against."""
+    ex = configure(remote=False)
+
+    def run():
+        ex.execute()
+        return ex
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.solution.converged
+    benchmark.extra_info.update(
+        {
+            "thrust_N": round(result.solution.thrust_N, 1),
+            "n1_end": round(float(result.transient_result.n1[-1]), 6),
+            "remote_instances": 0,
+        }
+    )
+
+
+def test_table2_combined(benchmark):
+    """The six-remote-instance configuration of Table 2."""
+    local = configure(remote=False)
+    local.execute()
+    ex = configure(remote=True)
+
+    def run():
+        ex.env.reset_traces()
+        ex.env.transport.stats.messages = 0
+        ex.execute()
+        return ex
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+
+    # the paper's verification: adapted == original
+    assert result.solution.converged
+    assert result.solution.thrust_N == pytest.approx(
+        local.solution.thrust_N, rel=1e-9
+    )
+    assert float(result.transient_result.n1[-1]) == pytest.approx(
+        float(local.transient_result.n1[-1]), abs=1e-9
+    )
+    assert float(result.transient_result.t4[-1]) == pytest.approx(
+        float(local.transient_result.t4[-1]), rel=1e-9
+    )
+
+    assert len(result.manager.active_lines) == 6  # six remote instances
+    sites = {result.env.park[m].site for m in TABLE2_PLACEMENT.values()}
+    assert sites == {"lerc", "arizona"}
+
+    benchmark.extra_info.update(
+        {
+            "remote_instances": 6,
+            "machines": sorted(set(TABLE2_PLACEMENT.values())),
+            "rpc_calls": result.host.remote_call_count,
+            "virtual_seconds": round(result.env.clock.now, 1),
+            "messages": result.env.transport.stats.messages,
+            "thrust_rel_err": abs(
+                result.solution.thrust_N - local.solution.thrust_N
+            ) / local.solution.thrust_N,
+            "percall_virtual_ms": round(per_call_stats(result.env)["mean_ms"], 3),
+        }
+    )

@@ -1,0 +1,131 @@
+"""Ablation A1 (§4.1) — UTS conversion costs and the Cray range policy.
+
+Measures the real (wall-clock) cost of the UTS conversion library this
+reproduction implements: wire encode/decode of the shaft call's
+arguments, native-format round trips for each architecture's codec, and
+the float-vs-double choice the paper added in its §4.1 evolution.
+"""
+
+import math
+
+import pytest
+
+from repro.machines import CONVEX_C2, CRAY_YMP_ARCH, SPARC
+from repro.uts import (
+    DOUBLE,
+    FLOAT,
+    ArrayType,
+    CrayFormat,
+    OutOfRangePolicy,
+    SpecFile,
+    UTSRangeError,
+    decode_value,
+    encode_value,
+    marshal_args,
+    roundtrip_native,
+    unmarshal_args,
+)
+
+SHAFT_IMPORT = SpecFile.parse(
+    """
+import shaft prog(
+    "ecom"   val array[4] of double,
+    "incom"  val integer,
+    "etur"   val array[4] of double,
+    "intur"  val integer,
+    "ecorr"  val double,
+    "xspool" val double,
+    "xmyi"   val double,
+    "dxspl"  res double)
+"""
+).import_named("shaft")
+
+SHAFT_ARGS = dict(
+    ecom=[12.9e6, 0.0, 0.0, 0.0], incom=1, etur=[13.4e6, 0.0, 0.0, 0.0],
+    intur=1, ecorr=0.0, xspool=1.0, xmyi=2.2,
+)
+
+ERR = OutOfRangePolicy.ERROR
+
+
+def test_marshal_shaft_request(benchmark):
+    """Marshal the paper's shaft call (conform + wire-encode)."""
+    data = benchmark(marshal_args, SHAFT_IMPORT, SHAFT_ARGS, "send")
+    assert len(data) == 8 * 4 * 2 + 8 * 2 + 8 * 3  # arrays + ints + scalars
+    benchmark.extra_info["request_bytes"] = len(data)
+
+
+def test_unmarshal_shaft_request(benchmark):
+    data = marshal_args(SHAFT_IMPORT, SHAFT_ARGS, "send")
+    out = benchmark(unmarshal_args, SHAFT_IMPORT, data, "send")
+    assert out["ecom"][0] == 12.9e6
+
+
+def test_encode_large_array(benchmark):
+    """Bulk data: a 4096-double field (bandwidth-bound transfers)."""
+    t = ArrayType(4096, DOUBLE)
+    values = [math.sin(i) for i in range(4096)]
+    data = benchmark(encode_value, t, values)
+    assert len(data) == 4096 * 8
+    benchmark.extra_info["MB"] = len(data) / 1e6
+
+
+def test_decode_large_array(benchmark):
+    t = ArrayType(4096, DOUBLE)
+    data = encode_value(t, [math.sin(i) for i in range(4096)])
+    out, offset = benchmark(decode_value, t, data)
+    assert offset == len(data)
+
+
+def test_float_vs_double_wire_size(benchmark):
+    """The §4.1 addition of single precision halves the wire size —
+    'it allows the user to specify more precisely the size of the
+    argument value to be passed'."""
+    tf, td = ArrayType(1024, FLOAT), ArrayType(1024, DOUBLE)
+    vf = [float(i) for i in range(1024)]
+
+    def both():
+        return encode_value(tf, vf), encode_value(td, vf)
+
+    f_data, d_data = benchmark(both)
+    assert len(f_data) * 2 == len(d_data)
+    benchmark.extra_info.update(
+        {"float_bytes": len(f_data), "double_bytes": len(d_data)}
+    )
+
+
+@pytest.mark.parametrize(
+    "arch", [SPARC, CRAY_YMP_ARCH, CONVEX_C2], ids=lambda a: a.name
+)
+def test_native_roundtrip_cost(benchmark, arch):
+    """Per-architecture native codec cost for a 64-double array.
+
+    The Cray and Convex codecs are pure-Python bit manipulation, so they
+    cost more than the struct-based IEEE path — mirroring the paper's
+    note that writing the Cray conversion routines was the real work."""
+    t = ArrayType(64, DOUBLE)
+    values = [1.5 * i for i in range(64)]
+    out = benchmark(roundtrip_native, arch.native_format, t, values, ERR)
+    assert out[2] == 3.0
+    benchmark.extra_info["format"] = arch.native_format.name
+
+
+def test_cray_out_of_range_policy(benchmark):
+    """The §4.1 decision: out-of-range Cray values are errors (the
+    chosen policy) vs infinity (the rejected one)."""
+    cray = CRAY_YMP_ARCH.native_format
+    huge = CrayFormat.raw(0, 8000, 1 << 47)
+
+    def check_both():
+        try:
+            cray.unpack_float64(huge, OutOfRangePolicy.ERROR)
+            errored = False
+        except UTSRangeError:
+            errored = True
+        inf_val = cray.unpack_float64(huge, OutOfRangePolicy.INFINITY)
+        return errored, inf_val
+
+    errored, inf_val = benchmark(check_both)
+    assert errored
+    assert inf_val == math.inf
+    benchmark.extra_info["chosen_policy"] = "error (after consulting NPSS researchers)"

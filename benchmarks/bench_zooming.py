@@ -1,0 +1,74 @@
+"""Ablation — zooming (§2.1/§2.3): mixed-fidelity simulation.
+
+Measures the cost and consistency of zooming the HPC from the level-1
+map to a level-2 stage-stacked model: the extracted boundary data must
+reproduce the cycle's solved pressure ratio exactly and land near the
+map's efficiency, and the level-2 analysis cost grows linearly with
+stage count while the cycle solution is untouched.
+"""
+
+import pytest
+
+from repro.core import NPSSExecutive, StageStackedCompressor, zoom_extract
+from repro.tess import FlightCondition, build_f100
+
+SLS = FlightCondition(0.0, 0.0)
+
+
+def test_zoom_through_the_executive(benchmark):
+    """The widget-driven path: level-2 fidelity on the HPC module."""
+    ex = NPSSExecutive()
+    mods = ex.build_f100_network()
+    mods["system"].set_param("transient seconds", 0.0)
+    mods["hpc"].set_param("fidelity", "level 2 (stage-stacked)")
+    mods["hpc"].set_param("stages", 10)
+
+    def run():
+        ex.execute()
+        return ex
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    boundary = result.zoom_reports["hpc"]
+    pr_cycle = result.solution.stations["3"].Pt / result.solution.stations["25"].Pt
+    assert boundary.pressure_ratio == pytest.approx(pr_cycle, rel=1e-9)
+    # the level-2 model has its own efficiency physics; the *difference*
+    # from the map's assumption is exactly the information zooming buys
+    assert 0.80 < boundary.efficiency < 0.95
+    map_eta = result.engine().hpc.map.efficiency(1.0, float(result.solution.x[1]))
+    benchmark.extra_info.update(
+        {
+            "zoomed_pr": round(boundary.pressure_ratio, 4),
+            "zoomed_eta": round(boundary.efficiency, 4),
+            "map_eta": round(map_eta, 4),
+            "eta_delta_vs_map": round(boundary.efficiency - map_eta, 4),
+            "max_stage_loading": round(boundary.max_stage_loading, 4),
+        }
+    )
+
+
+def test_zoom_cost_scales_with_stages(benchmark):
+    """Level-2 detail is pay-as-you-go: cost scales with stage count,
+    and the extracted boundary is stage-count-insensitive (the grid
+    refinement sanity check)."""
+    engine = build_f100()
+    op = engine.balance(SLS, engine.spec.wf_design)
+    state_in = op.stations["25"]
+    pr = op.stations["3"].Pt / state_in.Pt
+
+    def run_all():
+        boundaries = {}
+        for n in (4, 8, 16, 32):
+            comp = StageStackedCompressor(n_stages=n, overall_pr=pr)
+            out, records = comp.run(state_in)
+            boundaries[n] = zoom_extract(state_in, out, records)
+        return boundaries
+
+    boundaries = benchmark(run_all)
+    etas = [b.efficiency for b in boundaries.values()]
+    assert max(etas) - min(etas) < 0.02  # boundary data is mesh-insensitive
+    assert all(
+        b.pressure_ratio == pytest.approx(pr, rel=1e-9) for b in boundaries.values()
+    )
+    benchmark.extra_info.update(
+        {f"eta_{n}_stages": round(b.efficiency, 4) for n, b in boundaries.items()}
+    )

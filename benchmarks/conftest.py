@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import NPSSExecutive
+
+
+def make_executive(avs_machine: str = "ua-sparc10") -> NPSSExecutive:
+    ex = NPSSExecutive(avs_machine=avs_machine)
+    ex.modules = ex.build_f100_network()
+    # a modest throttle transient, as in the paper's combined test
+    ex.modules["combustor"].set_param("fuel flow", 1.35)
+    ex.modules["combustor"].set_param("fuel flow-op", 1.45)
+    ex.modules["combustor"].set_param("ramp seconds", 0.3)
+    ex.modules["system"].set_param("transient seconds", 1.0)
+    ex.modules["system"].set_param("steady-state method", "Newton-Raphson")
+    ex.modules["system"].set_param("transient method", "Modified Euler")
+    return ex
+
+
+def place(ex: NPSSExecutive, **module_machines: str) -> None:
+    for key, machine in module_machines.items():
+        ex.modules[key].set_param("remote machine", machine)
+
+
+def local_reference() -> dict:
+    """The all-local run every remote configuration is checked against
+    (the paper's own validation method)."""
+    ex = make_executive()
+    ex.execute()
+    return {
+        "thrust": ex.solution.thrust_N,
+        "n1_end": float(ex.transient_result.n1[-1]),
+        "n2_end": float(ex.transient_result.n2[-1]),
+    }
+
+
+@pytest.fixture(scope="session")
+def reference():
+    return local_reference()
+
+
+def per_call_stats(env, procedure_prefix: str = ""):
+    """Mean virtual per-call cost of the traced RPCs (milliseconds)."""
+    traces = [
+        t for t in env.traces if t.procedure.startswith(procedure_prefix)
+    ] or env.traces
+    if not traces:
+        return {"mean_ms": 0.0, "network_ms": 0.0, "calls": 0}
+    total = np.mean([t.total_s for t in traces]) * 1e3
+    network = np.mean([t.network_s for t in traces]) * 1e3
+    return {"mean_ms": float(total), "network_ms": float(network), "calls": len(traces)}

@@ -1,0 +1,187 @@
+"""Regenerate the paper's tables and figures as printed reports.
+
+Runs every experiment once (no benchmark timing machinery) and prints
+the rows the paper reports, annotated with this reproduction's measured
+quantities.  EXPERIMENTS.md records a captured run.
+
+Run:  python benchmarks/report.py
+"""
+
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from conftest import make_executive, per_call_stats, place
+from bench_table1_module_tests import TABLE1_ROWS
+from bench_table2_combined import TABLE2_PLACEMENT, configure
+
+
+def rule(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def table1() -> None:
+    rule("Table 1 — TESS and Schooner individual module tests")
+    print(f"{'AVS machine':<28} {'Remote machine':<28} {'Network':<34}")
+    print(f"{'':28} {'per-call (virtual ms)':>28} {'result vs local':>20}")
+    print("-" * 78)
+    ref = None
+    for row_id, avs, remote, tier in TABLE1_ROWS:
+        ex = make_executive(avs_machine=avs)
+        ex.modules["system"].set_param("transient seconds", 0.5)
+        if ref is None:
+            ex_local = make_executive(avs_machine=avs)
+            ex_local.modules["system"].set_param("transient seconds", 0.5)
+            ex_local.execute()
+            ref = ex_local.solution.thrust_N
+        place(ex, **{"shaft-low": remote})
+        ex.env.reset_traces()
+        ex.execute()
+        stats = per_call_stats(ex.env, "shaft")
+        agree = abs(ex.solution.thrust_N - ref) / ref
+        print(f"{ex.avs_machine.hostname:<28} {remote:<28} {tier:<34}")
+        print(f"{'':28} {stats['mean_ms']:>24.2f} ms {'Δ=%.1e' % agree:>20}")
+    print("\nshape check: Ethernet < campus gateways < Internet per-call cost;")
+    print("every configuration converges to the local-only result.")
+
+
+def table2() -> None:
+    rule("Table 2 — TESS and Schooner combined test")
+    local = configure(remote=False)
+    local.execute()
+    ex = configure(remote=True)
+    ex.env.reset_traces()
+    ex.execute()
+
+    print(f"TESS simulation executed on {ex.avs_machine.hostname} (U. of Arizona)")
+    print(f"{'Module':<12} {'# inst':>7} {'Remote machine':<28} {'Site'}")
+    print("-" * 70)
+    rows = [
+        ("combustor", 1, "sgi4d340.cs.arizona.edu", "U. of Arizona"),
+        ("duct", 2, "cray-ymp.lerc.nasa.gov", "Lewis Research Center"),
+        ("nozzle", 1, "sgi4d420.lerc.nasa.gov", "Lewis Research Center"),
+        ("shaft", 2, "rs6000.lerc.nasa.gov", "Lewis Research Center"),
+    ]
+    for mod, n, machine, site in rows:
+        print(f"{mod:<12} {n:>7} {machine:<28} {site}")
+    print()
+    print("steady state: Newton-Raphson; transient: 1 s, Modified (Improved) Euler")
+    rel = abs(ex.solution.thrust_N - local.solution.thrust_N) / local.solution.thrust_N
+    n1_err = abs(float(ex.transient_result.n1[-1]) - float(local.transient_result.n1[-1]))
+    print(f"remote thrust {ex.solution.thrust_N/1e3:.2f} kN vs local "
+          f"{local.solution.thrust_N/1e3:.2f} kN (rel err {rel:.1e})")
+    print(f"transient endpoint N1 difference: {n1_err:.1e}")
+    print(f"remote procedure calls: {ex.host.remote_call_count}; "
+          f"Schooner lines: {len(ex.manager.active_lines)}; "
+          f"modelled distributed wall time: {ex.env.clock.now:.0f} virtual s")
+    print()
+    from repro.schooner import render_summary
+
+    print(render_summary(ex.env.traces))
+
+
+def figure1() -> None:
+    rule("Figure 1 — a Schooner program (sequential flow, encapsulated parallelism)")
+    from bench_figure1_program import run_figure1
+
+    state = {"run": 1000}
+    print(f"{'cluster workers':>16} {'virtual elapsed (s)':>21} {'speedup':>9}")
+    base = None
+    for w in (1, 2, 3):
+        state["run"] += 1
+        _, elapsed = run_figure1(w, state)
+        base = base or elapsed
+        print(f"{w:>16} {elapsed:>21.3f} {base/elapsed:>9.2f}x")
+    print("the caller sees one sequential program; the parallelism is inside")
+    print("the encapsulating procedure, as in the paper's Figure 1.")
+
+
+def figure2() -> None:
+    rule("Figure 2 — the prototype executive: TESS F100 network")
+    ex = make_executive()
+    counts = {}
+    for m in ex.editor.modules.values():
+        counts[m.module_name] = counts.get(m.module_name, 0) + 1
+    print("modules in the network:")
+    for name, n in sorted(counts.items()):
+        inst = f" x{n}" if n > 1 else ""
+        print(f"  {name}{inst}")
+    print(f"connections: {len(ex.editor.connections)}")
+    print()
+    print(ex.panel("low speed shaft").render())
+    ex.modules["system"].set_param("transient seconds", 0.0)
+    ex.execute()
+    print()
+    print(f"balanced: thrust {ex.solution.thrust_N/1e3:.1f} kN, "
+          f"T4 {ex.solution.t4:.0f} K, airflow {ex.solution.airflow:.1f} kg/s")
+
+    # monitored throttle transient — the "viewing results" half of the
+    # executive, as a terminal strip chart
+    from repro.core import MonitorPanel, monitor_transient
+    from repro.tess import Schedule
+
+    engine = ex.engine()
+    flight = ex.flight_condition()
+    sched = Schedule.of((0.0, 1.3), (0.2, 1.5), (1.0, 1.5))
+    tr = engine.transient(flight, sched, t_end=1.0, dt=0.02)
+    panel = MonitorPanel.standard("N1", "N2", "thrust", "T4", "SM_hpc",
+                                  keep_every=2)
+    monitor_transient(
+        panel, tr,
+        lambda t, n1, n2: engine._solve_gas_path(flight, sched.value(t), n1, n2),
+    )
+    print()
+    print("monitored throttle transient (1.3 -> 1.5 kg/s):")
+    print(panel.render())
+
+
+def ablations() -> None:
+    rule("Ablations — §4.1/§4.2 mechanisms and §2.3 strategies")
+    # A1: Cray conversion
+    from repro.uts import CrayFormat, OutOfRangePolicy, UTSRangeError
+
+    cray = CrayFormat(name="cray", int_bits=64)
+    huge = CrayFormat.raw(0, 8000, 1 << 47)
+    try:
+        cray.unpack_float64(huge, OutOfRangePolicy.ERROR)
+        policy = "no error (WRONG)"
+    except UTSRangeError:
+        policy = "error raised (the option NPSS chose)"
+    inf = cray.unpack_float64(huge, OutOfRangePolicy.INFINITY)
+    print(f"A1 Cray 2^8000 value -> ERROR policy: {policy}; "
+          f"INFINITY policy: {inf}")
+    rt = cray.unpack_float64(cray.pack_float64(math.pi, OutOfRangePolicy.ERROR),
+                             OutOfRangePolicy.ERROR)
+    print(f"   Cray 48-bit mantissa: pi round-trips to {rt!r} "
+          f"(rel err {abs(rt-math.pi)/math.pi:.1e})")
+
+    # A5: bottleneck strategies
+    from repro.network import BottleneckChannel, Strategy
+
+    ch = dict(produce_seconds=0.004, transfer_seconds=0.002, consume_seconds=0.02)
+    rep = {
+        s.value: BottleneckChannel(**ch, buffer_capacity=32, filter_keep_every=5).run(400, s)
+        for s in Strategy
+    }
+    print("A5 fast->slow producer utilization: "
+          + ", ".join(f"{k}={v.producer_utilization:.2f}" for k, v in rep.items()))
+
+
+def main() -> None:
+    table1()
+    table2()
+    figure1()
+    figure2()
+    ablations()
+    print()
+
+
+if __name__ == "__main__":
+    main()

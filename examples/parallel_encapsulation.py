@@ -1,0 +1,120 @@
+"""Figure 1: a Schooner program with an encapsulated parallel algorithm.
+
+A sequential Schooner program runs on a Sun workstation; control passes
+to a procedure on the Cray (vector code), then to a procedure whose body
+uses a PVM-style workstation cluster — "it is only necessary to
+encapsulate it within a procedure" — and finally back to the caller.
+
+Run:  python examples/parallel_encapsulation.py
+"""
+
+import math
+
+from repro.machines import Language
+from repro.parallel import PVMachine
+from repro.schooner import (
+    Executable,
+    Procedure,
+    SchoonerEnvironment,
+    SchoonerProgram,
+)
+from repro.uts import SpecFile
+
+PANEL_COUNT = 24
+
+VECTOR_SPEC = SpecFile.parse(
+    'export sweep prog("n" val integer, "scale" val double,'
+    ' "loads" res array[24] of double)'
+)
+
+CLUSTER_SPEC = SpecFile.parse(
+    'export relax prog("loads" val array[24] of double, "total" res double)'
+)
+
+
+def main() -> None:
+    env = SchoonerEnvironment.standard()
+
+    # the vector procedure: compute aerodynamic panel loads on the Cray
+    def sweep(n, scale):
+        return [scale * (1.0 + math.sin(0.3 * i)) for i in range(n)] + [0.0] * (
+            PANEL_COUNT - n
+        )
+
+    env.park["lerc-cray"].install(
+        "/npss/bin/sweep",
+        Executable(
+            "sweep",
+            (Procedure(name="sweep", signature=VECTOR_SPEC.export_named("sweep"),
+                       impl=sweep, language=Language.FORTRAN, flops=5e7),),
+        ),
+    )
+
+    # the encapsulating procedure: internally a PVM cluster of SGIs
+    cluster_pvm = {}
+
+    def relax(loads, _timeline):
+        # the encapsulated cluster charges the calling line's timeline:
+        # the sequential caller simply sees a slow procedure
+        pvm = cluster_pvm["pvm"]
+        result = pvm.scatter_gather(
+            loads, compute=lambda x: x * 0.97, flops_per_item=2e7,
+            master_timeline=_timeline,
+        )
+        cluster_pvm["last"] = result
+        return sum(result.results)
+
+    env.park["lerc-sgi480"].install(
+        "/npss/bin/relax",
+        Executable(
+            "relax",
+            (Procedure(name="relax", signature=CLUSTER_SPEC.export_named("relax"),
+                       impl=relax, language=Language.C, flops=1e4),),
+        ),
+    )
+
+    def run_with_workers(n_workers: int) -> float:
+        """One Figure-1 program run; returns the virtual elapsed time."""
+        workers = [env.park[n] for n in
+                   ("lerc-sgi480", "lerc-sgi420", "lerc-rs6000", "lerc-sparc10")]
+        pvm = PVMachine(
+            master=env.park["lerc-sgi480"],
+            transport=env.transport,
+            clock=env.clock,
+            name=f"cluster-{n_workers}",
+        )
+        pvm.spawn(workers[:n_workers])
+        cluster_pvm["pvm"] = pvm
+
+        def schooner_main(ctx):
+            sweep_stub = ctx.import_proc(VECTOR_SPEC.as_imports(), name="sweep")
+            relax_stub = ctx.import_proc(CLUSTER_SPEC.as_imports(), name="relax")
+            t0 = ctx.line.timeline.now
+            loads = sweep_stub(n=PANEL_COUNT, scale=1000.0)["loads"]
+            total = relax_stub(loads=loads)["total"]
+            return total, ctx.line.timeline.now - t0
+
+        program = SchoonerProgram(
+            env=env,
+            host=env.park["ua-sparc10"],
+            main=schooner_main,
+            placements=[("lerc-cray", "/npss/bin/sweep"),
+                        ("lerc-sgi480", "/npss/bin/relax")],
+            name=f"figure1-{n_workers}w",
+        )
+        total, elapsed = program.run()
+        print(f"  {n_workers} cluster worker(s): result {total:10.1f}, "
+              f"virtual elapsed {elapsed:6.3f} s "
+              f"(cluster barrier {cluster_pvm['last'].elapsed_seconds:.3f} s)")
+        return elapsed
+
+    print("=== Figure 1: Sun -> Cray (vector) -> SGI (encapsulated PVM cluster) ===")
+    t1 = run_with_workers(1)
+    t2 = run_with_workers(2)
+    t3 = run_with_workers(3)
+    print(f"encapsulated-cluster speedup: {t1/t2:.2f}x with 2 workers, "
+          f"{t1/t3:.2f}x with 3 — invisible to the sequential caller")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Quickstart: a heterogeneous remote procedure call with Schooner.
+
+Runs the paper's shaft computation on the Cray Y-MP from a Sun
+workstation: write the UTS specs, install the executable, contact the
+Manager, and call — Schooner handles the data conversion (including the
+Cray's 48-bit-mantissa floating format) and the simulated 1993 network.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.machines import Language
+from repro.schooner import (
+    Executable,
+    Manager,
+    ManagerMode,
+    ModuleContext,
+    Procedure,
+    SchoonerEnvironment,
+)
+from repro.uts import SpecFile
+
+# 1. The UTS export specification (the paper's example, section 3.3).
+SHAFT_SPEC = """
+export shaft prog(
+    "ecom"   val array[4] of double,
+    "incom"  val integer,
+    "etur"   val array[4] of double,
+    "intur"  val integer,
+    "ecorr"  val double,
+    "xspool" val double,
+    "xmyi"   val double,
+    "dxspl"  res double)
+"""
+
+
+def shaft(ecom, incom, etur, intur, ecorr, xspool, xmyi):
+    """The remote computation: spool acceleration from the power
+    unbalance between turbines and compressors."""
+    power = sum(etur[:intur]) - sum(ecom[:incom]) - ecorr
+    return power / (xmyi * 1050.0**2 * xspool)
+
+
+def main() -> None:
+    # 2. The simulated world: the paper's machines on the 1993 network.
+    env = SchoonerEnvironment.standard()
+
+    # 3. "Compile" and install the executable on the remote machine.
+    spec = SpecFile.parse(SHAFT_SPEC)
+    exe = Executable(
+        "npss-shaft",
+        (
+            Procedure(
+                name="shaft",
+                signature=spec.export_named("shaft"),
+                impl=shaft,
+                language=Language.FORTRAN,  # cft77 will upper-case the name
+                flops=2e3,
+            ),
+        ),
+    )
+    env.park["lerc-cray"].install("/npss/bin/npss-shaft", exe)
+
+    # 4. Start the persistent Manager on the workstation and register.
+    manager = Manager(env=env, host=env.park["ua-sparc10"], mode=ManagerMode.LINES)
+    ctx = ModuleContext(
+        manager=manager, module_name="quickstart", machine=env.park["ua-sparc10"]
+    )
+
+    # 5. sch_contact_schx: ask the Manager to start the remote process.
+    ctx.sch_contact_schx("cray-ymp.lerc.nasa.gov", "/npss/bin/npss-shaft")
+
+    # 6. Import and call through a stub (both name cases resolve).
+    stub = ctx.import_proc(spec.as_imports(), name="shaft")
+    result = stub(
+        ecom=[12.9e6, 0, 0, 0], incom=1,
+        etur=[13.4e6, 0, 0, 0], intur=1,
+        ecorr=0.0, xspool=1.0, xmyi=2.2,
+    )
+    print(f"remote shaft() on the Cray returned dxspl = {result['dxspl']:.6e} 1/s")
+
+    trace = env.traces[-1]
+    print(
+        f"virtual cost: total {trace.total_s*1e3:.1f} ms "
+        f"(network {trace.network_s*1e3:.1f} ms, "
+        f"marshal {1e3*(trace.client_cpu_s + trace.server_cpu_s):.2f} ms, "
+        f"compute {trace.compute_s*1e6:.1f} us)"
+    )
+    print(f"request {trace.request_bytes} B, reply {trace.reply_bytes} B")
+
+    # 7. sch_i_quit: the Manager shuts down this line's remote process.
+    ctx.sch_i_quit()
+    print("line terminated; Manager still running:", manager.running)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Placement trade study: "whether a non-optimum local machine is better
+than an optimum remote machine" (paper section 2.3).
+
+Places the combustor computation on every machine in the park and
+reports the per-call virtual cost, broken into network and compute —
+showing the crossover the paper says the *user* must judge: fast-but-far
+vs slow-but-near.
+
+Run:  python examples/wan_placement.py
+"""
+
+from repro.core import REMOTE_PATHS, install_tess_executables
+from repro.schooner import Manager, ManagerMode, ModuleContext, SchoonerEnvironment
+from repro.uts import SpecFile
+from repro.core.specs import COMBUSTOR_SPEC_SOURCE
+
+COMB_ARGS = dict(w=63.0, tt=745.0, pt=2.2e6, far=0.0, wfuel=1.5)
+
+
+def main() -> None:
+    env = SchoonerEnvironment.standard()
+    install_tess_executables(env.park)
+    manager = Manager(env=env, host=env.park["ua-sparc10"], mode=ManagerMode.LINES)
+    avs = env.park["ua-sparc10"]  # the AVS workstation at Arizona
+    spec = SpecFile.parse(COMBUSTOR_SPEC_SOURCE).as_imports()
+
+    print("combustor computation placed from the AVS host "
+          f"({avs.hostname}):\n")
+    print(f"{'machine':<28} {'tier':<32} {'net ms':>8} {'cpu ms':>8} "
+          f"{'total ms':>9}")
+    rows = []
+    for nick in ("ua-sparc10", "ua-sgi340", "lerc-sparc10", "lerc-sgi480",
+                 "lerc-rs6000", "lerc-cray", "lerc-convex"):
+        machine = env.park[nick]
+        ctx = ModuleContext(manager=manager, module_name=f"comb-{nick}", machine=avs)
+        ctx.sch_contact_schx(machine, REMOTE_PATHS["combustor"])
+        setcomb = ctx.import_proc(spec.import_named("setcomb"))
+        setcomb(eta=0.985, dpqp=0.05, tmax=2200.0)
+        comb = ctx.import_proc(spec.import_named("comb"))
+        env.reset_traces()
+        comb(**COMB_ARGS)
+        trace = env.traces[-1]
+        tier = env.topology.classify(avs, machine).name
+        rows.append((machine.hostname, tier, trace))
+        print(f"{machine.hostname:<28} {tier:<32} "
+              f"{trace.network_s*1e3:8.2f} "
+              f"{(trace.compute_s + trace.server_cpu_s + trace.client_cpu_s)*1e3:8.3f} "
+              f"{trace.total_s*1e3:9.2f}")
+        ctx.sch_i_quit()
+
+    best = min(rows, key=lambda r: r[2].total_s)
+    fastest_cpu = min(rows, key=lambda r: r[2].compute_s)
+    print(f"\nlowest per-call total:  {best[0]}")
+    print(f"fastest raw compute:    {fastest_cpu[0]}")
+    if best[0] != fastest_cpu[0]:
+        print("-> for this latency-bound call pattern, the non-optimum "
+              "LOCAL machine beats the optimum REMOTE one — the paper's "
+              "placement question, answered per workload.")
+
+    # the §2.3 "reasonable default action": let the advisor answer the
+    # same question, with and without heavy computation per call
+    from repro.core import PlacementAdvisor
+    from repro.core.specs import build_combustor_executable
+
+    advisor = PlacementAdvisor(env=env)
+    comb_proc = build_combustor_executable().procedure_named("comb")
+    light = advisor.rank(avs, list(env.park), comb_proc, 40, 32)
+    heavy = advisor.rank(avs, list(env.park), comb_proc, 40, 32, flops=1e11)
+    print(f"\nadvisor's pick (light calls): {light[0].machine}")
+    print(f"advisor's pick (1e11-flop calls): {heavy[0].machine}")
+    print("the default action flips from near to fast exactly where the "
+          "compute/communication balance does")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""The AVS substrate: modules, widgets, control panels, the Network
+Editor, and the dataflow scheduler.
+
+This reimplements the slice of AVS 4 the prototype NPSS executive
+actually uses (paper §2.4): the execution framework.  No pixels are
+drawn; control panels render as text.
+"""
+
+from .editor import Connection, NetworkEditor
+from .errors import AVSError, ComputeError, NetworkEditError, PortError, WidgetError
+from .module import AVSModule
+from .panel import ControlPanel
+from .ports import ANY_TYPE, InputPort, OutputPort
+from .render import render_network
+from .scheduler import DataflowScheduler, ExecutionReport
+from .widgets import (
+    Dial,
+    FileBrowser,
+    FloatTypeIn,
+    IntTypeIn,
+    RadioButtons,
+    Slider,
+    StringTypeIn,
+    Toggle,
+    Widget,
+)
+
+__all__ = [
+    "AVSModule",
+    "NetworkEditor",
+    "Connection",
+    "DataflowScheduler",
+    "ExecutionReport",
+    "ControlPanel",
+    "render_network",
+    "InputPort",
+    "OutputPort",
+    "ANY_TYPE",
+    "Widget",
+    "Dial",
+    "Slider",
+    "FloatTypeIn",
+    "IntTypeIn",
+    "StringTypeIn",
+    "RadioButtons",
+    "Toggle",
+    "FileBrowser",
+    # errors
+    "AVSError",
+    "PortError",
+    "WidgetError",
+    "NetworkEditError",
+    "ComputeError",
+]

@@ -1,0 +1,204 @@
+"""The Network Editor.
+
+"This editor allows the user to create programs by visually dragging
+modules into a workspace and connecting them into a dataflow graph. ...
+the Network Editor allows the user to incorporate the specific codes
+needed for a simulation.  The dataflow in this case models the flow of
+air through the engine." (paper, section 2.4)
+
+The editor maintains a directed acyclic graph of module instances
+(``networkx.DiGraph``); connections are type-checked port-to-port, and
+networks can be saved to / loaded from plain dictionaries ("create,
+modify, and save programs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from .errors import NetworkEditError, PortError
+from .module import AVSModule
+
+__all__ = ["NetworkEditor", "Connection"]
+
+
+@dataclass(frozen=True)
+class Connection:
+    """One wire: (src module, output port) -> (dst module, input port)."""
+
+    src: str
+    out_port: str
+    dst: str
+    in_port: str
+
+
+@dataclass
+class NetworkEditor:
+    """The workspace holding modules and their dataflow wiring."""
+
+    _modules: Dict[str, AVSModule] = field(default_factory=dict)
+    _graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+    _counters: Dict[str, int] = field(default_factory=dict)
+    # observers notified when a module is removed (the Schooner glue uses
+    # this to fire the module's destroy -> sch_i_quit path)
+    on_remove: List[Callable[[AVSModule], None]] = field(default_factory=list)
+
+    # -- module management -------------------------------------------------------
+    def add_module(self, module: AVSModule, name: Optional[str] = None) -> AVSModule:
+        """Drag a module into the workspace."""
+        if name is None:
+            n = self._counters.get(module.module_name, 0) + 1
+            self._counters[module.module_name] = n
+            name = f"{module.module_name}.{n}"
+        if name in self._modules:
+            raise NetworkEditError(f"module name {name!r} already in the network")
+        module.instance_name = name
+        self._modules[name] = module
+        self._graph.add_node(name)
+        return module
+
+    def remove_module(self, module_or_name) -> None:
+        """Remove a module: its wires are cut and its destroy function
+        runs (which, for Schooner-adapted modules, tears down the remote
+        computations of its line)."""
+        name = self._resolve_name(module_or_name)
+        module = self._modules.pop(name)
+        self._graph.remove_node(name)
+        for cb in self.on_remove:
+            cb(module)
+        module.destroy()
+
+    def clear(self) -> None:
+        """Clear the entire network: every module is destroyed."""
+        for name in list(self._modules):
+            self.remove_module(name)
+
+    def module(self, name: str) -> AVSModule:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise NetworkEditError(f"no module named {name!r}") from None
+
+    def _resolve_name(self, module_or_name) -> str:
+        if isinstance(module_or_name, AVSModule):
+            name = module_or_name.instance_name
+            if name is None or name not in self._modules:
+                raise NetworkEditError(f"{module_or_name!r} is not in this network")
+            return name
+        if module_or_name not in self._modules:
+            raise NetworkEditError(f"no module named {module_or_name!r}")
+        return module_or_name
+
+    @property
+    def modules(self) -> Dict[str, AVSModule]:
+        return dict(self._modules)
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        return self._graph
+
+    # -- wiring ---------------------------------------------------------------------
+    def connect(
+        self, src, out_port: str, dst, in_port: str
+    ) -> Connection:
+        """Wire an output port to an input port, with type checking."""
+        src_name = self._resolve_name(src)
+        dst_name = self._resolve_name(dst)
+        src_mod, dst_mod = self._modules[src_name], self._modules[dst_name]
+        if out_port not in src_mod.output_ports:
+            raise PortError(f"{src_name} has no output port {out_port!r}")
+        if in_port not in dst_mod.input_ports:
+            raise PortError(f"{dst_name} has no input port {in_port!r}")
+        dst_mod.input_ports[in_port].check_accepts(src_mod.output_ports[out_port])
+        # an input port takes at most one wire
+        for _, _, data in self._graph.in_edges(dst_name, data=True):
+            for conn in data.get("connections", []):
+                if conn.in_port == in_port:
+                    raise PortError(
+                        f"{dst_name}.{in_port} is already connected "
+                        f"(from {conn.src}.{conn.out_port})"
+                    )
+        conn = Connection(src=src_name, out_port=out_port, dst=dst_name, in_port=in_port)
+        if self._graph.has_edge(src_name, dst_name):
+            self._graph[src_name][dst_name]["connections"].append(conn)
+        else:
+            self._graph.add_edge(src_name, dst_name, connections=[conn])
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._disconnect(conn)
+            raise NetworkEditError(
+                f"connecting {src_name}.{out_port} -> {dst_name}.{in_port} "
+                f"would create a cycle"
+            )
+        return conn
+
+    def _disconnect(self, conn: Connection) -> None:
+        data = self._graph[conn.src][conn.dst]
+        data["connections"].remove(conn)
+        if not data["connections"]:
+            self._graph.remove_edge(conn.src, conn.dst)
+
+    def disconnect(self, conn: Connection) -> None:
+        try:
+            self._disconnect(conn)
+        except (KeyError, ValueError):
+            raise NetworkEditError(f"connection {conn} is not in the network") from None
+
+    @property
+    def connections(self) -> Tuple[Connection, ...]:
+        out: List[Connection] = []
+        for _, _, data in self._graph.edges(data=True):
+            out.extend(data["connections"])
+        return tuple(out)
+
+    def incoming(self, name: str) -> Tuple[Connection, ...]:
+        out: List[Connection] = []
+        for _, _, data in self._graph.in_edges(name, data=True):
+            out.extend(data["connections"])
+        return tuple(out)
+
+    # -- save / load -----------------------------------------------------------------
+    def save(self) -> Dict[str, Any]:
+        """Serialize the network layout (modules, parameters, wires)."""
+        return {
+            "modules": {
+                name: {
+                    "type": type(mod).__name__,
+                    "module_name": mod.module_name,
+                    "params": {w.name: w.value for w in mod.widgets.values()},
+                }
+                for name, mod in self._modules.items()
+            },
+            "connections": [
+                {
+                    "src": c.src,
+                    "out_port": c.out_port,
+                    "dst": c.dst,
+                    "in_port": c.in_port,
+                }
+                for c in self.connections
+            ],
+        }
+
+    @classmethod
+    def load(cls, saved: Dict[str, Any], palette: Dict[str, Callable[[], AVSModule]]) -> "NetworkEditor":
+        """Rebuild a saved network.  ``palette`` maps the saved ``type``
+        names to module factories."""
+        editor = cls()
+        for name, info in saved["modules"].items():
+            try:
+                factory = palette[info["type"]]
+            except KeyError:
+                raise NetworkEditError(
+                    f"saved network needs module type {info['type']!r}, "
+                    f"not in the palette"
+                ) from None
+            module = factory()
+            editor.add_module(module, name=name)
+            for pname, value in info["params"].items():
+                module.set_param(pname, value)
+        for c in saved["connections"]:
+            editor.connect(c["src"], c["out_port"], c["dst"], c["in_port"])
+        return editor

@@ -1,0 +1,25 @@
+"""AVS substrate failure modes."""
+
+from __future__ import annotations
+
+__all__ = ["AVSError", "PortError", "WidgetError", "NetworkEditError", "ComputeError"]
+
+
+class AVSError(Exception):
+    """Base class for AVS substrate failures."""
+
+
+class PortError(AVSError):
+    """Bad port wiring: unknown port, type mismatch, double connection."""
+
+
+class WidgetError(AVSError):
+    """Invalid widget configuration or value (out of range, bad choice)."""
+
+
+class NetworkEditError(AVSError):
+    """Illegal network edit: unknown module, cycle, duplicate name."""
+
+
+class ComputeError(AVSError):
+    """A module's compute function failed or misbehaved."""

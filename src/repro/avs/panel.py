@@ -1,0 +1,34 @@
+"""Control panels.
+
+Figure 2 of the paper shows the control panel of the low-speed shaft:
+its widgets (*moment inertia*, *spool speed*, *spool speed-op*, plus the
+remote-machine radio buttons and pathname type-in) rendered as a panel.
+:class:`ControlPanel` produces the text equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .module import AVSModule
+
+__all__ = ["ControlPanel"]
+
+
+@dataclass
+class ControlPanel:
+    """The rendered parameter panel of one module instance."""
+
+    module: AVSModule
+
+    def render(self) -> str:
+        lines = [f"== {self.module.label} =="]
+        for widget in self.module.widgets.values():
+            lines.append("  " + widget.render())
+        if not self.module.widgets:
+            lines.append("  (no parameters)")
+        return "\n".join(lines)
+
+    def set(self, widget_name: str, value) -> None:
+        """User interaction: turn a dial, flip a radio button."""
+        self.module.set_param(widget_name, value)

@@ -1,0 +1,73 @@
+"""Typed module ports.
+
+AVS modules exchange data through typed input and output ports; the
+Network Editor only lets the user connect ports whose types agree.  Port
+types here are string tags (AVS 4 used the same scheme: "field",
+"colormap", ...); TESS uses an ``"engine-station"`` type carrying the
+thermodynamic state of the airflow between engine components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import PortError
+
+__all__ = ["InputPort", "OutputPort", "ANY_TYPE"]
+
+ANY_TYPE = "any"
+
+
+@dataclass
+class OutputPort:
+    """A named, typed output.  Holds the value of the owning module's
+    most recent compute."""
+
+    name: str
+    port_type: str = ANY_TYPE
+    value: Any = None
+    has_value: bool = False
+
+    def put(self, value: Any) -> None:
+        self.value = value
+        self.has_value = True
+
+    def clear(self) -> None:
+        self.value = None
+        self.has_value = False
+
+
+@dataclass
+class InputPort:
+    """A named, typed input, optionally required.
+
+    ``required`` inputs must be connected (or given a default) before
+    the network can execute; TESS station inputs are required, trim
+    inputs are not.
+    """
+
+    name: str
+    port_type: str = ANY_TYPE
+    required: bool = True
+    default: Any = None
+    has_default: bool = False
+
+    def __post_init__(self) -> None:
+        if self.default is not None:
+            self.has_default = True
+
+    def accepts(self, other: OutputPort) -> bool:
+        """Type-compatibility rule used by the Network Editor."""
+        return (
+            self.port_type == ANY_TYPE
+            or other.port_type == ANY_TYPE
+            or self.port_type == other.port_type
+        )
+
+    def check_accepts(self, other: OutputPort) -> None:
+        if not self.accepts(other):
+            raise PortError(
+                f"cannot connect output {other.name!r} ({other.port_type}) to "
+                f"input {self.name!r} ({self.port_type})"
+            )

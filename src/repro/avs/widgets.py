@@ -1,0 +1,215 @@
+"""Widgets: the user-parameter mechanism.
+
+"In AVS, this is realized using 'widgets' that appear in control panels
+as dials, sliders, type-in boxes, etc.  Using the widgets, the user is
+able both to set initial values for each module and also to modify
+values during execution." (paper, section 2.4)
+
+Each widget validates assignments and remembers whether it has changed
+since the owning module last computed — that is what drives selective
+re-execution of the dataflow network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple
+
+from .errors import WidgetError
+
+__all__ = [
+    "Widget",
+    "Dial",
+    "Slider",
+    "FloatTypeIn",
+    "IntTypeIn",
+    "StringTypeIn",
+    "RadioButtons",
+    "Toggle",
+    "FileBrowser",
+]
+
+
+@dataclass
+class Widget:
+    """Base widget: a named, validated, observable value."""
+
+    name: str
+    value: Any = None
+    dirty: bool = True  # a freshly created widget counts as changed
+
+    def validate(self, value: Any) -> Any:
+        return value
+
+    def set(self, value: Any) -> None:
+        value = self.validate(value)
+        if value != self.value:
+            self.value = value
+            self.dirty = True
+
+    def mark_clean(self) -> None:
+        self.dirty = False
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.lower()
+
+    def render(self) -> str:
+        """One control-panel line (used by ControlPanel.render)."""
+        return f"[{self.kind}] {self.name} = {self.value!r}"
+
+
+@dataclass
+class _Bounded(Widget):
+    minimum: float = 0.0
+    maximum: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.minimum > self.maximum:
+            raise WidgetError(
+                f"{self.name}: minimum {self.minimum} > maximum {self.maximum}"
+            )
+        if self.value is None:
+            self.value = self.minimum
+        self.value = self.validate(self.value)
+
+    def validate(self, value: Any) -> float:
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            raise WidgetError(f"{self.name}: {value!r} is not a number") from None
+        if not self.minimum <= v <= self.maximum:
+            raise WidgetError(
+                f"{self.name}: {v} outside [{self.minimum}, {self.maximum}]"
+            )
+        return v
+
+    def render(self) -> str:
+        return (
+            f"[{self.kind}] {self.name} = {self.value:g} "
+            f"({self.minimum:g}..{self.maximum:g})"
+        )
+
+
+@dataclass
+class Dial(_Bounded):
+    """A rotary dial, e.g. TESS's *moment inertia*."""
+
+
+@dataclass
+class Slider(_Bounded):
+    """A linear slider, e.g. TESS's *spool speed*."""
+
+
+@dataclass
+class FloatTypeIn(Widget):
+    """A numeric type-in box."""
+
+    def __post_init__(self) -> None:
+        if self.value is None:
+            self.value = 0.0
+        self.value = self.validate(self.value)
+
+    def validate(self, value: Any) -> float:
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise WidgetError(f"{self.name}: {value!r} is not a number") from None
+
+
+@dataclass
+class IntTypeIn(Widget):
+    """An integer type-in box."""
+
+    def __post_init__(self) -> None:
+        if self.value is None:
+            self.value = 0
+        self.value = self.validate(self.value)
+
+    def validate(self, value: Any) -> int:
+        if isinstance(value, bool):
+            raise WidgetError(f"{self.name}: {value!r} is not an integer")
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise WidgetError(f"{self.name}: {value!r} is not an integer") from None
+
+
+@dataclass
+class StringTypeIn(Widget):
+    """A text type-in box — the paper's *pathname* widget."""
+
+    def __post_init__(self) -> None:
+        if self.value is None:
+            self.value = ""
+
+    def validate(self, value: Any) -> str:
+        if not isinstance(value, str):
+            raise WidgetError(f"{self.name}: expected a string, got {type(value).__name__}")
+        return value
+
+
+@dataclass
+class RadioButtons(Widget):
+    """One-of-N choice — the paper's remote-machine selector, and TESS's
+    solution-method menus."""
+
+    choices: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.choices = tuple(self.choices)
+        if not self.choices:
+            raise WidgetError(f"{self.name}: radio buttons need at least one choice")
+        if self.value is None:
+            self.value = self.choices[0]
+        self.value = self.validate(self.value)
+
+    def validate(self, value: Any) -> str:
+        if value not in self.choices:
+            raise WidgetError(
+                f"{self.name}: {value!r} is not one of {list(self.choices)}"
+            )
+        return value
+
+    def render(self) -> str:
+        marks = " | ".join(
+            f"({'*' if c == self.value else ' '}) {c}" for c in self.choices
+        )
+        return f"[radio] {self.name}: {marks}"
+
+
+@dataclass
+class Toggle(Widget):
+    """An on/off switch."""
+
+    def __post_init__(self) -> None:
+        if self.value is None:
+            self.value = False
+
+    def validate(self, value: Any) -> bool:
+        if not isinstance(value, bool):
+            raise WidgetError(f"{self.name}: expected a bool")
+        return value
+
+
+@dataclass
+class FileBrowser(Widget):
+    """The browser widget TESS uses to pick performance-map files.
+
+    ``catalogue`` restricts selection to known files when provided
+    (the simulated filesystem of map files)."""
+
+    catalogue: Optional[Sequence[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.value is None:
+            self.value = ""
+
+    def validate(self, value: Any) -> str:
+        if not isinstance(value, str):
+            raise WidgetError(f"{self.name}: expected a path string")
+        if self.catalogue is not None and value and value not in self.catalogue:
+            raise WidgetError(
+                f"{self.name}: {value!r} not in catalogue {list(self.catalogue)}"
+            )
+        return value

@@ -1,0 +1,90 @@
+"""The NPSS prototype simulation executive — the paper's contribution.
+
+Combines the AVS substrate (:mod:`repro.avs`) with the Schooner RPC
+facility (:mod:`repro.schooner`) and the TESS engine simulator
+(:mod:`repro.tess`): TESS components become AVS modules, and the four
+adapted modules (shaft, duct, combustor, nozzle) can run their
+computations on any machine in the simulated park, selected per-instance
+with the widgets from the paper's section 3.3.
+"""
+
+from .advisor import PlacementAdvisor, PlacementEstimate
+from .executive import NPSSExecutive
+from .export import AVSFieldWriter, CSVWriter, GraphicsWriter, KhorosWriter, columns_of
+from .fidelity import FidelityLevel, StageStackedCompressor, ZoomedBoundary, zoom_extract
+from .monitor import STANDARD_PROBES, MonitorPanel, Probe, monitor_transient
+from .schooner_host import SchoonerHost
+from .specs import (
+    COMBUSTOR_SPEC_SOURCE,
+    DUCT_SPEC_SOURCE,
+    NOZZLE_SPEC_SOURCE,
+    REMOTE_PATHS,
+    SHAFT_SPEC_SOURCE,
+    build_combustor_executable,
+    build_duct_executable,
+    build_nozzle_executable,
+    build_shaft_executable,
+    install_tess_executables,
+)
+from .tess_modules import (
+    LOCAL_CHOICE,
+    TESS_PALETTE,
+    BleedModule,
+    CombustorModule,
+    CompressorModule,
+    DuctModule,
+    InletModule,
+    MixingVolumeModule,
+    NozzleModule,
+    RemoteComputeMixin,
+    ShaftModule,
+    SplitterModule,
+    SystemModule,
+    TESSModule,
+    TurbineModule,
+)
+
+__all__ = [
+    "NPSSExecutive",
+    "PlacementAdvisor",
+    "PlacementEstimate",
+    "GraphicsWriter",
+    "CSVWriter",
+    "AVSFieldWriter",
+    "KhorosWriter",
+    "columns_of",
+    "SchoonerHost",
+    "REMOTE_PATHS",
+    "SHAFT_SPEC_SOURCE",
+    "DUCT_SPEC_SOURCE",
+    "COMBUSTOR_SPEC_SOURCE",
+    "NOZZLE_SPEC_SOURCE",
+    "build_shaft_executable",
+    "build_duct_executable",
+    "build_combustor_executable",
+    "build_nozzle_executable",
+    "install_tess_executables",
+    "TESSModule",
+    "RemoteComputeMixin",
+    "InletModule",
+    "CompressorModule",
+    "SplitterModule",
+    "BleedModule",
+    "DuctModule",
+    "CombustorModule",
+    "TurbineModule",
+    "MixingVolumeModule",
+    "NozzleModule",
+    "ShaftModule",
+    "SystemModule",
+    "TESS_PALETTE",
+    "LOCAL_CHOICE",
+    "FidelityLevel",
+    "StageStackedCompressor",
+    "ZoomedBoundary",
+    "zoom_extract",
+    "Probe",
+    "MonitorPanel",
+    "STANDARD_PROBES",
+    "monitor_transient",
+]

@@ -1,0 +1,136 @@
+"""Placement advice: reasonable default actions.
+
+Section 2.3: "the user is ultimately responsible for deciding the right
+tradeoffs ... whether a non-optimum local machine is better than an
+optimum remote machine ... Thus, the system has to provide reasonable
+default actions, while still allowing a high degree of user
+interaction."
+
+The :class:`PlacementAdvisor` is that default action for the placement
+question: it predicts, per candidate machine, the virtual cost of one
+call of a given procedure from a given caller — marshal CPU + network
+round trip + remote compute at the machine's speed and load — and
+ranks the candidates.  The executive (or the user) remains free to
+ignore it; :meth:`recommend_move` additionally weighs the §4.2 move
+cost against the predicted per-call savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..machines.host import Machine
+from ..schooner.procedure import Procedure
+from ..schooner.runtime import SchoonerEnvironment
+
+__all__ = ["PlacementEstimate", "PlacementAdvisor"]
+
+
+@dataclass(frozen=True)
+class PlacementEstimate:
+    """Predicted per-call cost of running a procedure on one machine."""
+
+    machine: str
+    network_s: float
+    marshal_s: float
+    compute_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.network_s + self.marshal_s + self.compute_s
+
+
+@dataclass
+class PlacementAdvisor:
+    """Ranks candidate machines for a procedure's placement."""
+
+    env: SchoonerEnvironment
+
+    def estimate(
+        self,
+        caller: Machine,
+        candidate: Machine,
+        procedure: Procedure,
+        request_bytes: int,
+        reply_bytes: int,
+        flops: Optional[float] = None,
+    ) -> PlacementEstimate:
+        """Predict one call's virtual cost with the procedure placed on
+        ``candidate``."""
+        costs = self.env.costs
+        req = request_bytes + costs.header_bytes
+        rep = reply_bytes + costs.header_bytes
+        link = self.env.topology.classify(caller, candidate)
+        network = link.transfer_seconds(req) + link.transfer_seconds(rep)
+        marshal = self.env.cpu_seconds_for_bytes(
+            caller, request_bytes + reply_bytes
+        ) + self.env.cpu_seconds_for_bytes(candidate, request_bytes + reply_bytes)
+        work = flops if flops is not None else procedure.cost_flops({})
+        compute = candidate.compute_seconds(work)
+        return PlacementEstimate(
+            machine=candidate.hostname,
+            network_s=network,
+            marshal_s=marshal,
+            compute_s=compute,
+        )
+
+    def rank(
+        self,
+        caller: Machine,
+        candidates: Sequence[Machine],
+        procedure: Procedure,
+        request_bytes: int,
+        reply_bytes: int,
+        flops: Optional[float] = None,
+    ) -> List[PlacementEstimate]:
+        """All candidates, cheapest first."""
+        ests = [
+            self.estimate(caller, c, procedure, request_bytes, reply_bytes, flops)
+            for c in candidates
+            if c.up
+        ]
+        return sorted(ests, key=lambda e: e.total_s)
+
+    def recommend_move(
+        self,
+        caller: Machine,
+        current: Machine,
+        candidates: Sequence[Machine],
+        procedure: Procedure,
+        request_bytes: int,
+        reply_bytes: int,
+        remaining_calls: int,
+        flops: Optional[float] = None,
+    ) -> Optional[PlacementEstimate]:
+        """Recommend a migration target, or None to stay put.
+
+        A move is recommended only when the predicted savings over the
+        remaining calls exceed the §4.2 move cost (shutdown + restart
+        messages + spawn)."""
+        here = self.estimate(caller, current, procedure, request_bytes, reply_bytes, flops)
+        best = self.rank(caller, candidates, procedure, request_bytes, reply_bytes, flops)
+        if not best:
+            return None
+        top = best[0]
+        if top.machine == current.hostname:
+            return None
+        move_cost = self._move_cost(caller, current, top)
+        savings = (here.total_s - top.total_s) * remaining_calls
+        return top if savings > move_cost else None
+
+    def _move_cost(self, caller: Machine, current: Machine, est: PlacementEstimate) -> float:
+        """The §4.2 move: shutdown message + start request/ack + spawn."""
+        costs = self.env.costs
+        target = self.env.park[est.machine]
+        manager_host = caller  # the Manager runs with the caller here
+        c = self.env.topology.transfer_seconds(
+            manager_host, current, costs.control_message_bytes
+        )
+        c += self.env.topology.transfer_seconds(
+            manager_host, target, costs.control_message_bytes
+        )
+        c += self.env.topology.transfer_seconds(
+            target, manager_host, costs.control_message_bytes
+        )
+        return c + costs.spawn_seconds

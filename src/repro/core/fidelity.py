@@ -1,0 +1,125 @@
+"""Fidelity levels and zooming.
+
+Section 2.1: "five levels of fidelity are being used; these range from
+level 1, a steady-state thermodynamic model, to level 5, a
+three-dimensional time accurate model."  Section 2.3: "a major goal is
+*zooming*, that is, integrating codes that model at different levels of
+fidelity into the same simulation ... developing techniques to extract
+... the essential data from a higher-level computation for passing to a
+lower-level analysis."
+
+This module implements the slice of that vision the prototype's scope
+supports: fidelity levels 1 and 2 for the compressor (a 0-D map model
+and a 1-D stage-stacked model), plus the zooming extraction that reduces
+the stage-stacked result to the boundary data the 0-D cycle needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Tuple
+
+import numpy as np
+
+from ..tess.gas import GasState, enthalpy, gamma, temperature_from_enthalpy
+
+__all__ = ["FidelityLevel", "StageStackedCompressor", "zoom_extract", "ZoomedBoundary"]
+
+
+class FidelityLevel(IntEnum):
+    """The five NPSS fidelity levels.  Levels 1-2 are implemented;
+    3-5 (2-D/3-D CFD) are outside a 0-D/1-D deck's scope."""
+
+    STEADY_THERMO = 1
+    ONE_D = 2
+    TWO_D_STEADY = 3
+    THREE_D_STEADY = 4
+    THREE_D_TIME_ACCURATE = 5
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One stage of a stage-stacked compressor calculation."""
+
+    stage: int
+    pressure_ratio: float
+    Tt_in: float
+    Tt_out: float
+    power_W: float
+    loading: float  # stage enthalpy rise over blade-speed^2
+
+
+@dataclass
+class StageStackedCompressor:
+    """A level-2 compressor: N repeating stages that jointly produce the
+    overall pressure ratio, each with its own efficiency droop.
+
+    This stands in for the "higher-level analysis" a zooming simulation
+    substitutes for a map — the per-stage data it produces is what the
+    extraction step condenses back to map form.
+    """
+
+    n_stages: int
+    overall_pr: float
+    stage_efficiency: float = 0.90
+    blade_speed: float = 350.0  # m/s, for the loading diagnostic
+
+    def run(self, state_in: GasState, speed_fraction: float = 1.0) -> Tuple[GasState, List[StageRecord]]:
+        if self.n_stages < 1:
+            raise ValueError("need at least one stage")
+        # equal-work stages: same stage PR, efficiency droops off-design
+        pr_stage = self.overall_pr ** (1.0 / self.n_stages)
+        eta = self.stage_efficiency * (1.0 - 0.5 * (speed_fraction - 1.0) ** 2)
+        state = state_in
+        records: List[StageRecord] = []
+        for i in range(self.n_stages):
+            g = gamma(state.Tt, state.far)
+            Tt_ideal = state.Tt * pr_stage ** ((g - 1.0) / g)
+            dh_ideal = enthalpy(Tt_ideal, state.far) - state.ht
+            dh = dh_ideal / eta
+            Tt_out = temperature_from_enthalpy(state.ht + dh, state.far)
+            u2 = (self.blade_speed * speed_fraction) ** 2
+            records.append(
+                StageRecord(
+                    stage=i + 1,
+                    pressure_ratio=pr_stage,
+                    Tt_in=state.Tt,
+                    Tt_out=Tt_out,
+                    power_W=state.W * dh,
+                    loading=dh / u2,
+                )
+            )
+            state = state.with_(Tt=Tt_out, Pt=state.Pt * pr_stage)
+        return state, records
+
+
+@dataclass(frozen=True)
+class ZoomedBoundary:
+    """The essential boundary data extracted from a level-2 run: what
+    the level-1 cycle needs, nothing more."""
+
+    pressure_ratio: float
+    efficiency: float
+    power_W: float
+    max_stage_loading: float
+
+
+def zoom_extract(state_in: GasState, state_out: GasState, records: List[StageRecord]) -> ZoomedBoundary:
+    """Condense a stage-stacked result to 0-D boundary data.
+
+    The overall efficiency comes from comparing the actual enthalpy rise
+    to the ideal rise for the achieved pressure ratio — the standard
+    definition, computed from the detailed result rather than a map.
+    """
+    pr = state_out.Pt / state_in.Pt
+    g = gamma(state_in.Tt, state_in.far)
+    Tt_ideal = state_in.Tt * pr ** ((g - 1.0) / g)
+    dh_ideal = enthalpy(Tt_ideal, state_in.far) - state_in.ht
+    dh_actual = state_out.ht - state_in.ht
+    return ZoomedBoundary(
+        pressure_ratio=pr,
+        efficiency=dh_ideal / dh_actual if dh_actual > 0 else 0.0,
+        power_W=sum(r.power_W for r in records),
+        max_stage_loading=max(r.loading for r in records),
+    )

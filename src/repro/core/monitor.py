@@ -1,0 +1,148 @@
+"""Simulation monitoring.
+
+Section 2.3: "The user will also need the ability to monitor the
+simulation through selectively viewing graphical results or monitoring
+particular values from selected component codes."  And §2.3's bottleneck
+discussion applies directly: a fast simulation streaming every value to
+a slow display must buffer or filter.
+
+A :class:`Probe` watches one quantity of the solved engine; a
+:class:`MonitorPanel` samples its probes during a transient, optionally
+decimating (the "selective filtering" strategy) so a slow display can
+keep up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..tess.engine import OperatingPoint, TransientResult
+
+__all__ = ["Probe", "MonitorPanel", "STANDARD_PROBES"]
+
+ProbeFn = Callable[[OperatingPoint], float]
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One monitored quantity, extracted from an operating point."""
+
+    name: str
+    unit: str
+    extract: ProbeFn
+
+    def __call__(self, op: OperatingPoint) -> float:
+        return float(self.extract(op))
+
+
+#: the quantities an engine operator actually watches
+STANDARD_PROBES: Dict[str, Probe] = {
+    "N1": Probe("N1", "frac", lambda op: op.n1),
+    "N2": Probe("N2", "frac", lambda op: op.n2),
+    "thrust": Probe("thrust", "kN", lambda op: op.thrust_N / 1e3),
+    "T4": Probe("T4", "K", lambda op: op.t4),
+    "wf": Probe("wf", "kg/s", lambda op: op.wf),
+    "airflow": Probe("airflow", "kg/s", lambda op: op.airflow),
+    "P3": Probe("P3", "kPa", lambda op: op.stations["3"].Pt / 1e3),
+    "bypass": Probe("bypass", "-", lambda op: op.bypass_ratio),
+    "SM_fan": Probe("SM_fan", "-", lambda op: op.diagnostics["fan_surge_margin"]),
+    "SM_hpc": Probe("SM_hpc", "-", lambda op: op.diagnostics["hpc_surge_margin"]),
+}
+
+
+@dataclass
+class MonitorPanel:
+    """A set of probes sampled over a run.
+
+    ``keep_every`` decimates the sample stream — the §2.3 filtering
+    strategy for a display slower than the simulation.
+    """
+
+    probes: Tuple[Probe, ...]
+    keep_every: int = 1
+    _times: List[float] = field(default_factory=list)
+    _samples: Dict[str, List[float]] = field(default_factory=dict)
+    _seen: int = 0
+
+    def __post_init__(self) -> None:
+        if self.keep_every < 1:
+            raise ValueError("keep_every must be >= 1")
+        names = [p.name for p in self.probes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate probe names: {names}")
+        for p in self.probes:
+            self._samples[p.name] = []
+
+    @classmethod
+    def standard(cls, *names: str, keep_every: int = 1) -> "MonitorPanel":
+        chosen = names or tuple(STANDARD_PROBES)
+        return cls(
+            probes=tuple(STANDARD_PROBES[n] for n in chosen), keep_every=keep_every
+        )
+
+    def observe(self, t: float, op: OperatingPoint) -> bool:
+        """Offer one sample; returns True when it was kept."""
+        self._seen += 1
+        if (self._seen - 1) % self.keep_every != 0:
+            return False
+        self._times.append(t)
+        for p in self.probes:
+            self._samples[p.name].append(p(op))
+        return True
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.array(self._times)
+
+    def series(self, name: str) -> np.ndarray:
+        try:
+            return np.array(self._samples[name])
+        except KeyError:
+            raise KeyError(
+                f"no probe {name!r}; monitoring {sorted(self._samples)}"
+            ) from None
+
+    @property
+    def samples_kept(self) -> int:
+        return len(self._times)
+
+    @property
+    def samples_offered(self) -> int:
+        return self._seen
+
+    def render(self, width: int = 60) -> str:
+        """Text strip-chart of the monitored values (the era-appropriate
+        'graphical result')."""
+        lines = []
+        for p in self.probes:
+            ys = self.series(p.name)
+            if ys.size == 0:
+                lines.append(f"{p.name:>8} [{p.unit}]: (no samples)")
+                continue
+            lo, hi = float(ys.min()), float(ys.max())
+            span = hi - lo or 1.0
+            # resample to the chart width
+            idx = np.linspace(0, ys.size - 1, min(width, ys.size)).astype(int)
+            chart = "".join(
+                "▁▂▃▄▅▆▇█"[min(7, int(8 * (ys[i] - lo) / span))] for i in idx
+            )
+            lines.append(
+                f"{p.name:>8} [{p.unit}]: {chart}  {lo:.3g} .. {hi:.3g}"
+            )
+        return "\n".join(lines)
+
+
+def monitor_transient(
+    panel: MonitorPanel, result: TransientResult, solve_point
+) -> MonitorPanel:
+    """Replay a finished transient through a monitor panel.
+
+    ``solve_point(t, n1, n2)`` re-evaluates the engine at a trajectory
+    sample (the executive provides this from its gas-path solver)."""
+    for i in range(result.t.size):
+        op = solve_point(float(result.t[i]), float(result.n1[i]), float(result.n2[i]))
+        panel.observe(float(result.t[i]), op)
+    return panel

@@ -1,0 +1,211 @@
+"""SchoonerHost: TESS component computations over heterogeneous RPC.
+
+This is the glue of section 3.3.  Each adapted module instance (the
+low-speed shaft, the bypass duct, ...) owns a :class:`ModuleContext` —
+one Schooner *line* — whose remote process is started on the machine the
+user picked with the module's widgets.  The ``set*`` procedure runs once
+per instance before the first compute, exactly as in the paper, and the
+compute procedure is then called repeatedly through the line's stubs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from ..machines.host import Machine
+from ..schooner.api import ModuleContext
+from ..schooner.manager import Manager
+from ..tess.gas import GasState
+from ..tess.hosts import ComponentHost, LocalHost
+from ..uts.spec import SpecFile
+from .specs import (
+    COMBUSTOR_SPEC_SOURCE,
+    DUCT_SPEC_SOURCE,
+    NOZZLE_SPEC_SOURCE,
+    REMOTE_PATHS,
+    SHAFT_SPEC_SOURCE,
+)
+
+__all__ = ["SchoonerHost", "Placement"]
+
+#: machine (nickname/hostname or Machine) where an instance computes
+Placement = Union[Machine, str]
+
+_IMPORTS = {
+    "shaft": SpecFile.parse(SHAFT_SPEC_SOURCE).as_imports(),
+    "duct": SpecFile.parse(DUCT_SPEC_SOURCE).as_imports(),
+    "combustor": SpecFile.parse(COMBUSTOR_SPEC_SOURCE).as_imports(),
+    "nozzle": SpecFile.parse(NOZZLE_SPEC_SOURCE).as_imports(),
+}
+
+
+@dataclass
+class SchoonerHost(ComponentHost):
+    """Route adapted-module computations through Schooner.
+
+    ``placements`` maps instance keys to machines:
+
+    * ``"shaft:low"``, ``"shaft:high"``
+    * ``"duct:bypass"``, ``"duct:core"``, ``"duct:mixer-entry"``
+    * ``"combustor"``, ``"nozzle"``
+
+    Instances without a placement compute locally, so any subset of the
+    four adapted modules can be remote — the paper tested one, two,
+    three, and all four.
+    """
+
+    manager: Manager
+    avs_machine: Machine  # where AVS (and the unadapted code) runs
+    placements: Dict[str, Placement] = field(default_factory=dict)
+    _contexts: Dict[str, ModuleContext] = field(default_factory=dict)
+    _initialized: Dict[str, tuple] = field(default_factory=dict)
+    _local: LocalHost = field(default_factory=LocalHost)
+    calls: Dict[str, int] = field(default_factory=dict)
+
+    def _machine(self, placement: Placement) -> Machine:
+        if isinstance(placement, Machine):
+            return placement
+        return self.manager.env.park[placement]
+
+    def _context(self, key: str) -> Optional[ModuleContext]:
+        """The ModuleContext for an instance key, or None if local."""
+        if key not in self.placements:
+            return None
+        if key not in self._contexts:
+            self._contexts[key] = ModuleContext(
+                manager=self.manager, module_name=key, machine=self.avs_machine
+            )
+        ctx = self._contexts[key]
+        kind = key.split(":")[0]
+        ctx.sch_contact_schx(self._machine(self.placements[key]), REMOTE_PATHS[kind])
+        return ctx
+
+    def _count(self, key: str) -> None:
+        self.calls[key] = self.calls.get(key, 0) + 1
+
+    # ------------------------------------------------------------- lifecycle
+    def setup(self) -> None:
+        """Start (or confirm) every placed instance's remote process."""
+        for key in self.placements:
+            self._context(key)
+
+    def teardown(self) -> None:
+        """The paper keeps remote processes alive across module
+        executions; they die when the AVS module is destroyed (see
+        :meth:`destroy_instance`), so teardown is a no-op."""
+
+    def destroy_instance(self, key: str) -> None:
+        """The AVS destroy path: sch_i_quit for one module instance."""
+        ctx = self._contexts.pop(key, None)
+        if ctx is not None:
+            ctx.sch_i_quit()
+        self._initialized.pop(key, None)
+
+    def destroy_all(self) -> None:
+        for key in list(self._contexts):
+            self.destroy_instance(key)
+
+    # ------------------------------------------------------------ components
+    def _ensure_init(self, key: str, ctx: ModuleContext, params: tuple) -> None:
+        """Run the instance's set* procedure once (or again after a
+        parameter/placement change)."""
+        marker = (id(ctx.line), self.placements[key], params)
+        if self._initialized.get(key) == marker:
+            return
+        kind = key.split(":")[0]
+        spec = _IMPORTS[kind]
+        if kind == "shaft":
+            stub = ctx.import_proc(spec.import_named("setshaft"))
+            stub(inertia=params[0], omegad=params[1], mecheff=params[2])
+        elif kind == "duct":
+            stub = ctx.import_proc(spec.import_named("setduct"))
+            stub(dpqp=params[0])
+        elif kind == "combustor":
+            stub = ctx.import_proc(spec.import_named("setcomb"))
+            stub(eta=params[0], dpqp=params[1], tmax=params[2])
+        elif kind == "nozzle":
+            stub = ctx.import_proc(spec.import_named("setnozl"))
+            stub(cd=params[0], area=params[1])
+        self._initialized[key] = marker
+
+    def duct(self, name: str, duct, state: GasState) -> GasState:
+        key = f"duct:{name}"
+        ctx = self._context(key)
+        if ctx is None:
+            return self._local.duct(name, duct, state)
+        self._count(key)
+        self._ensure_init(key, ctx, (duct.dpqp,))
+        stub = ctx.import_proc(_IMPORTS["duct"].import_named("duct"))
+        out = stub(w=state.W, tt=state.Tt, pt=state.Pt, far=state.far)
+        return GasState(W=out["wo"], Tt=out["tto"], Pt=out["pto"], far=out["faro"])
+
+    def combustor(self, comb, state: GasState, wf: float) -> GasState:
+        ctx = self._context("combustor")
+        if ctx is None:
+            return self._local.combustor(comb, state, wf)
+        self._count("combustor")
+        self._ensure_init("combustor", ctx, (comb.efficiency, comb.dpqp, comb.t_max))
+        stub = ctx.import_proc(_IMPORTS["combustor"].import_named("comb"))
+        out = stub(w=state.W, tt=state.Tt, pt=state.Pt, far=state.far, wfuel=wf)
+        return GasState(W=out["wo"], Tt=out["tto"], Pt=out["pto"], far=out["faro"])
+
+    def nozzle(self, nozzle, state: GasState, ps_ambient: float, flight_speed: float):
+        ctx = self._context("nozzle")
+        if ctx is None:
+            return self._local.nozzle(nozzle, state, ps_ambient, flight_speed)
+        self._count("nozzle")
+        self._ensure_init("nozzle", ctx, (nozzle.cd, nozzle.area_m2))
+        stub = ctx.import_proc(_IMPORTS["nozzle"].import_named("nozl"))
+        out = stub(
+            w=state.W, tt=state.Tt, pt=state.Pt, far=state.far,
+            ps0=ps_ambient, v0=flight_speed,
+        )
+        return out["wcap"], out["fnet"]
+
+    def shaft_accel(self, name, shaft, ecom, etur, ecorr, xspool):
+        key = f"shaft:{name}"
+        ctx = self._context(key)
+        if ctx is None:
+            return self._local.shaft_accel(name, shaft, ecom, etur, ecorr, xspool)
+        self._count(key)
+        self._ensure_init(key, ctx, (shaft.inertia, shaft.omega_design, shaft.mech_eff))
+        stub = ctx.import_proc(_IMPORTS["shaft"].import_named("shaft"))
+
+        def pad4(seq):
+            vals = list(seq)[:4]
+            return vals + [0.0] * (4 - len(vals))
+
+        out = stub(
+            ecom=pad4(ecom), incom=len(ecom),
+            etur=pad4(etur), intur=len(etur),
+            ecorr=ecorr, xspool=xspool, xmyi=shaft.inertia,
+        )
+        return out["dxspl"]
+
+    # -------------------------------------------------------------- reporting
+    @property
+    def remote_call_count(self) -> int:
+        return sum(self.calls.values())
+
+    def move_instance(self, key: str, target: Placement) -> None:
+        """Migrate one instance's procedures to another machine and
+        update the placement (the §4.2 move, driven from the host)."""
+        ctx = self._contexts.get(key)
+        kind = key.split(":")[0]
+        if ctx is None:
+            self.placements[key] = target
+            return
+        target_machine = self._machine(target)
+        # moving one procedure relocates the hosting process, so the
+        # set/compute pair travels together
+        exports = _IMPORTS[kind]
+        any_name = next(iter(exports.imports))
+        self.manager.move(ctx.line, any_name, target_machine, REMOTE_PATHS[kind])
+        self.placements[key] = target
+        # placement bookkeeping: ModuleContext idempotence key must match
+        ctx._placements[REMOTE_PATHS[kind]] = (
+            target_machine,
+            REMOTE_PATHS[kind],
+            tuple(self.manager.lookup(ctx.line, n) for n in exports.imports),
+        )

@@ -1,0 +1,382 @@
+"""TESS as AVS modules.
+
+"TESS represents each of the principal components of an engine as an
+AVS module.  An engine is constructed in the AVS Network Editor by
+connecting the modules to represent the airflow through the engine."
+(paper §3.2)
+
+Like the real TESS, the modules hold configuration (widgets) and publish
+station data on the dataflow network, while the **system module** owns
+the numerical solution: when it computes, it collects the configured
+components from the executive, balances the engine, and optionally runs
+the transient.  Downstream modules then publish their solved station
+states, so the user can view intermediate results anywhere in the
+network.
+
+:class:`RemoteComputeMixin` is the section-3.3 adaptation: it adds the
+remote-machine radio buttons and the pathname type-in widget, wires
+``sch_contact_schx`` into the start of compute, and ``sch_i_quit`` into
+destroy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..avs.module import AVSModule
+from ..avs.widgets import (
+    Dial,
+    FileBrowser,
+    FloatTypeIn,
+    IntTypeIn,
+    RadioButtons,
+    Slider,
+    StringTypeIn,
+)
+from ..tess.maps import MAP_CATALOGUE
+from .specs import REMOTE_PATHS
+
+__all__ = [
+    "STATION",
+    "POWER",
+    "LOCAL_CHOICE",
+    "TESSModule",
+    "RemoteComputeMixin",
+    "InletModule",
+    "CompressorModule",
+    "SplitterModule",
+    "BleedModule",
+    "DuctModule",
+    "CombustorModule",
+    "TurbineModule",
+    "MixingVolumeModule",
+    "NozzleModule",
+    "ShaftModule",
+    "SystemModule",
+    "TESS_PALETTE",
+]
+
+STATION = "engine-station"
+POWER = "power"
+SOLUTION = "solution"
+
+LOCAL_CHOICE = "<local>"
+
+#: the machines offered by the remote-machine radio buttons — the paper's
+#: widget listed hosts "at Lewis Research Center and The University of
+#: Arizona that can be chosen interactively"
+MACHINE_CHOICES = (
+    LOCAL_CHOICE,
+    "sparc10.lerc.nasa.gov",
+    "sgi4d480.lerc.nasa.gov",
+    "sgi4d420.lerc.nasa.gov",
+    "rs6000.lerc.nasa.gov",
+    "cray-ymp.lerc.nasa.gov",
+    "convex-c220.lerc.nasa.gov",
+    "sparc10.cs.arizona.edu",
+    "sgi4d340.cs.arizona.edu",
+)
+
+
+class TESSModule(AVSModule):
+    """Base for TESS modules: carries the engine *role* this instance
+    plays (e.g. "fan", "duct:bypass") and a link to the executive's
+    solution blackboard."""
+
+    role: str = ""
+
+    def __init__(self, role: str = "", **params: Any):
+        self.role = role or type(self).default_role()
+        self.executive = None  # set by NPSSExecutive when added
+        super().__init__(**params)
+
+    @classmethod
+    def default_role(cls) -> str:
+        return cls.module_name
+
+    # -- solution access -----------------------------------------------------
+    def solved_station(self, station: str):
+        if self.executive is None or self.executive.solution is None:
+            return None
+        return self.executive.solution.stations.get(station)
+
+    def solved_power(self, key: str) -> Optional[float]:
+        if self.executive is None or self.executive.solution is None:
+            return None
+        return self.executive.solution.powers.get(key)
+
+
+class RemoteComputeMixin:
+    """The section-3.3 adaptation of a TESS module.
+
+    Adds the two widgets from the paper's spec-function snippet (machine
+    radio buttons + executable pathname), registers with the Manager at
+    the start of compute, and notifies it on destroy.
+    """
+
+    remote_kind: str = ""  # "shaft" | "duct" | "combustor" | "nozzle"
+
+    def add_remote_widgets(self) -> None:
+        self.add_widget(RadioButtons(name="remote machine", choices=MACHINE_CHOICES))
+        self.add_widget(
+            StringTypeIn(name="pathname", value=REMOTE_PATHS[self.remote_kind])
+        )
+
+    @property
+    def placement_key(self) -> str:
+        if self.remote_kind in ("combustor", "nozzle"):
+            return self.remote_kind
+        # shaft/duct keys carry the instance: "shaft:low", "duct:bypass"
+        suffix = self.role.split(":", 1)[1] if ":" in self.role else self.role
+        return f"{self.remote_kind}:{suffix}"
+
+    def contact_schooner(self) -> None:
+        """The compute-function prologue: sch_contact_schx with the
+        current widget values (no-op when <local> is selected)."""
+        machine = self.param("remote machine")
+        if self.executive is None:
+            return
+        self.executive.place_module(self, machine if machine != LOCAL_CHOICE else None)
+
+    def destroy(self) -> None:  # noqa: D102 - documented in AVSModule
+        if self.executive is not None:
+            self.executive.release_module(self)
+        super().destroy()
+
+
+class InletModule(TESSModule):
+    module_name = "inlet"
+
+    def spec(self):
+        self.add_input_port("control", SOLUTION, required=False)
+        self.add_output_port("out", STATION)
+        self.add_widget(FloatTypeIn(name="altitude", value=0.0))
+        self.add_widget(FloatTypeIn(name="mach", value=0.0))
+        self.add_widget(FloatTypeIn(name="humidity", value=0.0))
+        self.add_widget(Dial(name="recovery", value=0.99, minimum=0.8, maximum=1.0))
+
+    def compute(self, **inputs):
+        return {"out": self.solved_station("2")}
+
+
+class CompressorModule(TESSModule):
+    module_name = "compressor"
+
+    #: which solved station each compressor role publishes
+    STATION_BY_ROLE = {"fan": "13", "hpc": "3"}
+    POWER_BY_ROLE = {"fan": "fan", "hpc": "hpc"}
+
+    #: the zooming menu (§2.1/§2.3): level 1 = map, level 2 = stage-stacked
+    FIDELITY_CHOICES = ("level 1 (map)", "level 2 (stage-stacked)")
+
+    def spec(self):
+        self.add_input_port("in", STATION)
+        self.add_output_port("out", STATION)
+        self.add_output_port("energy", POWER)
+        self.add_widget(
+            FileBrowser(name="performance map", catalogue=sorted(MAP_CATALOGUE))
+        )
+        self.add_widget(Dial(name="stator angle", value=0.0, minimum=-15.0, maximum=15.0))
+        self.add_widget(RadioButtons(name="fidelity", choices=self.FIDELITY_CHOICES))
+        self.add_widget(IntTypeIn(name="stages", value=10))
+
+    @property
+    def zoomed(self) -> bool:
+        return self.param("fidelity") == self.FIDELITY_CHOICES[1]
+
+    def compute(self, **inputs):
+        return {
+            "out": self.solved_station(self.STATION_BY_ROLE.get(self.role, "13")),
+            "energy": self.solved_power(self.POWER_BY_ROLE.get(self.role, "fan")),
+        }
+
+
+class SplitterModule(TESSModule):
+    module_name = "splitter"
+
+    def spec(self):
+        self.add_input_port("in", STATION)
+        self.add_output_port("core", STATION)
+        self.add_output_port("bypass", STATION)
+
+    def compute(self, **inputs):
+        sol = self.executive.solution if self.executive else None
+        if sol is None:
+            return {"core": None, "bypass": None}
+        core = sol.stations["13"].with_(W=sol.stations["13"].W / (1 + sol.bypass_ratio))
+        return {"core": core, "bypass": sol.stations["16"]}
+
+
+class BleedModule(TESSModule):
+    module_name = "bleed"
+
+    def spec(self):
+        self.add_input_port("in", STATION)
+        self.add_output_port("out", STATION)
+        self.add_output_port("bleed", STATION)
+        self.add_widget(Slider(name="fraction", value=0.02, minimum=0.0, maximum=0.2))
+
+    def compute(self, **inputs):
+        out = self.solved_station("25")
+        return {"out": out, "bleed": None if out is None else out.with_(W=max(out.W * 1e-6, 1e-6))}
+
+
+class DuctModule(RemoteComputeMixin, TESSModule):
+    module_name = "duct"
+    remote_kind = "duct"
+
+    STATION_BY_ROLE = {"duct:bypass": "16", "duct:core": "25", "duct:mixer-entry": "6"}
+
+    def spec(self):
+        self.add_input_port("in", STATION)
+        self.add_output_port("out", STATION)
+        self.add_widget(Slider(name="dpqp", value=0.02, minimum=0.0, maximum=0.5))
+        self.add_remote_widgets()
+
+    def compute(self, **inputs):
+        self.contact_schooner()
+        return {"out": self.solved_station(self.STATION_BY_ROLE.get(self.role, "25"))}
+
+
+class CombustorModule(RemoteComputeMixin, TESSModule):
+    module_name = "combustor"
+    remote_kind = "combustor"
+
+    def spec(self):
+        self.add_input_port("in", STATION)
+        self.add_output_port("out", STATION)
+        self.add_widget(Slider(name="efficiency", value=0.985, minimum=0.8, maximum=1.0))
+        self.add_widget(Slider(name="dpqp", value=0.05, minimum=0.0, maximum=0.2))
+        self.add_widget(FloatTypeIn(name="fuel flow", value=1.5))
+        # the transient control schedule: fuel ramps to `fuel flow-op`
+        # over `ramp seconds` (the paper's schedule widgets, reduced to a
+        # two-breakpoint schedule)
+        self.add_widget(FloatTypeIn(name="fuel flow-op", value=1.5))
+        self.add_widget(FloatTypeIn(name="ramp seconds", value=0.3))
+        self.add_remote_widgets()
+
+    def compute(self, **inputs):
+        self.contact_schooner()
+        return {"out": self.solved_station("4")}
+
+
+class TurbineModule(TESSModule):
+    module_name = "turbine"
+
+    STATION_BY_ROLE = {"hpt": "45", "lpt": "5"}
+    POWER_BY_ROLE = {"hpt": "hpt", "lpt": "lpt"}
+
+    def spec(self):
+        self.add_input_port("in", STATION)
+        self.add_output_port("out", STATION)
+        self.add_output_port("energy", POWER)
+        self.add_widget(Slider(name="efficiency", value=0.89, minimum=0.7, maximum=1.0))
+
+    def compute(self, **inputs):
+        return {
+            "out": self.solved_station(self.STATION_BY_ROLE.get(self.role, "45")),
+            "energy": self.solved_power(self.POWER_BY_ROLE.get(self.role, "hpt")),
+        }
+
+
+class MixingVolumeModule(TESSModule):
+    module_name = "mixing volume"
+
+    def spec(self):
+        self.add_input_port("core", STATION)
+        self.add_input_port("bypass", STATION)
+        self.add_output_port("out", STATION)
+
+    def compute(self, **inputs):
+        return {"out": self.solved_station("7")}
+
+
+class NozzleModule(RemoteComputeMixin, TESSModule):
+    module_name = "nozzle"
+    remote_kind = "nozzle"
+
+    def spec(self):
+        self.add_input_port("in", STATION)
+        self.add_output_port("thrust", POWER)
+        self.add_widget(Slider(name="cd", value=0.98, minimum=0.8, maximum=1.0))
+        self.add_remote_widgets()
+
+    def compute(self, **inputs):
+        self.contact_schooner()
+        sol = self.executive.solution if self.executive else None
+        return {"thrust": None if sol is None else sol.thrust_N}
+
+
+class ShaftModule(RemoteComputeMixin, TESSModule):
+    """The shaft module — Figure 2 shows its control panel with the
+    *moment inertia*, *spool speed*, and *spool speed-op* widgets."""
+
+    module_name = "shaft"
+    remote_kind = "shaft"
+
+    def spec(self):
+        self.add_input_port("compressor energy", POWER)
+        self.add_input_port("turbine energy", POWER)
+        self.add_output_port("speed", POWER)
+        self.add_widget(Dial(name="moment inertia", value=2.2, minimum=0.1, maximum=20.0))
+        self.add_widget(Slider(name="spool speed", value=1.0, minimum=0.0, maximum=1.2))
+        self.add_widget(Slider(name="spool speed-op", value=1.0, minimum=0.0, maximum=1.2))
+        self.add_remote_widgets()
+
+    def compute(self, **inputs):
+        self.contact_schooner()
+        sol = self.executive.solution if self.executive else None
+        if sol is None:
+            return {"speed": None}
+        speed = sol.n1 if self.role.endswith("low") else sol.n2
+        self.widget("spool speed").value = speed  # display the solved speed
+        return {"speed": speed}
+
+
+class SystemModule(TESSModule):
+    """Overall simulation control: solution-method menus and run length
+    (paper §3.2: 'The system module provides widgets for selecting the
+    solution methods for both the steady-state and transient
+    thermodynamic simulations ... and provides overall control of the
+    simulation run.')"""
+
+    module_name = "system"
+
+    def spec(self):
+        self.add_output_port("control", SOLUTION)
+        self.add_widget(
+            RadioButtons(
+                name="steady-state method", choices=("Newton-Raphson", "Runge-Kutta")
+            )
+        )
+        self.add_widget(
+            RadioButtons(
+                name="transient method",
+                choices=("Modified Euler", "Runge-Kutta", "Adams", "Gear"),
+            )
+        )
+        self.add_widget(FloatTypeIn(name="transient seconds", value=1.0))
+        self.add_widget(FloatTypeIn(name="time step", value=0.02))
+
+    def compute(self, **inputs):
+        if self.executive is not None:
+            self.executive.run_simulation()
+        return {"control": True}
+
+
+TESS_PALETTE = {
+    cls.__name__: cls
+    for cls in (
+        InletModule,
+        CompressorModule,
+        SplitterModule,
+        BleedModule,
+        DuctModule,
+        CombustorModule,
+        TurbineModule,
+        MixingVolumeModule,
+        NozzleModule,
+        ShaftModule,
+        SystemModule,
+    )
+}

@@ -1,0 +1,46 @@
+"""Simulated heterogeneous machines.
+
+The paper's machine park (Sun Sparc 10, SGI 4D, Cray Y-MP, Convex C220,
+IBM RS/6000) is reproduced as virtual hosts whose *native data formats,
+Fortran name cases, and relative speeds* genuinely differ — the three
+properties Schooner exists to bridge.
+"""
+
+from .arch import (
+    ALL_ARCHITECTURES,
+    CONVEX_C2,
+    CRAY_YMP_ARCH,
+    I860_NODE,
+    MIPS_SGI,
+    RS6000_ARCH,
+    SPARC,
+    Architecture,
+)
+from .fortran import FortranCase, Language, compiled_name, name_synonyms
+from .host import Machine, MachineError
+from .process import ProcessDead, ProcessState, VirtualProcess
+from .registry import SITE_ARIZONA, SITE_LERC, MachinePark, standard_park
+
+__all__ = [
+    "Architecture",
+    "SPARC",
+    "MIPS_SGI",
+    "CRAY_YMP_ARCH",
+    "CONVEX_C2",
+    "RS6000_ARCH",
+    "I860_NODE",
+    "ALL_ARCHITECTURES",
+    "Language",
+    "FortranCase",
+    "compiled_name",
+    "name_synonyms",
+    "Machine",
+    "MachineError",
+    "VirtualProcess",
+    "ProcessState",
+    "ProcessDead",
+    "MachinePark",
+    "standard_park",
+    "SITE_LERC",
+    "SITE_ARIZONA",
+]

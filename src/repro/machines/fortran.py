@@ -1,0 +1,67 @@
+"""Fortran procedure-name handling per compiler.
+
+Section 4.1 of the paper: "On most machines, procedure names are converted
+to lower case by their respective Fortran compilers, while the compiler on
+the Cray uses upper case.  This inconsistency caused a surprising number
+of naming problems ... In the end, the choice was made to accept both
+upper and lower case names for Fortran procedures, and then treat them as
+synonyms within Schooner."
+
+This module implements both halves: the per-compiler mangling that creates
+the problem, and the synonym generation the Manager uses to solve it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import FrozenSet
+
+__all__ = ["Language", "FortranCase", "compiled_name", "name_synonyms"]
+
+
+class Language(Enum):
+    """Source language of a procedure.
+
+    Schooner supported C and Fortran (the predecessor MLP also had
+    Pascal, Icon, and Emerald; we model the two Schooner supports).
+    """
+
+    C = "c"
+    FORTRAN = "fortran"
+
+
+class FortranCase(Enum):
+    """The case a Fortran compiler forces procedure names into."""
+
+    LOWER = "lower"  # most 1990s Unix compilers
+    UPPER = "upper"  # Cray Fortran (cft77)
+
+
+def compiled_name(source_name: str, language: Language, fortran_case: FortranCase) -> str:
+    """The symbol name a compiler actually produces for ``source_name``.
+
+    C names are case-preserved; Fortran names are forced to the
+    compiler's case.  (Trailing-underscore decoration, the other classic
+    Fortran mangle, is uniform across the simulated machines and so is
+    omitted — only the *case* inconsistency caused the paper problems.)
+    """
+    if language is Language.C:
+        return source_name
+    if fortran_case is FortranCase.UPPER:
+        return source_name.upper()
+    return source_name.lower()
+
+
+def name_synonyms(name: str, language: Language) -> FrozenSet[str]:
+    """All names the Manager must treat as equivalent to ``name``.
+
+    For Fortran, both the upper- and lower-case forms are stored in the
+    mapping tables (the paper's chosen remedy), so a caller compiled on a
+    Sun can reach a procedure compiled on a Cray and vice versa.  C names
+    stay case-sensitive — the paper rejected blanket lower-casing exactly
+    because "that would interfere with common naming conventions in other
+    languages such as C".
+    """
+    if language is Language.FORTRAN:
+        return frozenset({name.lower(), name.upper()})
+    return frozenset({name})

@@ -1,0 +1,63 @@
+"""Virtual processes.
+
+"At runtime, the procedures are instantiated as processes, with calls
+implemented using a message passing library." (paper, section 3.1)
+
+A :class:`VirtualProcess` is the simulated OS process.  The payload it
+runs (a Schooner executable, a PVM worker, ...) is opaque at this layer;
+lifecycle and identity are what matter here, because Schooner's startup,
+shutdown, and migration protocols are all about process lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .host import Machine
+
+__all__ = ["ProcessState", "VirtualProcess"]
+
+
+class ProcessState(Enum):
+    STARTING = "starting"
+    RUNNING = "running"
+    STOPPED = "stopped"  # clean shutdown
+    FAILED = "failed"  # machine death or error
+
+
+@dataclass
+class VirtualProcess:
+    """One simulated process on a virtual machine."""
+
+    pid: int
+    machine: "Machine"
+    executable_path: str
+    payload: Any
+    state: ProcessState = ProcessState.STARTING
+    # Mutable per-process memory: stateful Schooner procedures keep their
+    # state variables here, which is what makes migration of *stateful*
+    # procedures require the UTS state-transfer extension.
+    memory: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def alive(self) -> bool:
+        return self.state is ProcessState.RUNNING
+
+    @property
+    def address(self) -> str:
+        """A stable identity string, hostname:pid."""
+        return f"{self.machine.hostname}:{self.pid}"
+
+    def require_alive(self) -> None:
+        if not self.alive:
+            raise ProcessDead(f"process {self.address} is {self.state.value}")
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"[{self.address} {self.executable_path} {self.state.value}]"
+
+
+class ProcessDead(Exception):
+    """An operation was attempted on a process that is not running."""

@@ -1,0 +1,31 @@
+"""The simulated internet: virtual time, link models, topology, transport.
+
+Reproduces the three network tiers of the paper's Table 1 — local
+Ethernet, same-building-multiple-gateways, and the 1993 Internet between
+NASA Lewis and the University of Arizona — as parameterized delay models
+driven by a virtual clock.
+"""
+
+from .channel import BottleneckChannel, ChannelReport, Strategy
+from .clock import Timeline, VirtualClock
+from .link import CAMPUS_GATEWAYS, ETHERNET, INTERNET_1993, LOOPBACK, LinkModel
+from .topology import NetworkError, Topology
+from .transport import Message, TrafficStats, Transport
+
+__all__ = [
+    "VirtualClock",
+    "Timeline",
+    "LinkModel",
+    "ETHERNET",
+    "CAMPUS_GATEWAYS",
+    "INTERNET_1993",
+    "LOOPBACK",
+    "Topology",
+    "NetworkError",
+    "Transport",
+    "Message",
+    "TrafficStats",
+    "BottleneckChannel",
+    "ChannelReport",
+    "Strategy",
+]

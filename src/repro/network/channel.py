@@ -1,0 +1,147 @@
+"""Fast-talker / slow-listener mitigation strategies.
+
+Section 2.3 of the paper: "Bottlenecks, such as occur when fast machines
+are talking to slow machines, need to be addressed.  In some cases,
+simple buffering to allow the slow machine to catch up will be
+sufficient.  In others, the slower machine may need to filter the data
+selectively rather than attempt to use all of it."
+
+:class:`BottleneckChannel` is a small discrete-event simulation of a
+producer streaming fixed-size items to a slower consumer under three
+strategies:
+
+* ``BLOCK``  — no buffering: the producer stalls until the consumer is
+  free (classic synchronous RPC behaviour),
+* ``BUFFER`` — a bounded queue absorbs bursts; the producer only stalls
+  when the buffer is full,
+* ``FILTER`` — the consumer keeps every k-th item and discards the rest
+  on arrival (selective filtering; discarded items still cross the wire
+  but skip consumer processing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Strategy", "ChannelReport", "BottleneckChannel"]
+
+
+class Strategy(Enum):
+    BLOCK = "block"
+    BUFFER = "buffer"
+    FILTER = "filter"
+
+
+@dataclass(frozen=True)
+class ChannelReport:
+    """Outcome of streaming ``items_sent`` items through the channel."""
+
+    strategy: Strategy
+    items_sent: int
+    items_consumed: int
+    items_dropped: int
+    producer_stall_seconds: float
+    total_seconds: float
+    peak_queue_depth: int
+
+    @property
+    def producer_utilization(self) -> float:
+        """Fraction of the run the producer spent working, not stalled."""
+        if self.total_seconds == 0:
+            return 1.0
+        return 1.0 - self.producer_stall_seconds / self.total_seconds
+
+
+@dataclass
+class BottleneckChannel:
+    """A producer/consumer pair joined by a link.
+
+    ``produce_seconds``   producer time to generate one item,
+    ``transfer_seconds``  wire time per item,
+    ``consume_seconds``   consumer time to process one item,
+    ``buffer_capacity``   queue slots for the BUFFER strategy,
+    ``filter_keep_every`` keep every k-th item for FILTER.
+    """
+
+    produce_seconds: float
+    transfer_seconds: float
+    consume_seconds: float
+    buffer_capacity: int = 8
+    filter_keep_every: int = 1
+
+    def run(self, n_items: int, strategy: Strategy) -> ChannelReport:
+        if n_items < 0:
+            raise ValueError("n_items must be non-negative")
+        if strategy is Strategy.FILTER and self.filter_keep_every < 1:
+            raise ValueError("filter_keep_every must be >= 1")
+
+        capacity = {
+            Strategy.BLOCK: 0,
+            Strategy.BUFFER: self.buffer_capacity,
+            Strategy.FILTER: 0,
+        }[strategy]
+
+        producer_time = 0.0  # when the producer finishes its current item
+        consumer_free = 0.0  # when the consumer can accept new work
+        stall = 0.0
+        consumed = 0
+        dropped = 0
+        peak_depth = 0
+        # queue holds arrival times of items waiting for the consumer
+        queue: list = []
+
+        for i in range(n_items):
+            producer_time += self.produce_seconds
+            arrival = producer_time + self.transfer_seconds
+
+            if strategy is Strategy.FILTER and (i % self.filter_keep_every) != 0:
+                # discarded on arrival: crosses the wire, skips processing
+                dropped += 1
+                continue
+
+            # drain any queued items the consumer finished before `arrival`
+            while queue and consumer_free <= arrival:
+                item_arrival = queue.pop(0)
+                consumer_free = max(consumer_free, item_arrival) + self.consume_seconds
+                consumed += 1
+
+            if consumer_free <= arrival:
+                # consumer idle: start immediately
+                consumer_free = arrival + self.consume_seconds
+                consumed += 1
+            elif len(queue) < capacity:
+                queue.append(arrival)
+                peak_depth = max(peak_depth, len(queue))
+            else:
+                # no room: the producer blocks until a slot frees
+                if queue:
+                    item_arrival = queue.pop(0)
+                    consumer_free = max(consumer_free, item_arrival) + self.consume_seconds
+                    consumed += 1
+                    queue.append(arrival)
+                    peak_depth = max(peak_depth, len(queue))
+                    wait = max(0.0, consumer_free - self.consume_seconds - arrival)
+                else:
+                    wait = consumer_free - arrival
+                    consumer_free += self.consume_seconds
+                    consumed += 1
+                stall += max(0.0, wait)
+                producer_time += max(0.0, wait)
+
+        # drain the queue
+        while queue:
+            item_arrival = queue.pop(0)
+            consumer_free = max(consumer_free, item_arrival) + self.consume_seconds
+            consumed += 1
+
+        total = max(producer_time, consumer_free)
+        return ChannelReport(
+            strategy=strategy,
+            items_sent=n_items,
+            items_consumed=consumed,
+            items_dropped=dropped,
+            producer_stall_seconds=stall,
+            total_seconds=total,
+            peak_queue_depth=peak_depth,
+        )

@@ -1,0 +1,95 @@
+"""Network topology: which link model connects two machines.
+
+The three-tier rule reproduces Table 1's connectivity classes:
+
+* same machine                      -> loopback
+* same site, same subnet            -> local Ethernet
+* same site, different subnets      -> campus path through gateways
+* different sites                   -> the Internet
+
+A :class:`Topology` also carries an explicit ``networkx`` graph of
+subnets and sites, so richer routing (extra gateways, cut links) can be
+modelled; :meth:`classify` is the fast path used by the transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import networkx as nx
+
+from ..machines.host import Machine
+from .link import CAMPUS_GATEWAYS, ETHERNET, INTERNET_1993, LOOPBACK, LinkModel
+
+__all__ = ["Topology", "NetworkError"]
+
+
+class NetworkError(Exception):
+    """A routing failure: unreachable host, partitioned network."""
+
+
+@dataclass
+class Topology:
+    """Maps machine pairs to link models."""
+
+    ethernet: LinkModel = ETHERNET
+    campus: LinkModel = CAMPUS_GATEWAYS
+    internet: LinkModel = INTERNET_1993
+    loopback: LinkModel = LOOPBACK
+    # explicit overrides for specific (src_host, dst_host) pairs
+    _overrides: Dict[Tuple[str, str], LinkModel] = field(default_factory=dict)
+    _graph: nx.Graph = field(default_factory=nx.Graph)
+    _partitioned: set = field(default_factory=set)
+
+    def register(self, machine: Machine) -> None:
+        """Add a machine to the explicit graph (optional but lets tests
+        reason about the network as a graph)."""
+        subnet_node = ("subnet", machine.site, machine.subnet)
+        site_node = ("site", machine.site)
+        self._graph.add_edge(("host", machine.hostname), subnet_node, link=self.ethernet)
+        self._graph.add_edge(subnet_node, site_node, link=self.campus)
+        self._graph.add_edge(site_node, ("backbone",), link=self.internet)
+
+    def set_override(self, src: Machine, dst: Machine, link: LinkModel) -> None:
+        """Force a specific link model for a machine pair (both ways)."""
+        self._overrides[(src.hostname, dst.hostname)] = link
+        self._overrides[(dst.hostname, src.hostname)] = link
+
+    def partition(self, site_a: str, site_b: str) -> None:
+        """Cut connectivity between two sites (failure injection)."""
+        self._partitioned.add(frozenset((site_a, site_b)))
+
+    def heal(self, site_a: str, site_b: str) -> None:
+        self._partitioned.discard(frozenset((site_a, site_b)))
+
+    def classify(self, src: Machine, dst: Machine) -> LinkModel:
+        """The link model connecting ``src`` to ``dst``."""
+        override = self._overrides.get((src.hostname, dst.hostname))
+        if override is not None:
+            return override
+        if src.site != dst.site and frozenset((src.site, dst.site)) in self._partitioned:
+            raise NetworkError(
+                f"network partition between {src.site} and {dst.site}"
+            )
+        if src.hostname == dst.hostname:
+            return self.loopback
+        if src.site == dst.site:
+            if src.subnet == dst.subnet:
+                return self.ethernet
+            return self.campus
+        return self.internet
+
+    def transfer_seconds(self, src: Machine, dst: Machine, nbytes: int) -> float:
+        """One-way delivery time for ``nbytes`` from ``src`` to ``dst``."""
+        return self.classify(src, dst).transfer_seconds(nbytes)
+
+    def graph_path_hops(self, src: Machine, dst: Machine) -> int:
+        """Number of graph edges between two registered hosts (sanity
+        checks in tests: Ethernet=2 via the shared subnet node, etc.)."""
+        try:
+            return nx.shortest_path_length(
+                self._graph, ("host", src.hostname), ("host", dst.hostname)
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise NetworkError(str(exc)) from exc

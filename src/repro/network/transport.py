@@ -1,0 +1,146 @@
+"""Message transport over the simulated network.
+
+"The communication library is linked with every procedure to handle the
+sending and receiving of messages implicit in RPC." (paper, section 3.1)
+
+The transport is synchronous-simulation style: sending computes the
+message's virtual delivery time from the topology, advances the sender's
+timeline past the send, and synchronizes the receiver's timeline to the
+delivery instant.  Counters record traffic for the benchmark reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..machines.host import Machine
+from .clock import Timeline, VirtualClock
+from .topology import Topology
+
+__all__ = ["Message", "Transport", "TrafficStats"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered message."""
+
+    msg_id: int
+    src: str
+    dst: str
+    kind: str
+    body: Any
+    nbytes: int
+    sent_at: float
+    delivered_at: float
+
+    @property
+    def transfer_seconds(self) -> float:
+        return self.delivered_at - self.sent_at
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate counters, reported by the benchmark harness."""
+
+    messages: int = 0
+    bytes: int = 0
+    virtual_seconds: float = 0.0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, msg: Message) -> None:
+        self.messages += 1
+        self.bytes += msg.nbytes
+        self.virtual_seconds += msg.transfer_seconds
+        self.by_kind[msg.kind] = self.by_kind.get(msg.kind, 0) + 1
+
+
+@dataclass
+class Transport:
+    """The message-passing layer shared by all Schooner processes.
+
+    With ``contention`` enabled, concurrent senders share each route's
+    serialization capacity: a message finds its trunk busy until the
+    previous message's bits have drained, so overlapping lines queue
+    behind each other — the behaviour a shared 1993 WAN trunk actually
+    had.  Off by default (the paper's experiments were run one at a
+    time); the contention ablation turns it on.
+    """
+
+    topology: Topology
+    clock: VirtualClock
+    stats: TrafficStats = field(default_factory=TrafficStats)
+    contention: bool = False
+    _ids: "itertools.count" = field(default_factory=itertools.count)
+    # per-trunk busy-until times; a trunk is the (site, site) pair so all
+    # machines at two sites share the same WAN capacity
+    _trunk_free: Dict[Any, float] = field(default_factory=dict)
+
+    def _trunk_key(self, src: Machine, dst: Machine):
+        if src.site == dst.site:
+            # LAN/campus segments keyed per subnet pair
+            return (src.site, frozenset((src.subnet, dst.subnet)))
+        return frozenset((src.site, dst.site))
+
+    def send(
+        self,
+        src: Machine,
+        dst: Machine,
+        kind: str,
+        body: Any,
+        nbytes: int,
+        timeline: Optional[Timeline] = None,
+        header_bytes: int = 64,
+    ) -> Message:
+        """Deliver a message, charging virtual time to ``timeline``.
+
+        ``nbytes`` is the payload size (UTS-encoded arguments); a fixed
+        ``header_bytes`` models the Schooner message header (procedure
+        name, call id, type tags).
+        """
+        total = nbytes + header_bytes
+        dt = self.topology.transfer_seconds(src, dst, total)
+        queue_wait = 0.0
+        if self.contention:
+            link = self.topology.classify(src, dst)
+            serialization = total / link.bandwidth_Bps
+            key = self._trunk_key(src, dst)
+            now = timeline.now if timeline is not None else self.clock.now
+            free_at = self._trunk_free.get(key, 0.0)
+            queue_wait = max(0.0, free_at - now)
+            self._trunk_free[key] = now + queue_wait + serialization
+        if timeline is None:
+            sent_at = self.clock.now
+            delivered_at = self.clock.advance(queue_wait + dt)
+        else:
+            sent_at = timeline.now
+            delivered_at = timeline.advance(queue_wait + dt)
+        msg = Message(
+            msg_id=next(self._ids),
+            src=src.hostname,
+            dst=dst.hostname,
+            kind=kind,
+            body=body,
+            nbytes=total,
+            sent_at=sent_at,
+            delivered_at=delivered_at,
+        )
+        self.stats.record(msg)
+        return msg
+
+    def round_trip(
+        self,
+        src: Machine,
+        dst: Machine,
+        kind: str,
+        request_body: Any,
+        request_bytes: int,
+        reply_body: Any,
+        reply_bytes: int,
+        timeline: Optional[Timeline] = None,
+    ) -> float:
+        """A request/reply exchange; returns the total virtual seconds."""
+        req = self.send(src, dst, kind, request_body, request_bytes, timeline)
+        rep = self.send(dst, src, kind + "-reply", reply_body, reply_bytes, timeline)
+        return req.transfer_seconds + rep.transfer_seconds

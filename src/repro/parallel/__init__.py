@@ -1,0 +1,5 @@
+"""A PVM-like cluster substrate (Figure 1's encapsulated parallelism)."""
+
+from .pvm import PVMachine, PVMError, ScatterGatherResult, WorkerTask
+
+__all__ = ["PVMachine", "PVMError", "ScatterGatherResult", "WorkerTask"]

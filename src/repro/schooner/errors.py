@@ -1,0 +1,67 @@
+"""Schooner's failure modes.
+
+Each exception corresponds to a failure the paper discusses: duplicate
+procedure names (the single-program restriction of §4.2), failed lookups,
+type-check rejections by the Manager, dead remote processes (which drive
+the migration failover path), and machine/manager unavailability.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SchoonerError",
+    "NameNotFound",
+    "DuplicateName",
+    "TypeCheckError",
+    "CallFailed",
+    "StaleBinding",
+    "LineTerminated",
+    "ManagerError",
+    "MigrationError",
+]
+
+
+class SchoonerError(Exception):
+    """Base class for Schooner runtime failures."""
+
+
+class NameNotFound(SchoonerError):
+    """No exported procedure with the requested name is visible (searched
+    the caller's line database, then the shared database)."""
+
+
+class DuplicateName(SchoonerError):
+    """A procedure name is already bound in the relevant namespace.
+
+    Under the original single-program model this fires whenever two
+    instances of the same module are configured — the restriction that
+    motivated the lines extension."""
+
+
+class TypeCheckError(SchoonerError):
+    """The Manager's runtime type check rejected a call: the import
+    specification is not a subset of the export specification."""
+
+
+class CallFailed(SchoonerError):
+    """A remote procedure call could not complete."""
+
+
+class StaleBinding(CallFailed):
+    """The call reached a location where the procedure no longer lives
+    (it was moved or its process died).  Client stubs catch this and
+    re-contact the Manager for fresh mapping information — the paper's
+    cache-refresh-on-failed-call protocol."""
+
+
+class LineTerminated(SchoonerError):
+    """An operation was attempted on a line that has been shut down."""
+
+
+class ManagerError(SchoonerError):
+    """The Manager could not satisfy a protocol request."""
+
+
+class MigrationError(SchoonerError):
+    """A procedure move failed (e.g. stateful procedure without a
+    state-transfer specification, or target machine down)."""

@@ -1,0 +1,72 @@
+"""The original Schooner program model.
+
+"Previously, Schooner programs were started by executing the Manager as
+a command and specifying the various files containing Schooner
+procedures and the appropriate machines as its arguments.  Once started,
+the Manager would create processes to execute all the remote procedures
+on the appropriate machines, and then invoke the program's main
+routine." (paper, section 4.1)
+
+:class:`SchoonerProgram` reproduces that command-line paradigm.  It is
+both a working execution mode (used by the Figure-1 example) and the
+baseline for the lines-model ablation: everything is specified a priori,
+duplicate procedure names anywhere in the program are errors, and any
+quit or error terminates the whole program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, Tuple, Union
+
+from ..machines.host import Machine
+from .api import ModuleContext
+from .errors import SchoonerError
+from .manager import Manager, ManagerMode
+from .runtime import SchoonerEnvironment
+
+__all__ = ["SchoonerProgram", "Placement"]
+
+Placement = Tuple[Union[Machine, str], str]  # (machine, executable path)
+
+
+@dataclass
+class SchoonerProgram:
+    """A complete Schooner program in the original model.
+
+    ``main`` is the program's main routine; it receives a
+    :class:`ModuleContext` through which it imports and calls remote
+    procedures.  ``placements`` lists every remote executable and the
+    machine it runs on — the command-line arguments of the original
+    Manager invocation.
+    """
+
+    env: SchoonerEnvironment
+    host: Machine  # where the main routine runs
+    main: Callable[[ModuleContext], object]
+    placements: Sequence[Placement] = field(default_factory=list)
+    name: str = "schooner-program"
+
+    def run(self) -> object:
+        """Start everything, run main, shut everything down.
+
+        Matches the original semantics: the Manager starts all remote
+        processes before main begins; when main returns (or raises), the
+        entire program — every remote process — is terminated and the
+        Manager exits.
+        """
+        manager = Manager(env=self.env, host=self.host, mode=ManagerMode.SINGLE_PROGRAM)
+        ctx = ModuleContext(manager=manager, module_name=self.name, machine=self.host)
+        try:
+            for machine, path in self.placements:
+                if isinstance(machine, str):
+                    machine = self.env.park[machine]
+                manager.start_remote(ctx.line, machine, path)
+            result = self.main(ctx)
+        except Exception:
+            manager.shutdown_all()
+            raise
+        manager.shutdown_all()
+        if manager.running:
+            raise SchoonerError("single-program Manager must exit with its program")
+        return result

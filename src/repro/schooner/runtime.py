@@ -1,0 +1,293 @@
+"""The Schooner communication library and call engine.
+
+This is the runtime half of the RPC facility: given a resolved
+:class:`~repro.schooner.lines.InstanceRecord`, execute one remote call —
+conforming and converting arguments through the caller's native format,
+marshaling to the UTS wire form, crossing the simulated network, applying
+the callee's native format, invoking the implementation, and returning
+the results by the same path in reverse.  Every phase is charged to the
+calling line's virtual timeline, and a :class:`CallTrace` records the
+breakdown for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..machines.host import Machine
+from ..machines.registry import MachinePark, standard_park
+from ..network.clock import Timeline, VirtualClock
+from ..network.topology import Topology
+from ..network.transport import Transport
+from ..uts.native import OutOfRangePolicy, roundtrip_native
+from ..uts.types import Signature
+from ..uts.values import conform_args
+from ..uts.wire import marshal_args, unmarshal_args
+from .errors import CallFailed, StaleBinding
+from .lines import InstanceRecord
+
+__all__ = ["CostModel", "CallTrace", "SchoonerEnvironment", "execute_call"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable constants of the runtime cost simulation.
+
+    ``marshal_flops_per_byte`` models the UTS conversion library: each
+    byte converted between native and wire format costs CPU work on the
+    machine doing it.  ``spawn_seconds`` is the fork/exec cost a
+    Schooner Server pays to instantiate a remote procedure process.
+    """
+
+    marshal_flops_per_byte: float = 40.0
+    header_bytes: int = 64
+    spawn_seconds: float = 0.25
+    control_message_bytes: int = 128  # startup/shutdown protocol messages
+
+
+@dataclass
+class CallTrace:
+    """Virtual-time breakdown of one RPC, for benchmark reporting."""
+
+    procedure: str
+    caller: str
+    callee: str
+    request_bytes: int = 0
+    reply_bytes: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    client_cpu_s: float = 0.0
+    server_cpu_s: float = 0.0
+    compute_s: float = 0.0
+    network_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def overhead_s(self) -> float:
+        """Everything that is not useful computation: the RPC tax."""
+        return self.total_s - self.compute_s
+
+
+@dataclass
+class SchoonerEnvironment:
+    """Everything the runtime needs: machines, network, clock, costs."""
+
+    park: MachinePark
+    topology: Topology
+    clock: VirtualClock
+    transport: Transport
+    costs: CostModel = field(default_factory=CostModel)
+    range_policy: OutOfRangePolicy = OutOfRangePolicy.ERROR
+    traces: List[CallTrace] = field(default_factory=list)
+    keep_traces: bool = True
+
+    @classmethod
+    def standard(cls, **kw) -> "SchoonerEnvironment":
+        """The default environment: the paper's machine park on the
+        three-tier network."""
+        park = standard_park()
+        topo = Topology()
+        for m in park:
+            topo.register(m)
+        clock = VirtualClock()
+        transport = Transport(topology=topo, clock=clock)
+        return cls(park=park, topology=topo, clock=clock, transport=transport, **kw)
+
+    def cpu_seconds_for_bytes(self, machine: Machine, nbytes: int) -> float:
+        return machine.compute_seconds(nbytes * self.costs.marshal_flops_per_byte)
+
+    def record_trace(self, trace: CallTrace) -> None:
+        if self.keep_traces:
+            self.traces.append(trace)
+
+    def reset_traces(self) -> None:
+        self.traces.clear()
+
+
+def execute_call(
+    env: SchoonerEnvironment,
+    caller_machine: Machine,
+    timeline: Timeline,
+    record: InstanceRecord,
+    import_sig: Signature,
+    args: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Execute one remote procedure call.
+
+    Raises :class:`StaleBinding` when the target process is gone (the
+    stub's cue to refresh its name cache from the Manager) and
+    :class:`CallFailed` for argument conversion failures.
+    """
+    if not record.process.alive:
+        raise StaleBinding(
+            f"{import_sig.name}: process {record.process.address} is not running"
+        )
+
+    # the Manager's runtime type check, applied on every call path (not
+    # just stub resolution): the import must be a subset of the export
+    from ..uts.errors import UTSCompatibilityError
+    from .errors import TypeCheckError
+
+    try:
+        Signature(
+            name=record.procedure.signature.name,
+            params=import_sig.params,
+            kind=import_sig.kind,
+        ).check_import_subset(record.procedure.signature)
+    except UTSCompatibilityError as exc:
+        raise TypeCheckError(str(exc)) from exc
+
+    callee_machine = record.machine
+    export_sig = record.procedure.signature
+    policy = env.range_policy
+    trace = CallTrace(
+        procedure=import_sig.name,
+        caller=caller_machine.hostname,
+        callee=callee_machine.hostname,
+        started_at=timeline.now,
+    )
+
+    # --- client side: conform, apply caller-native storage, marshal -------
+    sent = conform_args(import_sig, args, "send")
+    sent = {
+        p.name: roundtrip_native(
+            caller_machine.architecture.native_format, p.type, sent[p.name], policy
+        )
+        for p in import_sig.sent_params
+    }
+    request = marshal_args(import_sig, sent, "send")
+    dt = env.cpu_seconds_for_bytes(caller_machine, len(request))
+    trace.client_cpu_s += dt
+    timeline.advance(dt)
+
+    # --- network: request ---------------------------------------------------
+    msg = env.transport.send(
+        caller_machine,
+        callee_machine,
+        f"call:{import_sig.name}",
+        None,
+        len(request),
+        timeline=timeline,
+        header_bytes=env.costs.header_bytes,
+    )
+    trace.network_s += msg.transfer_seconds
+    trace.request_bytes = msg.nbytes
+
+    # --- server side: unmarshal, convert to callee native, invoke ---------
+    dt = env.cpu_seconds_for_bytes(callee_machine, len(request))
+    trace.server_cpu_s += dt
+    timeline.advance(dt)
+
+    # The callee sees the subset of parameters its *export* declares that
+    # the import actually sent (import may be a subset of the export).
+    recv = unmarshal_args(import_sig, request, "send")
+    recv = {
+        name: roundtrip_native(
+            callee_machine.architecture.native_format,
+            import_sig.param_named(name).type,
+            value,
+            policy,
+        )
+        for name, value in recv.items()
+    }
+
+    proc = record.procedure
+    if not callee_machine.up or not record.process.alive:
+        raise StaleBinding(f"{import_sig.name}: host died mid-call")
+
+    kwargs = dict(recv)
+    if proc.wants_state:
+        from .procedure import STATE_ARG
+
+        kwargs[STATE_ARG] = record.state_storage()
+    if proc.wants_timeline:
+        from .procedure import TIMELINE_ARG
+
+        kwargs[TIMELINE_ARG] = timeline
+    try:
+        raw_result = proc.impl(**kwargs)
+    except Exception as exc:
+        raise CallFailed(f"{import_sig.name}: remote procedure raised {exc!r}") from exc
+
+    dt = callee_machine.compute_seconds(proc.cost_flops(recv))
+    trace.compute_s += dt
+    timeline.advance(dt)
+
+    results = _shape_results(import_sig, raw_result, recv)
+    results = conform_args(import_sig, results, "return")
+    results = {
+        p.name: roundtrip_native(
+            callee_machine.architecture.native_format, p.type, results[p.name], policy
+        )
+        for p in import_sig.returned_params
+    }
+    reply = marshal_args(import_sig, results, "return")
+    dt = env.cpu_seconds_for_bytes(callee_machine, len(reply))
+    trace.server_cpu_s += dt
+    timeline.advance(dt)
+
+    # --- network: reply ------------------------------------------------------
+    msg = env.transport.send(
+        callee_machine,
+        caller_machine,
+        f"reply:{import_sig.name}",
+        None,
+        len(reply),
+        timeline=timeline,
+        header_bytes=env.costs.header_bytes,
+    )
+    trace.network_s += msg.transfer_seconds
+    trace.reply_bytes = msg.nbytes
+
+    # --- client side: unmarshal, store in caller-native format -------------
+    dt = env.cpu_seconds_for_bytes(caller_machine, len(reply))
+    trace.client_cpu_s += dt
+    timeline.advance(dt)
+    out = unmarshal_args(import_sig, reply, "return")
+    out = {
+        p.name: roundtrip_native(
+            caller_machine.architecture.native_format, p.type, out[p.name], policy
+        )
+        for p in import_sig.returned_params
+    }
+
+    trace.finished_at = timeline.now
+    env.record_trace(trace)
+    return out
+
+
+def _shape_results(sig: Signature, raw: Any, sent_args: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize an implementation's return value to a result dict.
+
+    Accepted shapes: a dict keyed by result-parameter name, a tuple in
+    signature order, or a bare value when there is exactly one result
+    parameter.  ``var`` parameters the implementation does not return
+    keep their sent values (value/result semantics)."""
+    returned = sig.returned_params
+    if isinstance(raw, dict):
+        results = dict(raw)
+    elif isinstance(raw, tuple):
+        if len(raw) != len(returned):
+            raise CallFailed(
+                f"{sig.name}: implementation returned {len(raw)} values, "
+                f"signature has {len(returned)} result parameters"
+            )
+        results = {p.name: v for p, v in zip(returned, raw)}
+    elif raw is None and not returned:
+        results = {}
+    elif len(returned) == 1:
+        results = {returned[0].name: raw}
+    else:
+        raise CallFailed(
+            f"{sig.name}: cannot map return value of type "
+            f"{type(raw).__name__} onto {len(returned)} result parameters"
+        )
+    # var parameters default to their sent value when not explicitly set
+    for p in returned:
+        if p.name not in results and p.mode.sends and p.name in sent_args:
+            results[p.name] = sent_args[p.name]
+    return results

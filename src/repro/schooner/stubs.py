@@ -1,0 +1,119 @@
+"""Client stubs.
+
+"This stub acts as the interface between the user's code and the Schooner
+runtime.  Specifically, it handles the marshaling and unmarshaling of
+arguments through calls to the UTS library, and utilizes the Schooner
+library to locate and communicate with the remote procedures."
+(paper, section 3.1)
+
+A :class:`ClientStub` carries the per-procedure name cache described in
+§4.2: the first call resolves the procedure's location through the
+Manager; subsequent calls go straight to the cached location; and "the
+call to the old location fails, resulting in an automatic call to the
+Manager for the new information" after a migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from ..machines.host import Machine
+from ..uts.types import Signature
+from .errors import StaleBinding
+from .lines import InstanceRecord, Line
+from .runtime import execute_call
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .manager import Manager
+
+__all__ = ["ClientStub"]
+
+
+@dataclass
+class ClientStub:
+    """A callable proxy for one imported remote procedure."""
+
+    manager: "Manager"
+    line: Line
+    caller_machine: Machine
+    import_sig: Signature
+    _cache: Optional[InstanceRecord] = field(default=None, repr=False)
+    lookups: int = 0  # Manager round trips, for the migration benchmark
+    failovers: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.import_sig.name
+
+    def _resolve(self) -> InstanceRecord:
+        """Ask the Manager for the procedure's location (one control
+        round trip), type-checking the import against the export."""
+        env = self.manager.env
+        env.transport.round_trip(
+            self.caller_machine,
+            self.manager.host,
+            "lookup",
+            self.name,
+            env.costs.control_message_bytes,
+            None,
+            env.costs.control_message_bytes,
+            timeline=self.line.timeline,
+        )
+        self.lookups += 1
+        self._cache = self.manager.lookup(self.line, self.name, self.import_sig)
+        return self._cache
+
+    def invalidate(self) -> None:
+        self._cache = None
+
+    def __call__(self, **args: Any) -> Dict[str, Any]:
+        """Invoke the remote procedure; returns the result parameters.
+
+        On a stale cache (process moved or died) the stub automatically
+        refreshes its binding from the Manager and retries once.
+        """
+        from .errors import CallFailed
+
+        record = self._cache
+        if record is None:
+            record = self._resolve()
+        try:
+            try:
+                return execute_call(
+                    self.manager.env,
+                    self.caller_machine,
+                    self.line.timeline,
+                    record,
+                    self.import_sig,
+                    args,
+                )
+            except StaleBinding:
+                # cache-refresh-on-failed-call: fetch the new location
+                self.failovers += 1
+                record = self._resolve()
+                return execute_call(
+                    self.manager.env,
+                    self.caller_machine,
+                    self.line.timeline,
+                    record,
+                    self.import_sig,
+                    args,
+                )
+        except CallFailed:
+            # the paper's error semantics: "when ... an error occurs,
+            # the Manager terminates only the remote procedures within
+            # the affected line"
+            self.manager.line_error(self.line)
+            self.invalidate()
+            raise
+
+    def call1(self, **args: Any) -> Any:
+        """Convenience: call and return the single result parameter."""
+        results = self(**args)
+        returned = self.import_sig.returned_params
+        if len(returned) != 1:
+            raise ValueError(
+                f"{self.name} has {len(returned)} result parameters; use __call__"
+            )
+        return results[returned[0].name]

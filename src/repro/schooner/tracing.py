@@ -1,0 +1,91 @@
+"""RPC trace analysis.
+
+The runtime records a :class:`~repro.schooner.runtime.CallTrace` per
+call; this module aggregates trace lists into the per-procedure and
+per-link summaries the benchmark harness reports — calls, bytes, and
+where the virtual time went (network vs marshal vs compute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from .runtime import CallTrace
+
+__all__ = ["ProcedureSummary", "summarize", "render_summary"]
+
+
+@dataclass
+class ProcedureSummary:
+    """Aggregate statistics for one remote procedure."""
+
+    procedure: str
+    calls: int = 0
+    total_s: float = 0.0
+    network_s: float = 0.0
+    client_cpu_s: float = 0.0
+    server_cpu_s: float = 0.0
+    compute_s: float = 0.0
+    request_bytes: int = 0
+    reply_bytes: int = 0
+    routes: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def add(self, t: CallTrace) -> None:
+        self.calls += 1
+        self.total_s += t.total_s
+        self.network_s += t.network_s
+        self.client_cpu_s += t.client_cpu_s
+        self.server_cpu_s += t.server_cpu_s
+        self.compute_s += t.compute_s
+        self.request_bytes += t.request_bytes
+        self.reply_bytes += t.reply_bytes
+        route = (t.caller, t.callee)
+        self.routes[route] = self.routes.get(route, 0) + 1
+
+    @property
+    def mean_ms(self) -> float:
+        return 1e3 * self.total_s / self.calls if self.calls else 0.0
+
+    @property
+    def network_share(self) -> float:
+        """Fraction of the total virtual time spent on the wire — the
+        latency-bound-ness of this procedure's call pattern."""
+        return self.network_s / self.total_s if self.total_s else 0.0
+
+    @property
+    def overhead_share(self) -> float:
+        """Everything but useful computation, as a fraction."""
+        if not self.total_s:
+            return 0.0
+        return 1.0 - self.compute_s / self.total_s
+
+
+def summarize(traces: Iterable[CallTrace]) -> Dict[str, ProcedureSummary]:
+    """Group traces by procedure name."""
+    out: Dict[str, ProcedureSummary] = {}
+    for t in traces:
+        out.setdefault(t.procedure, ProcedureSummary(procedure=t.procedure)).add(t)
+    return out
+
+
+def render_summary(traces: Iterable[CallTrace]) -> str:
+    """A printable per-procedure cost table."""
+    summaries = sorted(summarize(traces).values(), key=lambda s: -s.total_s)
+    if not summaries:
+        return "(no RPC traces)"
+    lines = [
+        f"{'procedure':<12} {'calls':>6} {'mean ms':>9} {'net %':>6} "
+        f"{'ovh %':>6} {'req B':>8} {'rep B':>8}"
+    ]
+    for s in summaries:
+        lines.append(
+            f"{s.procedure:<12} {s.calls:>6} {s.mean_ms:>9.2f} "
+            f"{100*s.network_share:>6.1f} {100*s.overhead_share:>6.1f} "
+            f"{s.request_bytes:>8} {s.reply_bytes:>8}"
+        )
+    total = sum(s.total_s for s in summaries)
+    calls = sum(s.calls for s in summaries)
+    lines.append(f"{'TOTAL':<12} {calls:>6} {'':>9} "
+                 f"{'':>6} {'':>6} total {total:.2f} virtual s")
+    return "\n".join(lines)

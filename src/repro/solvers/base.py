@@ -1,0 +1,80 @@
+"""Common solver types.
+
+TESS offers menus of solution methods (paper §3.2): "For steady state
+solutions, the user can choose from Newton-Raphson and Fourth-order
+Runge-Kutta.  For transient solutions, the user can choose from Modified
+Euler, Fourth-order Runge-Kutta, Adams, and Gear."  This package
+implements all six; this module holds the shared result types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+__all__ = [
+    "SolverError",
+    "ConvergenceFailure",
+    "SteadyReport",
+    "ODEResult",
+    "ResidualFn",
+    "RHSFn",
+]
+
+# A residual function for steady balancing: F(x) = 0 at the solution.
+ResidualFn = Callable[[np.ndarray], np.ndarray]
+# An ODE right-hand side: dy/dt = f(t, y).
+RHSFn = Callable[[float, np.ndarray], np.ndarray]
+
+
+class SolverError(Exception):
+    """Base class for solver failures."""
+
+
+class ConvergenceFailure(SolverError):
+    """The method did not reach the requested tolerance."""
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass
+class SteadyReport:
+    """Outcome of a steady-state balance."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    fevals: int
+    history: List[float] = field(default_factory=list)  # residual norms
+
+
+@dataclass
+class ODEResult:
+    """Outcome of a transient integration."""
+
+    method: str
+    t: np.ndarray  # shape (n_steps+1,)
+    y: np.ndarray  # shape (n_steps+1, n_states)
+    fevals: int
+    steps: int
+    newton_iterations: int = 0  # implicit methods only
+
+    @property
+    def final(self) -> np.ndarray:
+        return self.y[-1]
+
+    def at(self, time: float) -> np.ndarray:
+        """Linear interpolation of the stored trajectory."""
+        t = self.t
+        if time <= t[0]:
+            return self.y[0]
+        if time >= t[-1]:
+            return self.y[-1]
+        idx = int(np.searchsorted(t, time))
+        f = (time - t[idx - 1]) / (t[idx] - t[idx - 1])
+        return (1 - f) * self.y[idx - 1] + f * self.y[idx]

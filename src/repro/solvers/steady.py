@@ -1,0 +1,217 @@
+"""Steady-state balancing methods.
+
+TESS "first attempts to balance the engine at the initial operating
+point through a steady-state calculation" (paper §3.2).  Two methods are
+on the menu:
+
+* **Newton-Raphson** — damped Newton iteration with a finite-difference
+  Jacobian,
+* **Fourth-order Runge-Kutta** — pseudo-transient relaxation: integrate
+  dx/dτ = F(x) with RK4 pseudo-time steps until the residual vanishes
+  (robust far from the solution, slower near it — the classic trade-off
+  the two menu entries offer).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.linalg
+
+from .base import ConvergenceFailure, ResidualFn, SteadyReport
+
+__all__ = ["newton_raphson", "rk4_relaxation", "newton_flow_rk4", "fd_jacobian", "STEADY_METHODS"]
+
+
+def fd_jacobian(f: ResidualFn, x: np.ndarray, fx: Optional[np.ndarray] = None,
+                eps: float = 1e-7) -> np.ndarray:
+    """Forward-difference Jacobian of ``f`` at ``x``."""
+    x = np.asarray(x, dtype=float)
+    if fx is None:
+        fx = np.asarray(f(x), dtype=float)
+    n = x.size
+    m = fx.size
+    J = np.empty((m, n))
+    for j in range(n):
+        h = eps * max(1.0, abs(x[j]))
+        xp = x.copy()
+        xp[j] += h
+        J[:, j] = (np.asarray(f(xp), dtype=float) - fx) / h
+    return J
+
+
+def newton_raphson(
+    f: ResidualFn,
+    x0: np.ndarray,
+    tol: float = 1e-9,
+    max_iter: int = 50,
+    damping: float = 1.0,
+    raise_on_failure: bool = True,
+) -> SteadyReport:
+    """Damped Newton-Raphson with finite-difference Jacobian.
+
+    ``damping`` scales the Newton step; a backtracking halving line
+    search engages automatically when a full step increases the
+    residual.
+    """
+    x = np.asarray(x0, dtype=float).copy()
+    fevals = 0
+    history = []
+    fx = np.asarray(f(x), dtype=float)
+    fevals += 1
+    norm = float(np.linalg.norm(fx))
+    history.append(norm)
+    for it in range(1, max_iter + 1):
+        if norm <= tol:
+            return SteadyReport(x=x, converged=True, iterations=it - 1,
+                                residual_norm=norm, fevals=fevals, history=history)
+        J = fd_jacobian(f, x, fx)
+        fevals += x.size
+        try:
+            step = scipy.linalg.solve(J, -fx)
+        except scipy.linalg.LinAlgError as exc:
+            raise ConvergenceFailure(f"singular Jacobian at iteration {it}: {exc}")
+        # backtracking line search
+        alpha = damping
+        for _ in range(8):
+            x_new = x + alpha * step
+            fx_new = np.asarray(f(x_new), dtype=float)
+            fevals += 1
+            norm_new = float(np.linalg.norm(fx_new))
+            if norm_new < norm or norm_new <= tol:
+                break
+            alpha *= 0.5
+        x, fx, norm = x_new, fx_new, norm_new
+        history.append(norm)
+    report = SteadyReport(x=x, converged=norm <= tol, iterations=max_iter,
+                          residual_norm=norm, fevals=fevals, history=history)
+    if not report.converged and raise_on_failure:
+        raise ConvergenceFailure(
+            f"Newton-Raphson failed to converge: |F| = {norm:.3e} after "
+            f"{max_iter} iterations", report)
+    return report
+
+
+def rk4_relaxation(
+    f: ResidualFn,
+    x0: np.ndarray,
+    tol: float = 1e-9,
+    max_iter: int = 2000,
+    dtau: float = 0.1,
+    raise_on_failure: bool = True,
+) -> SteadyReport:
+    """Pseudo-transient RK4 relaxation toward F(x) = 0.
+
+    Integrates dx/dτ = F(x) with classic RK4 in pseudo-time; each step
+    reduces the residual when ``dtau`` is within the stability bound.
+    The step shrinks automatically when the residual grows.
+    """
+    x = np.asarray(x0, dtype=float).copy()
+    fevals = 0
+    history = []
+    h = dtau
+
+    def F(v):
+        nonlocal fevals
+        fevals += 1
+        return np.asarray(f(v), dtype=float)
+
+    fx = F(x)
+    norm = float(np.linalg.norm(fx))
+    history.append(norm)
+    for it in range(1, max_iter + 1):
+        if norm <= tol:
+            return SteadyReport(x=x, converged=True, iterations=it - 1,
+                                residual_norm=norm, fevals=fevals, history=history)
+        k1 = fx
+        k2 = F(x + 0.5 * h * k1)
+        k3 = F(x + 0.5 * h * k2)
+        k4 = F(x + h * k3)
+        x_new = x + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        fx_new = F(x_new)
+        norm_new = float(np.linalg.norm(fx_new))
+        if norm_new > norm and h > 1e-6 * dtau:
+            h *= 0.5  # residual grew: the pseudo-step was too aggressive
+            continue
+        if norm_new < 0.3 * norm:
+            h = min(h * 1.5, 10 * dtau)  # converging fast: stretch the step
+        x, fx, norm = x_new, fx_new, norm_new
+        history.append(norm)
+    report = SteadyReport(x=x, converged=norm <= tol, iterations=max_iter,
+                          residual_norm=norm, fevals=fevals, history=history)
+    if not report.converged and raise_on_failure:
+        raise ConvergenceFailure(
+            f"RK4 relaxation failed to converge: |F| = {norm:.3e} after "
+            f"{max_iter} iterations", report)
+    return report
+
+
+def newton_flow_rk4(
+    f: ResidualFn,
+    x0: np.ndarray,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+    dtau: float = 0.5,
+    raise_on_failure: bool = True,
+) -> SteadyReport:
+    """RK4 integration of the Newton flow dx/dτ = -J(x)^{-1} F(x).
+
+    The Newton flow's fixed point is the root and its linearization is
+    -I, so the flow is stable regardless of the residual Jacobian's
+    spectrum — the robust pseudo-transient companion to plain Newton for
+    systems (like a coupled engine balance) where dx/dτ = F(x) itself
+    is not a stable dynamical system.
+    """
+    x = np.asarray(x0, dtype=float).copy()
+    fevals = 0
+    history = []
+    h = min(dtau, 1.0)
+
+    def direction(v: np.ndarray) -> np.ndarray:
+        nonlocal fevals
+        fv = np.asarray(f(v), dtype=float)
+        fevals += 1
+        J = fd_jacobian(f, v, fv)
+        fevals += v.size
+        try:
+            return scipy.linalg.solve(J, -fv)
+        except scipy.linalg.LinAlgError as exc:
+            raise ConvergenceFailure(f"singular Jacobian in Newton flow: {exc}")
+
+    fx = np.asarray(f(x), dtype=float)
+    fevals += 1
+    norm = float(np.linalg.norm(fx))
+    history.append(norm)
+    for it in range(1, max_iter + 1):
+        if norm <= tol:
+            return SteadyReport(x=x, converged=True, iterations=it - 1,
+                                residual_norm=norm, fevals=fevals, history=history)
+        k1 = direction(x)
+        k2 = direction(x + 0.5 * h * k1)
+        k3 = direction(x + 0.5 * h * k2)
+        k4 = direction(x + h * k3)
+        x_new = x + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        fx_new = np.asarray(f(x_new), dtype=float)
+        fevals += 1
+        norm_new = float(np.linalg.norm(fx_new))
+        if norm_new > norm:
+            h = max(h * 0.5, 1e-3)
+            continue
+        h = min(h * 1.3, 1.0)
+        x, norm = x_new, norm_new
+        history.append(norm)
+    report = SteadyReport(x=x, converged=norm <= tol, iterations=max_iter,
+                          residual_norm=norm, fevals=fevals, history=history)
+    if not report.converged and raise_on_failure:
+        raise ConvergenceFailure(
+            f"Newton-flow RK4 failed to converge: |F| = {norm:.3e} after "
+            f"{max_iter} iterations", report)
+    return report
+
+
+#: menu-name -> solver, matching the TESS system-module widget (§3.2)
+STEADY_METHODS = {
+    "Newton-Raphson": newton_raphson,
+    "Runge-Kutta": newton_flow_rk4,
+}

@@ -1,0 +1,95 @@
+"""TESS: the Turbofan Engine System Simulator [Reed93], rebuilt.
+
+A one-dimensional steady-state + transient turbofan simulation: gas
+model, standard atmosphere, performance maps, engine components,
+transient control schedules, and the twin-spool F100 engine assembly
+with steady balancing and four transient integration methods.
+"""
+
+from .atmosphere import Ambient, FlightCondition, standard_atmosphere
+from .components import (
+    Afterburner,
+    Bleed,
+    Combustor,
+    Compressor,
+    ConvergentNozzle,
+    Duct,
+    Inlet,
+    MixingVolume,
+    Shaft,
+    Splitter,
+    Turbine,
+)
+from .cycle import CycleInputs, CycleSummary, cycle_point
+from .engine import EngineSpec, OperatingPoint, TransientResult, TwinSpoolTurbofan
+from .f100 import F100_SPEC, build_f100
+from .failures import (
+    BleedValveStuckOpen,
+    CombustorDegradation,
+    Degradation,
+    FailureScenario,
+    FODDamage,
+    TurbineErosion,
+    apply_scenario,
+)
+from .profile import FlightProfile, ProfilePoint, ProfileResult, fly_profile
+from .turbojet import SingleSpoolTurbojet, TurbojetSpec
+from .gas import FUEL_LHV, R_AIR, GasState, cp, enthalpy, gamma, temperature_from_enthalpy
+from .hosts import ADAPTED_MODULES, ComponentHost, LocalHost
+from .maps import MAP_CATALOGUE, CompressorMap, MapError, load_map
+from .schedules import Schedule, ScheduleError
+
+__all__ = [
+    "Afterburner",
+    "GasState",
+    "cp",
+    "gamma",
+    "enthalpy",
+    "temperature_from_enthalpy",
+    "R_AIR",
+    "FUEL_LHV",
+    "Ambient",
+    "FlightCondition",
+    "standard_atmosphere",
+    "CompressorMap",
+    "MAP_CATALOGUE",
+    "load_map",
+    "MapError",
+    "Schedule",
+    "ScheduleError",
+    "Inlet",
+    "Compressor",
+    "Combustor",
+    "Turbine",
+    "Duct",
+    "ConvergentNozzle",
+    "Shaft",
+    "Bleed",
+    "Splitter",
+    "MixingVolume",
+    "EngineSpec",
+    "TwinSpoolTurbofan",
+    "OperatingPoint",
+    "TransientResult",
+    "F100_SPEC",
+    "build_f100",
+    "ComponentHost",
+    "LocalHost",
+    "ADAPTED_MODULES",
+    "FlightProfile",
+    "ProfilePoint",
+    "ProfileResult",
+    "fly_profile",
+    "Degradation",
+    "FailureScenario",
+    "FODDamage",
+    "BleedValveStuckOpen",
+    "CombustorDegradation",
+    "TurbineErosion",
+    "apply_scenario",
+    "SingleSpoolTurbojet",
+    "TurbojetSpec",
+    "CycleInputs",
+    "CycleSummary",
+    "cycle_point",
+]

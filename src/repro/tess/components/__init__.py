@@ -1,0 +1,27 @@
+"""TESS engine components: the physics behind each AVS module."""
+
+from .afterburner import Afterburner
+from .combustor import Combustor
+from .compressor import Compressor, CompressorOperatingPoint
+from .duct import Duct
+from .flowpath import Bleed, MixingVolume, Splitter
+from .inlet import Inlet
+from .nozzle import ConvergentNozzle
+from .shaft import Shaft
+from .turbine import Turbine, TurbineOperatingPoint
+
+__all__ = [
+    "Afterburner",
+    "Inlet",
+    "Compressor",
+    "CompressorOperatingPoint",
+    "Combustor",
+    "Turbine",
+    "TurbineOperatingPoint",
+    "Duct",
+    "ConvergentNozzle",
+    "Shaft",
+    "Bleed",
+    "Splitter",
+    "MixingVolume",
+]

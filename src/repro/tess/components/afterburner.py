@@ -1,0 +1,52 @@
+"""Afterburner (augmentor): reheat between the mixer and the nozzle.
+
+The F100 is an augmented turbofan.  The augmentor burns additional fuel
+in the mixed stream; because the nozzle is choked, lighting it requires
+opening the variable nozzle (W ~ Pt/sqrt(Tt): hotter flow needs more
+area for the same mass flow), which the engine model exposes through
+its nozzle-area factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gas import FUEL_LHV, GasState, temperature_from_enthalpy
+
+__all__ = ["Afterburner"]
+
+
+@dataclass(frozen=True)
+class Afterburner:
+    """A simple augmentor: lower efficiency and higher pressure loss
+    than the main burner, with its own temperature limit."""
+
+    efficiency: float = 0.92
+    dpqp_dry: float = 0.01  # flameholder drag, always paid
+    dpqp_wet: float = 0.05  # additional loss when lit
+    t_max: float = 2100.0
+
+    def burn(self, state_in: GasState, wf_ab: float) -> GasState:
+        """Pass through (dry) or reheat (wet) the incoming stream."""
+        if wf_ab < 0:
+            raise ValueError(f"negative afterburner fuel flow {wf_ab}")
+        if wf_ab == 0.0:
+            return state_in.with_(Pt=state_in.Pt * (1.0 - self.dpqp_dry))
+        w_air = state_in.W / (1.0 + state_in.far)
+        far_out = (state_in.far * w_air + wf_ab) / w_air
+        w_out = state_in.W + wf_ab
+        h_out = (
+            state_in.W * state_in.ht + wf_ab * FUEL_LHV * self.efficiency
+        ) / w_out
+        tt_out = temperature_from_enthalpy(h_out, far_out)
+        if tt_out > self.t_max:
+            raise ValueError(
+                f"augmentor exit temperature {tt_out:.0f} K exceeds the "
+                f"{self.t_max:.0f} K limit"
+            )
+        return GasState(
+            W=w_out,
+            Tt=tt_out,
+            Pt=state_in.Pt * (1.0 - self.dpqp_dry - self.dpqp_wet),
+            far=far_out,
+        )

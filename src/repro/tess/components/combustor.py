@@ -1,0 +1,44 @@
+"""Combustor: energy addition from fuel burn."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gas import FUEL_LHV, GasState, enthalpy, temperature_from_enthalpy
+
+__all__ = ["Combustor"]
+
+
+@dataclass(frozen=True)
+class Combustor:
+    """A constant-efficiency combustor with a fractional pressure loss."""
+
+    efficiency: float = 0.985
+    dpqp: float = 0.05  # total-pressure loss fraction
+    t_max: float = 2200.0  # structural temperature limit, K
+
+    def burn(self, state_in: GasState, wf: float) -> GasState:
+        """Burn ``wf`` kg/s of fuel into the stream.
+
+        Energy balance on total enthalpy: the products' enthalpy flow
+        equals the incoming enthalpy flow plus released heat; the fuel's
+        sensible enthalpy is neglected (standard 0-D practice).
+        """
+        if wf < 0:
+            raise ValueError(f"negative fuel flow {wf}")
+        w_air = state_in.W / (1.0 + state_in.far)
+        far_out = (state_in.far * w_air + wf) / w_air
+        w_out = state_in.W + wf
+        h_out = (state_in.W * state_in.ht + wf * FUEL_LHV * self.efficiency) / w_out
+        Tt_out = temperature_from_enthalpy(h_out, far_out)
+        if Tt_out > self.t_max:
+            raise ValueError(
+                f"combustor exit temperature {Tt_out:.0f} K exceeds the "
+                f"{self.t_max:.0f} K limit (fuel flow {wf:.3f} kg/s too high)"
+            )
+        return GasState(
+            W=w_out,
+            Tt=Tt_out,
+            Pt=state_in.Pt * (1.0 - self.dpqp),
+            far=far_out,
+        )

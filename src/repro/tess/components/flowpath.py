@@ -1,0 +1,72 @@
+"""Flow-splitting and flow-mixing components: bleed, splitter, mixer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..gas import GasState, temperature_from_enthalpy
+
+__all__ = ["Bleed", "Splitter", "MixingVolume"]
+
+
+@dataclass(frozen=True)
+class Bleed:
+    """Extract a fraction of the stream (cooling/customer bleed)."""
+
+    fraction: float = 0.03
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction < 1.0:
+            raise ValueError(f"bleed fraction {self.fraction} outside [0, 1)")
+
+    def run(self, state_in: GasState) -> Tuple[GasState, GasState]:
+        """Returns (main stream, bleed stream)."""
+        wb = state_in.W * self.fraction
+        main = state_in.with_(W=state_in.W - wb)
+        bleed = state_in.with_(W=wb)
+        return main, bleed
+
+
+@dataclass(frozen=True)
+class Splitter:
+    """Divide the fan discharge into core and bypass streams."""
+
+    def split(self, state_in: GasState, bypass_ratio: float) -> Tuple[GasState, GasState]:
+        """Returns (core, bypass); ``bypass_ratio`` = W_bypass/W_core."""
+        if bypass_ratio < 0:
+            raise ValueError(f"negative bypass ratio {bypass_ratio}")
+        w_core = state_in.W / (1.0 + bypass_ratio)
+        core = state_in.with_(W=w_core)
+        bypass = state_in.with_(W=state_in.W - w_core)
+        return core, bypass
+
+
+@dataclass(frozen=True)
+class MixingVolume:
+    """Mix two coaxial streams (F100 core + bypass ahead of the nozzle).
+
+    Mass and energy are conserved exactly; the mixed total pressure is
+    the mass-flow-weighted average (a standard 0-D approximation — the
+    balance solver separately drives the streams' pressures together,
+    so the approximation error is small at the solution).
+    """
+
+    def mix(self, a: GasState, b: GasState) -> GasState:
+        w = a.W + b.W
+        if w <= 0:
+            raise ValueError("mixing zero total flow")
+        h = (a.W * a.ht + b.W * b.ht) / w
+        # combine fuel-air ratios through the air flows
+        wa_air = a.W / (1.0 + a.far)
+        wb_air = b.W / (1.0 + b.far)
+        wf = a.far * wa_air + b.far * wb_air
+        far = wf / (wa_air + wb_air)
+        Tt = temperature_from_enthalpy(h, far)
+        Pt = (a.W * a.Pt + b.W * b.Pt) / w
+        return GasState(W=w, Tt=Tt, Pt=Pt, far=far)
+
+    def pressure_imbalance(self, a: GasState, b: GasState) -> float:
+        """Normalized static-pressure mismatch at the mixing plane; the
+        balance drives this to zero."""
+        return (a.Pt - b.Pt) / max(a.Pt, b.Pt)

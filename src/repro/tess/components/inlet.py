@@ -1,0 +1,37 @@
+"""Inlet: free stream to engine face with ram recovery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..atmosphere import FlightCondition
+from ..gas import GasState
+
+__all__ = ["Inlet"]
+
+
+@dataclass(frozen=True)
+class Inlet:
+    """A pitot inlet.
+
+    ``recovery`` is the subsonic duct recovery; above Mach 1 the
+    MIL-E-5008B standard shock-loss schedule applies on top of it
+    (eta = 1 - 0.075 (M - 1)^1.35), which is what lets the F100-class
+    engine fly its supersonic corner of the envelope.
+    """
+
+    recovery: float = 0.99
+
+    def recovery_at(self, mach: float) -> float:
+        """Total-pressure recovery at flight Mach number."""
+        if mach <= 1.0:
+            return self.recovery
+        shock = 1.0 - 0.075 * (mach - 1.0) ** 1.35
+        return self.recovery * max(shock, 0.1)
+
+    def capture(self, flight: FlightCondition, W: float) -> GasState:
+        """Engine-face station state for mass flow ``W``."""
+        Tt0, Pt0 = flight.ram_conditions()
+        return GasState(
+            W=W, Tt=Tt0, Pt=Pt0 * self.recovery_at(flight.mach), far=0.0
+        )

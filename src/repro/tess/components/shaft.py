@@ -1,0 +1,69 @@
+"""Shaft: the component the paper adapts first.
+
+The export specification in section 3.3 is the contract implemented
+here: ``shaft`` takes arrays of compressor and turbine energies (with
+counts), an energy correction, the spool speed, and the moment of
+inertia, and returns the spool acceleration ``dxspl``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Shaft"]
+
+
+@dataclass(frozen=True)
+class Shaft:
+    """A rotor shaft connecting turbines to compressors.
+
+    ``inertia``      polar moment of inertia, kg m^2
+    ``omega_design`` design mechanical speed, rad/s
+    ``mech_eff``     mechanical transmission efficiency
+    """
+
+    inertia: float
+    omega_design: float
+    mech_eff: float = 0.995
+
+    def net_power(
+        self,
+        ecom: Sequence[float],
+        incom: int,
+        etur: Sequence[float],
+        intur: int,
+        ecorr: float = 0.0,
+    ) -> float:
+        """Net shaft power, W: turbine supply minus compressor demand
+        minus the correction term (parasitic/customer extraction)."""
+        p_comp = sum(ecom[:incom])
+        p_turb = sum(etur[:intur])
+        return p_turb * self.mech_eff - p_comp - ecorr
+
+    def power_residual(self, ecom, incom, etur, intur, ecorr=0.0) -> float:
+        """Steady balance residual, normalized by turbine supply."""
+        p_turb = max(sum(etur[:intur]), 1.0)
+        return self.net_power(ecom, incom, etur, intur, ecorr) / p_turb
+
+    def accel(
+        self,
+        ecom: Sequence[float],
+        incom: int,
+        etur: Sequence[float],
+        intur: int,
+        ecorr: float,
+        xspool: float,
+        xmyi: float = None,  # type: ignore[assignment]
+    ) -> float:
+        """The paper's ``shaft`` procedure: spool acceleration d(xspool)/dt.
+
+        ``xspool`` is the spool speed as a fraction of design; ``xmyi``
+        the moment of inertia (defaults to the shaft's own).  From
+        I omega domega/dt = P_net:
+        dN/dt = P_net / (I omega_design^2 N).
+        """
+        inertia = self.inertia if xmyi is None else xmyi
+        n = max(abs(xspool), 0.05)  # avoid the N=0 singularity at startup
+        p_net = self.net_power(ecom, incom, etur, intur, ecorr)
+        return p_net / (inertia * self.omega_design**2 * n)

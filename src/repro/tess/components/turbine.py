@@ -1,0 +1,72 @@
+"""Turbine: work extraction.
+
+The balance formulation treats each turbine as choked at its inlet: the
+engine-level residual pins the inlet corrected flow to the design value
+(set by the design closure), while the expansion ratio is a balance
+unknown from which the delivered power follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gas import GasState, enthalpy, gamma, temperature_from_enthalpy
+
+__all__ = ["Turbine", "TurbineOperatingPoint"]
+
+
+@dataclass(frozen=True)
+class TurbineOperatingPoint:
+    state_out: GasState
+    power_W: float  # shaft power delivered, W (positive)
+    pressure_ratio: float  # Pt_in / Pt_out, > 1
+
+
+@dataclass(frozen=True)
+class Turbine:
+    """A work turbine with constant isentropic efficiency.
+
+    ``wc_design`` — the choked inlet corrected flow; ``None`` until the
+    design closure sets it (see :meth:`sized`).
+    """
+
+    efficiency: float = 0.89
+    wc_design: float = None  # type: ignore[assignment]
+
+    def sized(self, wc_design: float) -> "Turbine":
+        """A copy pinned to a design corrected flow (design closure)."""
+        return Turbine(efficiency=self.efficiency, wc_design=wc_design)
+
+    def flow_error(self, state_in: GasState) -> float:
+        """Normalized deviation of inlet corrected flow from choked."""
+        if self.wc_design is None:
+            raise ValueError("turbine not sized; run the design closure first")
+        return (state_in.corrected_flow - self.wc_design) / self.wc_design
+
+    def expand_with_ratio(self, state_in: GasState, pr: float) -> TurbineOperatingPoint:
+        """Expand through total-pressure ratio ``pr`` = Pt_in/Pt_out."""
+        if pr < 1.0:
+            raise ValueError(f"turbine expansion ratio {pr} < 1")
+        g = gamma(state_in.Tt, state_in.far)
+        Tt_ideal = state_in.Tt * pr ** (-(g - 1.0) / g)
+        dh_ideal = state_in.ht - enthalpy(Tt_ideal, state_in.far)
+        dh = dh_ideal * self.efficiency
+        Tt_out = temperature_from_enthalpy(state_in.ht - dh, state_in.far)
+        state_out = state_in.with_(Tt=Tt_out, Pt=state_in.Pt / pr)
+        return TurbineOperatingPoint(
+            state_out=state_out, power_W=state_in.W * dh, pressure_ratio=pr
+        )
+
+    def expand_to_power(self, state_in: GasState, power_W: float) -> TurbineOperatingPoint:
+        """Expand just enough to deliver ``power_W`` (design sizing use)."""
+        if power_W < 0:
+            raise ValueError(f"negative turbine power {power_W}")
+        dh = power_W / state_in.W
+        h_out = state_in.ht - dh
+        Tt_out = temperature_from_enthalpy(h_out, state_in.far)
+        dh_ideal = dh / self.efficiency
+        Tt_ideal = temperature_from_enthalpy(state_in.ht - dh_ideal, state_in.far)
+        g = gamma(state_in.Tt, state_in.far)
+        pr = (state_in.Tt / Tt_ideal) ** (g / (g - 1.0))
+        state_out = state_in.with_(Tt=Tt_out, Pt=state_in.Pt / pr)
+        return TurbineOperatingPoint(state_out=state_out, power_W=power_W, pressure_ratio=pr)

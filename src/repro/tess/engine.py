@@ -1,0 +1,438 @@
+"""The TESS engine model: a twin-spool mixed-flow turbofan (the F100).
+
+TESS "represents each of the principal components of an engine as an AVS
+module.  An engine is constructed ... by connecting the modules to
+represent the airflow through the engine" (paper §3.2).  The numerical
+heart is here: the component chain, the design closure that sizes the
+turbines/nozzle/duct losses for a consistent design point, the
+steady-state balance ("TESS first attempts to balance the engine at the
+initial operating point"), and the transient driver.
+
+Balance formulation
+-------------------
+Unknowns (steady): [beta_fan, beta_hpc, bypass_ratio, pr_hpt, pr_lpt,
+N1, N2].  Residuals: core-flow match at the HPC, choked-flow match at
+each turbine inlet, mixing-plane pressure balance, nozzle flow match,
+and the two shaft power balances.  All residuals are normalized, and
+the design closure guarantees the design point is an exact root.
+
+During a transient the spool speeds become ODE states; the remaining
+five algebraic unknowns are re-balanced at every derivative evaluation
+(quasi-steady gas path, dynamic rotors — the standard 0-D transient
+deck structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..solvers import ODEResult, integrate, newton_flow_rk4, newton_raphson
+from .atmosphere import FlightCondition
+from .components import (
+    Afterburner,
+    Bleed,
+    Combustor,
+    Compressor,
+    ConvergentNozzle,
+    Duct,
+    Inlet,
+    MixingVolume,
+    Shaft,
+    Splitter,
+    Turbine,
+)
+from .gas import GasState
+from .hosts import ComponentHost, LocalHost
+from .maps import load_map
+from .schedules import Schedule
+
+__all__ = ["EngineSpec", "TwinSpoolTurbofan", "OperatingPoint", "TransientResult"]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Design parameters of a twin-spool mixed-flow turbofan."""
+
+    name: str = "f100"
+    fan_map: str = "f100-fan.map"
+    hpc_map: str = "f100-hpc.map"
+    bypass_ratio_design: float = 0.6
+    wf_design: float = 1.5  # kg/s fuel at design
+    inlet_recovery: float = 0.99
+    duct_core_loss: float = 0.015  # fan -> HPC duct
+    bleed_fraction: float = 0.02  # overboard customer bleed
+    burner_efficiency: float = 0.985
+    burner_loss: float = 0.05
+    hpt_efficiency: float = 0.89
+    lpt_efficiency: float = 0.90
+    mech_efficiency: float = 0.995
+    low_inertia: float = 2.2  # kg m^2
+    high_inertia: float = 1.3
+    low_omega_design: float = 1050.0  # rad/s (~10000 rpm)
+    high_omega_design: float = 1430.0  # rad/s (~13650 rpm)
+    nozzle_cd: float = 0.98
+    ab_efficiency: float = 0.92
+    ab_dpqp_dry: float = 0.01
+    ab_dpqp_wet: float = 0.05
+
+
+@dataclass
+class OperatingPoint:
+    """A fully evaluated engine state."""
+
+    flight: FlightCondition
+    wf: float
+    n1: float
+    n2: float
+    x: np.ndarray  # [beta_fan, beta_hpc, bpr, pr_hpt, pr_lpt]
+    residuals: np.ndarray
+    stations: Dict[str, GasState]
+    powers: Dict[str, float]
+    thrust_N: float
+    converged: bool = True
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sfc(self) -> float:
+        """Thrust-specific fuel consumption, kg/(N s)."""
+        return self.wf / self.thrust_N if self.thrust_N > 0 else float("inf")
+
+    @property
+    def t4(self) -> float:
+        return self.stations["4"].Tt
+
+    @property
+    def airflow(self) -> float:
+        return self.stations["2"].W
+
+    @property
+    def bypass_ratio(self) -> float:
+        return float(self.x[2])
+
+
+@dataclass
+class TransientResult:
+    """Time histories from a transient run."""
+
+    t: np.ndarray
+    n1: np.ndarray
+    n2: np.ndarray
+    thrust: np.ndarray
+    t4: np.ndarray
+    wf: np.ndarray
+    method: str
+    ode: ODEResult
+
+    @property
+    def final_point(self) -> Tuple[float, float]:
+        return float(self.n1[-1]), float(self.n2[-1])
+
+
+class TwinSpoolTurbofan:
+    """A sized, solvable engine."""
+
+    # indices into the algebraic unknown vector
+    IDX_BETA_FAN, IDX_BETA_HPC, IDX_BPR, IDX_PR_HPT, IDX_PR_LPT = range(5)
+
+    def __init__(self, spec: EngineSpec = EngineSpec(), host: Optional[ComponentHost] = None):
+        self.spec = spec
+        self.host = host or LocalHost()
+        self.inlet = Inlet(recovery=spec.inlet_recovery)
+        self.fan = Compressor(map=load_map(spec.fan_map))
+        self.splitter = Splitter()
+        self.duct_core = Duct(dpqp=spec.duct_core_loss)
+        self.bleed = Bleed(fraction=spec.bleed_fraction)
+        self.burner = Combustor(efficiency=spec.burner_efficiency, dpqp=spec.burner_loss)
+        self.augmentor = Afterburner(
+            efficiency=spec.ab_efficiency, dpqp_dry=spec.ab_dpqp_dry,
+            dpqp_wet=spec.ab_dpqp_wet,
+        )
+        self.mixer = MixingVolume()
+        self.low_shaft = Shaft(
+            inertia=spec.low_inertia, omega_design=spec.low_omega_design,
+            mech_eff=spec.mech_efficiency,
+        )
+        self.high_shaft = Shaft(
+            inertia=spec.high_inertia, omega_design=spec.high_omega_design,
+            mech_eff=spec.mech_efficiency,
+        )
+        # sized by the design closure:
+        self.hpc: Compressor
+        self.hpt: Turbine
+        self.lpt: Turbine
+        self.duct_mixer: Duct  # core-side loss equalizing the mixing plane
+        self.duct_bypass: Duct
+        self.nozzle: ConvergentNozzle
+        self._design_x: np.ndarray
+        self._design_core_flow: float
+        self._run_design_closure()
+        # warm-start cache for the transient algebraic solves
+        self._last_x = self._design_x.copy()
+
+    # ------------------------------------------------------------------ design
+    def _run_design_closure(self) -> None:
+        """Size turbines, nozzle, mixer-duct loss, and scale the HPC map
+        so the design point is an exact balance root."""
+        spec = self.spec
+        fc = FlightCondition(altitude_m=0.0, mach=0.0)
+        amb = fc.ambient()
+        # fan and through-flow at design
+        face = self.inlet.capture(fc, W=1.0)
+        w_fan = self.fan.map_physical_flow(face, 1.0, 0.5)
+        face = face.with_(W=w_fan)
+        fan_op = self.fan.operate(face, 1.0, 0.5)
+        core, bypass = self.splitter.split(fan_op.state_out, spec.bypass_ratio_design)
+        core = self.duct_core.run(core)
+        core, _ = self.bleed.run(core)
+        self._design_core_flow = core.W
+        # scale the HPC map so its design corrected flow equals the core's,
+        # and reference its corrected speed to the design inlet temperature
+        raw_map = load_map(spec.hpc_map)
+        self.hpc = Compressor(
+            map=replace(raw_map, wc_design=core.corrected_flow), t_ref=core.Tt
+        )
+        hpc_op = self.hpc.operate(core, 1.0, 0.5)
+        burned = self.burner.burn(hpc_op.state_out, spec.wf_design)
+        # HPT sized: choked at the design burner-exit corrected flow and
+        # delivering exactly the HPC demand
+        hpt = Turbine(efficiency=spec.hpt_efficiency).sized(burned.corrected_flow)
+        p_hpt = hpc_op.power_W / spec.mech_efficiency
+        hpt_op = hpt.expand_to_power(burned, p_hpt)
+        self.hpt = hpt
+        # LPT likewise for the fan demand
+        lpt = Turbine(efficiency=spec.lpt_efficiency).sized(hpt_op.state_out.corrected_flow)
+        p_lpt = fan_op.power_W / spec.mech_efficiency
+        lpt_op = lpt.expand_to_power(hpt_op.state_out, p_lpt)
+        self.lpt = lpt
+        # equalize the mixing plane: put the adjustable loss on whichever
+        # side runs higher at design
+        pt_core, pt_byp = lpt_op.state_out.Pt, bypass.Pt
+        if pt_core >= pt_byp:
+            self.duct_mixer = Duct(dpqp=1.0 - pt_byp / pt_core)
+            self.duct_bypass = Duct(dpqp=0.0)
+        else:
+            self.duct_mixer = Duct(dpqp=0.0)
+            self.duct_bypass = Duct(dpqp=1.0 - pt_core / pt_byp)
+        core_exit = self.duct_mixer.run(lpt_op.state_out)
+        byp_exit = self.duct_bypass.run(bypass)
+        mixed = self.augmentor.burn(self.mixer.mix(core_exit, byp_exit), 0.0)
+        self.nozzle = ConvergentNozzle(cd=spec.nozzle_cd).sized_for(mixed, amb.Ps)
+        self._design_x = np.array(
+            [0.5, 0.5, spec.bypass_ratio_design,
+             hpt_op.pressure_ratio, lpt_op.pressure_ratio]
+        )
+
+    @property
+    def design_x(self) -> np.ndarray:
+        return self._design_x.copy()
+
+    # ----------------------------------------------------------------- forward
+    def evaluate(
+        self,
+        flight: FlightCondition,
+        wf: float,
+        n1: float,
+        n2: float,
+        x: np.ndarray,
+        fan_stator: float = 0.0,
+        hpc_stator: float = 0.0,
+        nozzle_area_factor: float = 1.0,
+        ab_fuel: float = 0.0,
+    ) -> OperatingPoint:
+        """One forward pass through the gas path; returns the operating
+        point with its five algebraic residuals."""
+        beta_fan, beta_hpc, bpr, pr_hpt, pr_lpt = np.asarray(x, dtype=float)
+        host = self.host
+        amb = flight.ambient()
+
+        face = self.inlet.capture(flight, W=1.0)
+        w_fan = self.fan.map_physical_flow(face, n1, beta_fan, fan_stator)
+        face = face.with_(W=w_fan)
+        fan_op = self.fan.operate(face, n1, beta_fan, fan_stator)
+        core, bypass = self.splitter.split(fan_op.state_out, bpr)
+        bypass = host.duct("bypass", self.duct_bypass, bypass)
+        core = host.duct("core", self.duct_core, core)
+        core, _bleed_flow = self.bleed.run(core)
+        hpc_op = self.hpc.operate(core, n2, beta_hpc, hpc_stator)
+        r_core_flow = (core.W - hpc_op.map_flow_kgs) / self._design_core_flow
+        burned = host.combustor(self.burner, hpc_op.state_out, wf)
+        r_hpt = self.hpt.flow_error(burned)
+        hpt_op = self.hpt.expand_with_ratio(burned, pr_hpt)
+        r_lpt = self.lpt.flow_error(hpt_op.state_out)
+        lpt_op = self.lpt.expand_with_ratio(hpt_op.state_out, pr_lpt)
+        core_exit = host.duct("mixer-entry", self.duct_mixer, lpt_op.state_out)
+        r_mix = self.mixer.pressure_imbalance(core_exit, bypass)
+        mixed = self.augmentor.burn(self.mixer.mix(core_exit, bypass), ab_fuel)
+        nozzle = self.nozzle
+        if nozzle_area_factor != 1.0:
+            nozzle = replace(nozzle, area_m2=nozzle.area_m2 * nozzle_area_factor)
+        wcap, thrust = host.nozzle(nozzle, mixed, amb.Ps, flight.flight_speed)
+        r_noz = (wcap - mixed.W) / w_fan
+
+        return OperatingPoint(
+            flight=flight,
+            wf=wf,
+            n1=n1,
+            n2=n2,
+            x=np.asarray(x, dtype=float).copy(),
+            residuals=np.array([r_core_flow, r_hpt, r_lpt, r_mix, r_noz]),
+            stations={
+                "2": face,
+                "13": fan_op.state_out,
+                "16": bypass,
+                "25": core,
+                "3": hpc_op.state_out,
+                "4": burned,
+                "45": hpt_op.state_out,
+                "5": lpt_op.state_out,
+                "6": core_exit,
+                "7": mixed,
+            },
+            powers={
+                "fan": fan_op.power_W,
+                "hpc": hpc_op.power_W,
+                "hpt": hpt_op.power_W,
+                "lpt": lpt_op.power_W,
+            },
+            thrust_N=thrust,
+            diagnostics={
+                "fan_surge_margin": self.fan.map.surge_margin(
+                    fan_op.corrected_speed, beta_fan
+                ),
+                "hpc_surge_margin": self.hpc.map.surge_margin(
+                    hpc_op.corrected_speed, beta_hpc
+                ),
+            },
+        )
+
+    # ----------------------------------------------------------------- steady
+    def balance(
+        self,
+        flight: FlightCondition,
+        wf: float,
+        method: str = "Newton-Raphson",
+        tol: float = 1e-8,
+        x0: Optional[np.ndarray] = None,
+        **schedule_values,
+    ) -> OperatingPoint:
+        """Balance the engine at an operating point (steady state).
+
+        Solves the 7-dimensional system (5 gas-path residuals + 2 shaft
+        power balances) for the algebraic unknowns and both spool
+        speeds, using the selected menu method."""
+        if x0 is None:
+            z0 = np.concatenate([self._design_x, [1.0, 1.0]])
+        else:
+            z0 = np.asarray(x0, dtype=float)
+
+        def residuals(z: np.ndarray) -> np.ndarray:
+            op = self.evaluate(flight, wf, z[5], z[6], z[:5], **schedule_values)
+            r_low = self.low_shaft.power_residual(
+                [op.powers["fan"]], 1, [op.powers["lpt"]], 1
+            )
+            r_high = self.high_shaft.power_residual(
+                [op.powers["hpc"]], 1, [op.powers["hpt"]], 1
+            )
+            return np.concatenate([op.residuals, [r_low, r_high]])
+
+        if method == "Newton-Raphson":
+            report = newton_raphson(residuals, z0, tol=tol, max_iter=60)
+        elif method == "Runge-Kutta":
+            report = newton_flow_rk4(residuals, z0, tol=max(tol, 1e-9), dtau=0.5)
+        else:
+            raise ValueError(f"unknown steady method {method!r}")
+        z = report.x
+        op = self.evaluate(flight, wf, z[5], z[6], z[:5], **schedule_values)
+        op.converged = report.converged
+        self._last_x = z[:5].copy()
+        return op
+
+    # --------------------------------------------------------------- transient
+    def _solve_gas_path(
+        self, flight: FlightCondition, wf: float, n1: float, n2: float,
+        **schedule_values,
+    ) -> OperatingPoint:
+        """Re-balance the 5 algebraic unknowns at fixed spool speeds."""
+
+        def residuals(x: np.ndarray) -> np.ndarray:
+            return self.evaluate(flight, wf, n1, n2, x, **schedule_values).residuals
+
+        report = newton_raphson(residuals, self._last_x, tol=1e-10, max_iter=40)
+        self._last_x = report.x.copy()
+        return self.evaluate(flight, wf, n1, n2, report.x, **schedule_values)
+
+    def transient(
+        self,
+        flight: FlightCondition,
+        fuel_schedule: Schedule,
+        t_end: float,
+        dt: float = 0.01,
+        method: str = "Modified Euler",
+        start: Optional[OperatingPoint] = None,
+        fan_stator_schedule: Optional[Schedule] = None,
+        hpc_stator_schedule: Optional[Schedule] = None,
+        nozzle_area_schedule: Optional[Schedule] = None,
+        ab_fuel_schedule: Optional[Schedule] = None,
+    ) -> TransientResult:
+        """Run an engine transient.
+
+        Mirrors the paper's combined test: the engine is first balanced
+        at the initial operating point (unless ``start`` is supplied),
+        then the transient proceeds for ``t_end`` seconds with the
+        selected integration method."""
+        self.host.setup()
+        if start is None:
+            start = self.balance(flight, fuel_schedule.value(0.0))
+        y0 = np.array([start.n1, start.n2])
+        self._last_x = start.x.copy()
+
+        def sched(s: Optional[Schedule], t: float, default: float) -> float:
+            return s.value(t) if s is not None else default
+
+        def rhs(t: float, y: np.ndarray) -> np.ndarray:
+            n1, n2 = float(y[0]), float(y[1])
+            op = self._solve_gas_path(
+                flight,
+                fuel_schedule.value(t),
+                n1,
+                n2,
+                fan_stator=sched(fan_stator_schedule, t, 0.0),
+                hpc_stator=sched(hpc_stator_schedule, t, 0.0),
+                nozzle_area_factor=sched(nozzle_area_schedule, t, 1.0),
+                ab_fuel=sched(ab_fuel_schedule, t, 0.0),
+            )
+            dn1 = self.host.shaft_accel(
+                "low", self.low_shaft, (op.powers["fan"],), (op.powers["lpt"],),
+                0.0, n1,
+            )
+            dn2 = self.host.shaft_accel(
+                "high", self.high_shaft, (op.powers["hpc"],), (op.powers["hpt"],),
+                0.0, n2,
+            )
+            return np.array([dn1, dn2])
+
+        ode = integrate(method, rhs, 0.0, y0, t_end, dt)
+
+        # sample the recorded trajectory for the reported histories
+        thrust = np.empty(ode.t.size)
+        t4 = np.empty(ode.t.size)
+        wf_hist = np.empty(ode.t.size)
+        for i, (ti, yi) in enumerate(zip(ode.t, ode.y)):
+            op = self._solve_gas_path(
+                flight, fuel_schedule.value(float(ti)), float(yi[0]), float(yi[1]),
+                fan_stator=sched(fan_stator_schedule, float(ti), 0.0),
+                hpc_stator=sched(hpc_stator_schedule, float(ti), 0.0),
+                nozzle_area_factor=sched(nozzle_area_schedule, float(ti), 1.0),
+                ab_fuel=sched(ab_fuel_schedule, float(ti), 0.0),
+            )
+            thrust[i] = op.thrust_N
+            t4[i] = op.t4
+            wf_hist[i] = op.wf
+        self.host.teardown()
+        return TransientResult(
+            t=ode.t, n1=ode.y[:, 0], n2=ode.y[:, 1],
+            thrust=thrust, t4=t4, wf=wf_hist, method=method, ode=ode,
+        )

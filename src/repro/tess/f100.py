@@ -1,0 +1,30 @@
+"""The F100 engine model.
+
+Figure 2 of the paper shows the TESS F100 network: the engine the
+prototype executive was tested with.  :func:`build_f100` creates the
+sized engine; :data:`F100_SPEC` holds its design parameters (F100-class,
+not export data: ~100 kg/s airflow, bypass ratio 0.6, overall pressure
+ratio ~24, mixed-flow exhaust).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .engine import EngineSpec, TwinSpoolTurbofan
+from .hosts import ComponentHost
+
+__all__ = ["F100_SPEC", "build_f100"]
+
+F100_SPEC = EngineSpec(
+    name="f100",
+    fan_map="f100-fan.map",
+    hpc_map="f100-hpc.map",
+    bypass_ratio_design=0.6,
+    wf_design=1.5,
+)
+
+
+def build_f100(host: Optional[ComponentHost] = None) -> TwinSpoolTurbofan:
+    """A sized F100-class twin-spool mixed-flow turbofan."""
+    return TwinSpoolTurbofan(spec=F100_SPEC, host=host)

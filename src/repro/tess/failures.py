@@ -1,0 +1,131 @@
+"""Engine failure injection.
+
+Section 2.4: the executive should let the user "test operation of the
+engine in the presence of failures."  A :class:`FailureScenario` bundles
+component degradations — efficiency loss, flow blockage, stuck stators,
+pressure-loss growth — applied to a sized engine, returning a degraded
+copy whose balance/transient machinery is unchanged.  Comparing healthy
+vs degraded operating points is the failure study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from .engine import TwinSpoolTurbofan
+
+__all__ = [
+    "Degradation",
+    "FailureScenario",
+    "apply_scenario",
+    "FODDamage",
+    "BleedValveStuckOpen",
+    "CombustorDegradation",
+    "TurbineErosion",
+]
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """Base class: one component-level fault."""
+
+    description: str = ""
+
+    def apply(self, engine: TwinSpoolTurbofan) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FODDamage(Degradation):
+    """Foreign-object damage to the fan: flow capacity and efficiency
+    both drop (blade leading-edge damage)."""
+
+    flow_loss: float = 0.04
+    efficiency_loss: float = 0.03
+    description: str = "fan FOD damage"
+
+    def apply(self, engine: TwinSpoolTurbofan) -> None:
+        if not 0.0 <= self.flow_loss < 0.5 or not 0.0 <= self.efficiency_loss < 0.5:
+            raise ValueError("FOD losses must be fractions in [0, 0.5)")
+        m = engine.fan.map
+        engine.fan = replace(
+            engine.fan,
+            map=replace(
+                m,
+                wc_design=m.wc_design * (1.0 - self.flow_loss),
+                eta_design=m.eta_design * (1.0 - self.efficiency_loss),
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class BleedValveStuckOpen(Degradation):
+    """A bleed valve fails open: extra core flow dumped overboard."""
+
+    extra_fraction: float = 0.05
+    description: str = "bleed valve stuck open"
+
+    def apply(self, engine: TwinSpoolTurbofan) -> None:
+        new_fraction = engine.bleed.fraction + self.extra_fraction
+        engine.bleed = replace(engine.bleed, fraction=new_fraction)
+
+
+@dataclass(frozen=True)
+class CombustorDegradation(Degradation):
+    """Combustor liner damage: efficiency drop + higher pressure loss."""
+
+    efficiency_loss: float = 0.02
+    extra_dpqp: float = 0.02
+    description: str = "combustor liner degradation"
+
+    def apply(self, engine: TwinSpoolTurbofan) -> None:
+        engine.burner = replace(
+            engine.burner,
+            efficiency=engine.burner.efficiency * (1.0 - self.efficiency_loss),
+            dpqp=engine.burner.dpqp + self.extra_dpqp,
+        )
+
+
+@dataclass(frozen=True)
+class TurbineErosion(Degradation):
+    """Hot-section erosion: HPT efficiency drops."""
+
+    efficiency_loss: float = 0.03
+    description: str = "HPT blade erosion"
+
+    def apply(self, engine: TwinSpoolTurbofan) -> None:
+        engine.hpt = replace(
+            engine.hpt, efficiency=engine.hpt.efficiency * (1.0 - self.efficiency_loss)
+        )
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """A named collection of degradations."""
+
+    name: str
+    degradations: Tuple[Degradation, ...]
+
+    def describe(self) -> str:
+        return f"{self.name}: " + "; ".join(d.description for d in self.degradations)
+
+
+def apply_scenario(
+    engine_factory, scenario: Optional[FailureScenario]
+) -> TwinSpoolTurbofan:
+    """Build an engine and apply a failure scenario to it.
+
+    ``engine_factory`` is a zero-argument callable producing a fresh
+    sized engine (degradations mutate component objects, so each
+    scenario gets its own engine instance).  Degradations that change
+    map scaling apply *after* the design closure — the engine was built
+    healthy and then broke, so turbine/nozzle sizing stays at the
+    healthy values and the balance moves off-design, exactly like a real
+    deteriorated engine.
+    """
+    engine = engine_factory()
+    if scenario is not None:
+        for d in scenario.degradations:
+            d.apply(engine)
+    return engine

@@ -1,0 +1,89 @@
+"""Component-computation hosting.
+
+TESS adapted four modules to execute their computations remotely via
+Schooner: shaft, duct, combustor, and nozzle (paper §3.3).  The engine
+solver reaches those four computations through a :class:`ComponentHost`,
+so the same engine runs all-local (:class:`LocalHost`) or with any
+subset of the four routed through RPC (``repro.core.SchoonerHost``).
+
+The host interface mirrors the remote procedure signatures: plain
+scalars in, scalars out — exactly what crosses the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .components import Combustor, ConvergentNozzle, Duct, Shaft
+from .gas import GasState
+
+__all__ = ["ComponentHost", "LocalHost", "ADAPTED_MODULES"]
+
+#: the four modules the paper adapted for remote execution
+ADAPTED_MODULES = ("shaft", "duct", "combustor", "nozzle")
+
+
+class ComponentHost:
+    """Where the adaptable component computations run."""
+
+    def setup(self) -> None:
+        """Called once before a simulation run (the paper's ``set*``
+        initialization procedures fire here)."""
+
+    def duct(self, name: str, duct: Duct, state: GasState) -> GasState:
+        raise NotImplementedError
+
+    def combustor(self, comb: Combustor, state: GasState, wf: float) -> GasState:
+        raise NotImplementedError
+
+    def nozzle(
+        self, nozzle: ConvergentNozzle, state: GasState, ps_ambient: float,
+        flight_speed: float,
+    ) -> Tuple[float, float]:
+        """Returns (flow capacity kg/s, net thrust N)."""
+        raise NotImplementedError
+
+    def shaft_accel(
+        self,
+        name: str,
+        shaft: Shaft,
+        ecom: Tuple[float, ...],
+        etur: Tuple[float, ...],
+        ecorr: float,
+        xspool: float,
+    ) -> float:
+        raise NotImplementedError
+
+    def teardown(self) -> None:
+        """Called when the simulation ends."""
+
+
+@dataclass
+class LocalHost(ComponentHost):
+    """Run everything in-process (the original TESS modules)."""
+
+    calls: Dict[str, int] = field(default_factory=dict)
+
+    def _count(self, what: str) -> None:
+        self.calls[what] = self.calls.get(what, 0) + 1
+
+    def duct(self, name: str, duct: Duct, state: GasState) -> GasState:
+        self._count(f"duct:{name}")
+        return duct.run(state)
+
+    def combustor(self, comb: Combustor, state: GasState, wf: float) -> GasState:
+        self._count("combustor")
+        return comb.burn(state, wf)
+
+    def nozzle(self, nozzle, state, ps_ambient, flight_speed):
+        self._count("nozzle")
+        wcap = nozzle.flow_capacity(state, ps_ambient)
+        fn = nozzle.net_thrust(state, ps_ambient, flight_speed)
+        return wcap, fn
+
+    def shaft_accel(self, name, shaft, ecom, etur, ecorr, xspool):
+        self._count(f"shaft:{name}")
+        return shaft.accel(
+            list(ecom), len(ecom), list(etur), len(etur), ecorr, xspool
+        )

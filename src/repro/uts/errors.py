@@ -1,0 +1,52 @@
+"""Exception hierarchy for the Universal Type System (UTS).
+
+The paper's UTS [Hayes89] is the piece of Schooner that masks data-format
+heterogeneity.  Every failure mode it can produce is mapped to a distinct
+exception type so callers (stubs, the Manager's type-checker, tests) can
+react precisely.
+"""
+
+from __future__ import annotations
+
+
+class UTSError(Exception):
+    """Base class for all UTS failures."""
+
+
+class UTSSyntaxError(UTSError):
+    """A specification file failed to lex or parse.
+
+    Carries the source position so spec authors can find the problem.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class UTSTypeError(UTSError):
+    """A runtime value does not conform to its declared UTS type."""
+
+
+class UTSConversionError(UTSError):
+    """A value could not be converted between a native format and the
+    UTS intermediate representation."""
+
+
+class UTSRangeError(UTSConversionError):
+    """A native value is outside the representable range of the target
+    format.
+
+    This is the Cray problem of section 4.1: the Cray YMP's float format
+    supports larger magnitudes than the IEEE standard used by the UTS
+    intermediate representation.  Under the ``ERROR`` out-of-range policy
+    (the one NPSS chose) this exception is raised; under the ``INFINITY``
+    policy the value is clamped instead.
+    """
+
+
+class UTSCompatibilityError(UTSError):
+    """An import specification is not a subset of the matching export."""

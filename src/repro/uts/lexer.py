@@ -1,0 +1,174 @@
+"""Tokenizer for the UTS specification language.
+
+The language is Pascal-like (paper, section 3.1).  The concrete syntax we
+accept is taken from the paper's shaft example:
+
+    export setshaft prog(
+        "ecom"  val array[4] of float,
+        "incom" val integer,
+        ...
+        "ecorr" res float)
+
+plus records, comments (``--`` to end of line, and ``{ ... }`` block
+comments in the Pascal tradition), and ``import`` declarations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List
+
+from .errors import UTSSyntaxError
+
+__all__ = ["TokenKind", "Token", "tokenize"]
+
+
+class TokenKind(Enum):
+    IDENT = "ident"
+    STRING = "string"
+    NUMBER = "number"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    COLON = ":"
+    SEMICOLON = ";"
+    EOF = "eof"
+
+
+# Keywords are lexed as IDENT and distinguished by the parser so that new
+# keywords never break old specs that use them as identifiers.
+KEYWORDS = frozenset(
+    {
+        "export",
+        "import",
+        "prog",
+        "val",
+        "res",
+        "var",
+        "array",
+        "of",
+        "record",
+        "end",
+        "integer",
+        "int",
+        "float",
+        "double",
+        "byte",
+        "string",
+        "boolean",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+_PUNCT = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ":": TokenKind.COLON,
+    ";": TokenKind.SEMICOLON,
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``, returning a list ending with an EOF token."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = source[i]
+        # whitespace
+        if c in " \t\r\n":
+            advance()
+            continue
+        # line comment: -- to end of line
+        if c == "-" and i + 1 < n and source[i + 1] == "-":
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        # block comment: { ... }
+        if c == "{":
+            start_line, start_col = line, col
+            advance()
+            while i < n and source[i] != "}":
+                advance()
+            if i >= n:
+                raise UTSSyntaxError("unterminated block comment", start_line, start_col)
+            advance()  # consume '}'
+            continue
+        # punctuation
+        if c in _PUNCT:
+            yield Token(_PUNCT[c], c, line, col)
+            advance()
+            continue
+        # string literal (parameter names are quoted in the paper's syntax)
+        if c == '"':
+            start_line, start_col = line, col
+            advance()
+            chars: List[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\n":
+                    raise UTSSyntaxError("newline in string literal", start_line, start_col)
+                chars.append(source[i])
+                advance()
+            if i >= n:
+                raise UTSSyntaxError("unterminated string literal", start_line, start_col)
+            advance()  # closing quote
+            yield Token(TokenKind.STRING, "".join(chars), start_line, start_col)
+            continue
+        # number
+        if c.isdigit():
+            start_line, start_col = line, col
+            chars = []
+            while i < n and source[i].isdigit():
+                chars.append(source[i])
+                advance()
+            yield Token(TokenKind.NUMBER, "".join(chars), start_line, start_col)
+            continue
+        # identifier / keyword
+        if c.isalpha() or c == "_":
+            start_line, start_col = line, col
+            chars = []
+            while i < n and (source[i].isalnum() or source[i] in "_-"):
+                # hyphens appear in file names like npss-shaft; allow them
+                # inside identifiers but not as a trailing comment starter
+                if source[i] == "-" and i + 1 < n and source[i + 1] == "-":
+                    break
+                chars.append(source[i])
+                advance()
+            yield Token(TokenKind.IDENT, "".join(chars), start_line, start_col)
+            continue
+        raise UTSSyntaxError(f"unexpected character {c!r}", line, col)
+
+    yield Token(TokenKind.EOF, "", line, col)

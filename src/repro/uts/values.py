@@ -1,0 +1,206 @@
+"""Runtime value conformance checking for UTS types.
+
+Stubs call :func:`conform` on every argument before marshaling and after
+unmarshaling; the Schooner Manager uses the same routine for its runtime
+type-checking of procedure calls (paper, section 3.1).
+
+The canonical Python representations are:
+
+====================  =============================================
+UTS type              Python value
+====================  =============================================
+integer               ``int`` (64-bit signed range)
+float                 ``float`` (round-trips through 32 bits)
+double                ``float``
+byte                  ``int`` in 0..255
+string                ``str``
+boolean               ``bool``
+array[N] of T         ``list`` of N conformed T values
+record ... end        ``dict`` mapping field name -> conformed value
+====================  =============================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict
+
+import numpy as np
+
+from .errors import UTSTypeError
+from .types import (
+    ArrayType,
+    BooleanType,
+    ByteType,
+    DoubleType,
+    FloatType,
+    IntegerType,
+    RecordType,
+    Signature,
+    StringType,
+    UTSType,
+)
+
+__all__ = ["conform", "conform_args", "zero_value"]
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+
+def conform(t: UTSType, value: Any) -> Any:
+    """Check ``value`` against type ``t``; return the canonical form.
+
+    Raises :class:`UTSTypeError` on any mismatch.  NumPy scalars and
+    arrays are accepted and converted to plain Python objects so the
+    wire codecs never see NumPy-specific types.
+    """
+    if isinstance(t, IntegerType):
+        if isinstance(value, bool):
+            raise UTSTypeError(f"expected integer, got boolean {value!r}")
+        if isinstance(value, (int, np.integer)):
+            v = int(value)
+            if not INT64_MIN <= v <= INT64_MAX:
+                raise UTSTypeError(f"integer {v} outside 64-bit range")
+            return v
+        raise UTSTypeError(f"expected integer, got {type(value).__name__}")
+
+    if isinstance(t, (FloatType, DoubleType)):
+        if isinstance(value, bool):
+            raise UTSTypeError(f"expected {t.describe()}, got boolean {value!r}")
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            v = float(value)
+            if isinstance(t, FloatType):
+                # round through 32-bit representation so callers see the
+                # precision they will actually get on the wire
+                v = struct.unpack(">f", struct.pack(">f", _clamp_f32(v)))[0]
+            return v
+        raise UTSTypeError(f"expected {t.describe()}, got {type(value).__name__}")
+
+    if isinstance(t, ByteType):
+        if isinstance(value, bool):
+            raise UTSTypeError("expected byte, got boolean")
+        if isinstance(value, (int, np.integer)):
+            v = int(value)
+            if not 0 <= v <= 255:
+                raise UTSTypeError(f"byte value {v} outside 0..255")
+            return v
+        if isinstance(value, (bytes, bytearray)) and len(value) == 1:
+            return value[0]
+        raise UTSTypeError(f"expected byte, got {type(value).__name__}")
+
+    if isinstance(t, StringType):
+        if isinstance(value, str):
+            return value
+        raise UTSTypeError(f"expected string, got {type(value).__name__}")
+
+    if isinstance(t, BooleanType):
+        if isinstance(value, (bool, np.bool_)):
+            return bool(value)
+        raise UTSTypeError(f"expected boolean, got {type(value).__name__}")
+
+    if isinstance(t, ArrayType):
+        if isinstance(value, np.ndarray):
+            if value.ndim != 1:
+                raise UTSTypeError(
+                    f"expected 1-D array for {t.describe()}, got {value.ndim}-D"
+                )
+            value = value.tolist()
+        if not isinstance(value, (list, tuple)):
+            raise UTSTypeError(f"expected array, got {type(value).__name__}")
+        if len(value) != t.length:
+            raise UTSTypeError(
+                f"expected array of length {t.length}, got length {len(value)}"
+            )
+        return [conform(t.element, v) for v in value]
+
+    if isinstance(t, RecordType):
+        if not isinstance(value, dict):
+            raise UTSTypeError(f"expected record (dict), got {type(value).__name__}")
+        expected = {f.name for f in t.fields}
+        actual = set(value.keys())
+        if expected != actual:
+            missing = expected - actual
+            extra = actual - expected
+            parts = []
+            if missing:
+                parts.append(f"missing fields {sorted(missing)}")
+            if extra:
+                parts.append(f"unexpected fields {sorted(extra)}")
+            raise UTSTypeError(f"record mismatch: {'; '.join(parts)}")
+        return {f.name: conform(f.type, value[f.name]) for f in t.fields}
+
+    raise UTSTypeError(f"unsupported UTS type {t!r}")
+
+
+def _clamp_f32(v: float) -> float:
+    """Map doubles outside float32 range to +/-inf, as a C cast would."""
+    if v != v or v in (float("inf"), float("-inf")):
+        return v
+    limit = 3.4028235677973366e38  # max float32, rounded up
+    if v > limit:
+        return float("inf")
+    if v < -limit:
+        return float("-inf")
+    return v
+
+
+def conform_args(sig: Signature, args: Dict[str, Any], direction: str) -> Dict[str, Any]:
+    """Conform a call's argument dictionary against a signature.
+
+    ``direction`` is ``"send"`` (val+var parameters, caller to callee) or
+    ``"return"`` (res+var, callee to caller).  Exactly the parameters for
+    that direction must be present.
+    """
+    if direction == "send":
+        params = sig.sent_params
+    elif direction == "return":
+        params = sig.returned_params
+    else:  # pragma: no cover - programming error
+        raise ValueError(f"bad direction {direction!r}")
+    expected = {p.name for p in params}
+    actual = set(args.keys())
+    if expected != actual:
+        raise UTSTypeError(
+            f"{sig.name}: {direction} arguments {sorted(actual)} "
+            f"do not match expected {sorted(expected)}"
+        )
+    return {p.name: conform(p.type, args[p.name]) for p in params}
+
+
+def zero_value(t: UTSType) -> Any:
+    """A canonical zero/default value of type ``t`` (used by stubs to
+    pre-populate ``res`` parameters)."""
+    if isinstance(t, IntegerType):
+        return 0
+    if isinstance(t, (FloatType, DoubleType)):
+        return 0.0
+    if isinstance(t, ByteType):
+        return 0
+    if isinstance(t, StringType):
+        return ""
+    if isinstance(t, BooleanType):
+        return False
+    if isinstance(t, ArrayType):
+        return [zero_value(t.element) for _ in range(t.length)]
+    if isinstance(t, RecordType):
+        return {f.name: zero_value(f.type) for f in t.fields}
+    raise UTSTypeError(f"unsupported UTS type {t!r}")
+
+
+def values_equal(t: UTSType, a: Any, b: Any, rel_tol: float = 0.0) -> bool:
+    """Structural equality of two conformed values, with optional float
+    tolerance (useful in tests comparing remote vs local results)."""
+    if isinstance(t, (FloatType, DoubleType)):
+        if a == b:
+            return True
+        if rel_tol <= 0:
+            return False
+        scale = max(abs(a), abs(b))
+        return scale > 0 and abs(a - b) / scale <= rel_tol
+    if isinstance(t, ArrayType):
+        return len(a) == len(b) and all(
+            values_equal(t.element, x, y, rel_tol) for x, y in zip(a, b)
+        )
+    if isinstance(t, RecordType):
+        return all(values_equal(f.type, a[f.name], b[f.name], rel_tol) for f in t.fields)
+    return bool(a == b)

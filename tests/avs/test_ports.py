@@ -1,0 +1,53 @@
+"""Unit tests for port typing and value plumbing."""
+
+import pytest
+
+from repro.avs import ANY_TYPE, InputPort, OutputPort, PortError
+
+
+class TestOutputPort:
+    def test_initially_empty(self):
+        p = OutputPort(name="out")
+        assert not p.has_value
+        assert p.value is None
+
+    def test_put_and_clear(self):
+        p = OutputPort(name="out")
+        p.put(42)
+        assert p.has_value and p.value == 42
+        p.clear()
+        assert not p.has_value
+
+    def test_none_is_a_value(self):
+        """Publishing None is distinct from never having computed."""
+        p = OutputPort(name="out")
+        p.put(None)
+        assert p.has_value
+
+
+class TestInputPort:
+    def test_defaults(self):
+        p = InputPort(name="in")
+        assert p.required
+        assert not p.has_default
+
+    def test_default_value_detected(self):
+        p = InputPort(name="in", default=10.0)
+        assert p.has_default
+        assert p.default == 10.0
+
+    def test_type_compatibility_exact(self):
+        src = OutputPort(name="o", port_type="engine-station")
+        assert InputPort(name="i", port_type="engine-station").accepts(src)
+        assert not InputPort(name="i", port_type="power").accepts(src)
+
+    def test_any_type_accepts_everything(self):
+        src = OutputPort(name="o", port_type="weird")
+        assert InputPort(name="i", port_type=ANY_TYPE).accepts(src)
+        any_src = OutputPort(name="o", port_type=ANY_TYPE)
+        assert InputPort(name="i", port_type="power").accepts(any_src)
+
+    def test_check_accepts_raises(self):
+        src = OutputPort(name="o", port_type="a")
+        with pytest.raises(PortError, match="cannot connect"):
+            InputPort(name="i", port_type="b").check_accepts(src)

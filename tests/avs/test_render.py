@@ -1,0 +1,44 @@
+"""Tests for the text network renderer."""
+
+from repro.avs import NetworkEditor, render_network
+
+from .test_network import Adder, Doubler, Source, diamond
+
+
+class TestRenderNetwork:
+    def test_empty(self):
+        assert render_network(NetworkEditor()) == "(empty network)"
+
+    def test_layers_follow_topology(self):
+        editor, src, d1, d2, add = diamond()
+        text = render_network(editor)
+        lines = text.splitlines()
+        # source layer above doublers, above adder
+        src_line = next(i for i, l in enumerate(lines) if "[source.1]" in l)
+        dbl_line = next(i for i, l in enumerate(lines) if "[doubler.1]" in l)
+        add_line = next(i for i, l in enumerate(lines) if "[adder.1]" in l)
+        assert src_line < dbl_line < add_line
+
+    def test_parallel_modules_share_a_layer(self):
+        editor, *_ = diamond()
+        text = render_network(editor)
+        layer = next(l for l in text.splitlines() if "[doubler.1]" in l)
+        assert "[doubler.2]" in layer
+
+    def test_wire_list_complete(self):
+        editor, *_ = diamond()
+        text = render_network(editor)
+        assert "source.1.out -> doubler.1.in" in text
+        assert "doubler.2.out -> adder.1.b" in text
+        assert text.count("->") == len(editor.connections)
+
+    def test_f100_network_renders(self):
+        from repro.core import NPSSExecutive
+
+        ex = NPSSExecutive()
+        ex.build_f100_network()
+        text = render_network(ex.editor)
+        for module in ("system", "inlet", "fan", "mixing volume", "nozzle",
+                       "low speed shaft"):
+            assert f"[{module}]" in text
+        assert text.count("->") == 18

@@ -1,0 +1,138 @@
+"""Tests for AVS widgets."""
+
+import pytest
+
+from repro.avs import (
+    Dial,
+    FileBrowser,
+    FloatTypeIn,
+    IntTypeIn,
+    RadioButtons,
+    Slider,
+    StringTypeIn,
+    Toggle,
+    WidgetError,
+)
+
+
+class TestBoundedWidgets:
+    def test_dial_defaults_to_minimum(self):
+        d = Dial(name="moment inertia", minimum=0.1, maximum=10.0)
+        assert d.value == 0.1
+
+    def test_dial_accepts_in_range(self):
+        d = Dial(name="x", minimum=0.0, maximum=1.0)
+        d.set(0.5)
+        assert d.value == 0.5
+
+    def test_dial_rejects_out_of_range(self):
+        d = Dial(name="x", minimum=0.0, maximum=1.0)
+        with pytest.raises(WidgetError):
+            d.set(2.0)
+
+    def test_dial_rejects_non_numeric(self):
+        d = Dial(name="x", minimum=0.0, maximum=1.0)
+        with pytest.raises(WidgetError):
+            d.set("fast")
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(WidgetError):
+            Slider(name="x", minimum=1.0, maximum=0.0)
+
+    def test_initial_value_validated(self):
+        with pytest.raises(WidgetError):
+            Slider(name="x", value=5.0, minimum=0.0, maximum=1.0)
+
+    def test_render_shows_bounds(self):
+        s = Slider(name="spool speed", value=0.6, minimum=0.0, maximum=1.0)
+        text = s.render()
+        assert "spool speed" in text and "0..1" in text
+
+
+class TestDirtyTracking:
+    def test_new_widget_is_dirty(self):
+        assert Dial(name="x", minimum=0, maximum=1).dirty
+
+    def test_set_same_value_stays_clean(self):
+        d = Dial(name="x", value=0.5, minimum=0, maximum=1)
+        d.mark_clean()
+        d.set(0.5)
+        assert not d.dirty
+
+    def test_set_new_value_marks_dirty(self):
+        d = Dial(name="x", value=0.5, minimum=0, maximum=1)
+        d.mark_clean()
+        d.set(0.7)
+        assert d.dirty
+
+
+class TestTypeIns:
+    def test_float_typein_coerces(self):
+        w = FloatTypeIn(name="x")
+        w.set("3.5")
+        assert w.value == 3.5
+
+    def test_int_typein(self):
+        w = IntTypeIn(name="n", value=5)
+        assert w.value == 5
+        with pytest.raises(WidgetError):
+            w.set(3.7 if False else "abc")
+
+    def test_int_typein_rejects_bool(self):
+        with pytest.raises(WidgetError):
+            IntTypeIn(name="n").set(True)
+
+    def test_string_typein(self):
+        w = StringTypeIn(name="path")
+        w.set("/npss/bin/shaft")
+        assert w.value == "/npss/bin/shaft"
+        with pytest.raises(WidgetError):
+            w.set(42)
+
+
+class TestRadioButtons:
+    def test_defaults_to_first_choice(self):
+        """The paper's machine selector."""
+        r = RadioButtons(
+            name="remote machine",
+            choices=("sparc10.lerc.nasa.gov", "cray-ymp.lerc.nasa.gov"),
+        )
+        assert r.value == "sparc10.lerc.nasa.gov"
+
+    def test_choice_enforced(self):
+        r = RadioButtons(name="method", choices=("Newton-Raphson", "Runge-Kutta"))
+        r.set("Runge-Kutta")
+        assert r.value == "Runge-Kutta"
+        with pytest.raises(WidgetError):
+            r.set("Bisection")
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(WidgetError):
+            RadioButtons(name="x", choices=())
+
+    def test_render_marks_selection(self):
+        r = RadioButtons(name="m", choices=("a", "b"))
+        r.set("b")
+        assert "(*) b" in r.render()
+        assert "( ) a" in r.render()
+
+
+class TestOtherWidgets:
+    def test_toggle(self):
+        t = Toggle(name="transient")
+        assert t.value is False
+        t.set(True)
+        assert t.value is True
+        with pytest.raises(WidgetError):
+            t.set(1)
+
+    def test_browser_free_when_no_catalogue(self):
+        b = FileBrowser(name="map file")
+        b.set("/maps/lpc.map")
+        assert b.value == "/maps/lpc.map"
+
+    def test_browser_catalogue_enforced(self):
+        b = FileBrowser(name="map file", catalogue=["a.map", "b.map"])
+        b.set("a.map")
+        with pytest.raises(WidgetError):
+            b.set("c.map")

@@ -1,0 +1,135 @@
+"""Tests for result export (§2.3 multiple graphics packages) and
+widget-driven zooming in the executive."""
+
+import numpy as np
+import pytest
+
+from repro.core import NPSSExecutive
+from repro.core.export import AVSFieldWriter, CSVWriter, columns_of
+from repro.tess import FlightCondition, Schedule, build_f100
+
+SLS = FlightCondition(0.0, 0.0)
+
+
+@pytest.fixture(scope="module")
+def transient():
+    engine = build_f100()
+    sched = Schedule.of((0.0, 1.35), (0.3, 1.5), (1.0, 1.5))
+    return engine.transient(SLS, sched, t_end=1.0, dt=0.05)
+
+
+class TestColumns:
+    def test_transient_columns(self, transient):
+        cols = columns_of(transient)
+        assert set(cols) == {"t", "n1", "n2", "thrust", "t4", "wf"}
+        assert all(len(v) == transient.t.size for v in cols.values())
+
+    def test_profile_columns(self):
+        from repro.tess import FlightProfile, fly_profile
+
+        res = fly_profile(
+            build_f100(),
+            FlightProfile.of((0, 0, 0, 1.4), (1.0, 100, 0.1, 1.4)),
+            dt=0.1,
+        )
+        cols = columns_of(res)
+        assert "altitude" in cols and "mach" in cols
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            columns_of(42)
+
+
+class TestCSVWriter:
+    def test_header_and_rows(self, transient):
+        text = CSVWriter().export(transient)
+        lines = text.strip().splitlines()
+        assert lines[0] == "t,n1,n2,thrust,t4,wf"
+        assert len(lines) == transient.t.size + 1
+
+    def test_values_parse_back(self, transient):
+        text = CSVWriter().export(transient)
+        lines = text.strip().splitlines()
+        row = [float(x) for x in lines[1].split(",")]
+        assert row[0] == pytest.approx(float(transient.t[0]))
+        assert row[3] == pytest.approx(float(transient.thrust[0]), rel=1e-8)
+
+    def test_precision_configurable(self, transient):
+        short = CSVWriter(precision=3).export(transient)
+        long = CSVWriter(precision=12).export(transient)
+        assert len(long) > len(short)
+
+
+class TestAVSFieldWriter:
+    def test_header_structure(self, transient):
+        text = AVSFieldWriter().export(transient)
+        lines = text.splitlines()
+        assert lines[0] == "# AVS field file"
+        header = dict(l.split("=", 1) for l in lines[1:8])
+        assert header["ndim"] == "1"
+        assert int(header["dim1"]) == transient.t.size
+        assert int(header["veclen"]) == 6
+        assert "thrust" in header["label"]
+
+    def test_body_rows(self, transient):
+        text = AVSFieldWriter().export(transient)
+        body = text.splitlines()[8:]
+        assert len(body) == transient.t.size
+        first = [float(x) for x in body[0].split()]
+        assert len(first) == 6
+
+
+class TestExecutiveZooming:
+    def test_level2_fidelity_produces_zoom_report(self):
+        ex = NPSSExecutive()
+        mods = ex.build_f100_network()
+        mods["system"].set_param("transient seconds", 0.0)
+        mods["hpc"].set_param("fidelity", "level 2 (stage-stacked)")
+        mods["hpc"].set_param("stages", 10)
+        ex.execute()
+        assert "hpc" in ex.zoom_reports
+        boundary = ex.zoom_reports["hpc"]
+        # the zoomed PR reproduces the cycle's solved PR exactly
+        pr_cycle = ex.solution.stations["3"].Pt / ex.solution.stations["25"].Pt
+        assert boundary.pressure_ratio == pytest.approx(pr_cycle, rel=1e-9)
+        assert 0.7 < boundary.efficiency < 1.0
+        assert boundary.max_stage_loading > 0
+
+    def test_level1_produces_no_report(self):
+        ex = NPSSExecutive()
+        mods = ex.build_f100_network()
+        mods["system"].set_param("transient seconds", 0.0)
+        ex.execute()
+        assert ex.zoom_reports == {}
+
+    def test_zoomed_power_near_cycle_power(self):
+        ex = NPSSExecutive()
+        mods = ex.build_f100_network()
+        mods["system"].set_param("transient seconds", 0.0)
+        mods["hpc"].set_param("fidelity", "level 2 (stage-stacked)")
+        ex.execute()
+        zoomed = ex.zoom_reports["hpc"].power_W
+        cycle = ex.solution.powers["hpc"]
+        assert zoomed == pytest.approx(cycle, rel=0.10)
+
+
+class TestKhorosWriter:
+    def test_header_structure(self, transient):
+        from repro.core import KhorosWriter
+
+        text = KhorosWriter().export(transient)
+        lines = text.splitlines()
+        assert lines[0].startswith("# khoros")
+        header = dict(l.split("=", 1) for l in lines[1:6])
+        assert int(header["row_size"]) == transient.t.size
+        assert int(header["num_data_bands"]) == 6
+        assert "thrust" in header["comment"]
+
+    def test_same_data_both_packages(self, transient):
+        """§2.3's point: the simulation's output feeds either graphics
+        package without conversion of the underlying results."""
+        from repro.core import AVSFieldWriter, KhorosWriter
+
+        avs_body = AVSFieldWriter().export(transient).splitlines()[8:]
+        kho_body = KhorosWriter().export(transient).splitlines()[6:]
+        assert avs_body == kho_body

@@ -1,0 +1,68 @@
+"""Tests for interactive mid-run parameter modification (§2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import NPSSExecutive
+
+
+@pytest.fixture
+def executive():
+    ex = NPSSExecutive()
+    ex.modules = ex.build_f100_network()
+    ex.modules["combustor"].set_param("fuel flow", 1.35)
+    ex.modules["combustor"].set_param("fuel flow-op", 1.35)
+    return ex
+
+
+class TestRunInteractive:
+    def test_mid_run_throttle_change(self, executive):
+        """The user advances the throttle halfway through the run: the
+        spools respond from that point on."""
+        result = executive.run_interactive(
+            [
+                (0.5, {}),
+                (0.5, {("combustor", "fuel flow"): 1.5,
+                       ("combustor", "fuel flow-op"): 1.5}),
+            ]
+        )
+        # segment 1 is steady at 1.35; segment 2 accelerates
+        mid = np.searchsorted(result.t, 0.5)
+        assert np.allclose(result.n1[:mid], result.n1[0], atol=1e-4)
+        assert result.n1[-1] > result.n1[0] + 0.01
+        assert result.wf[-1] == pytest.approx(1.5)
+        assert result.wf[0] == pytest.approx(1.35)
+
+    def test_time_axis_stitched(self, executive):
+        result = executive.run_interactive([(0.3, {}), (0.3, {}), (0.4, {})])
+        assert result.t[0] == 0.0
+        assert result.t[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(result.t) > 0)
+
+    def test_no_updates_equals_plain_transient(self, executive):
+        """A segmented run with no widget changes matches the single-
+        segment run (state carries exactly)."""
+        seg = executive.run_interactive([(0.25, {}), (0.25, {})])
+        executive.modules["system"].set_param("transient seconds", 0.5)
+        executive.execute()
+        plain = executive.transient_result
+        assert float(seg.n1[-1]) == pytest.approx(float(plain.n1[-1]), abs=1e-6)
+
+    def test_dial_back_decelerates(self, executive):
+        executive.modules["combustor"].set_param("fuel flow", 1.5)
+        executive.modules["combustor"].set_param("fuel flow-op", 1.5)
+        result = executive.run_interactive(
+            [
+                (0.3, {}),
+                (0.7, {("combustor", "fuel flow"): 1.3,
+                       ("combustor", "fuel flow-op"): 1.3}),
+            ]
+        )
+        assert result.n1[-1] < result.n1[0] - 0.01
+
+    def test_remote_placement_honoured(self, executive):
+        executive.modules["shaft-low"].set_param(
+            "remote machine", "rs6000.lerc.nasa.gov"
+        )
+        executive.run_interactive([(0.2, {}), (0.2, {})])
+        assert executive.host.calls.get("shaft:low", 0) > 0

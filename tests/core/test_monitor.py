@@ -1,0 +1,100 @@
+"""Tests for simulation monitoring (§2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import STANDARD_PROBES, MonitorPanel, Probe
+from repro.tess import FlightCondition, Schedule, build_f100
+
+SLS = FlightCondition(0.0, 0.0)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return build_f100()
+
+
+@pytest.fixture(scope="module")
+def op(engine):
+    return engine.balance(SLS, 1.4)
+
+
+class TestProbes:
+    def test_standard_probe_catalogue(self):
+        for name in ("N1", "N2", "thrust", "T4", "wf", "airflow"):
+            assert name in STANDARD_PROBES
+
+    def test_probe_extraction(self, op):
+        assert STANDARD_PROBES["N1"](op) == op.n1
+        assert STANDARD_PROBES["thrust"](op) == pytest.approx(op.thrust_N / 1e3)
+        assert STANDARD_PROBES["T4"](op) == op.t4
+
+    def test_custom_probe(self, op):
+        opr = Probe("OPR", "-", lambda o: o.stations["3"].Pt / o.stations["2"].Pt)
+        assert 20 < opr(op) < 28
+
+
+class TestMonitorPanel:
+    def test_observe_and_series(self, op):
+        panel = MonitorPanel.standard("N1", "thrust")
+        panel.observe(0.0, op)
+        panel.observe(0.1, op)
+        assert panel.samples_kept == 2
+        assert panel.series("N1").shape == (2,)
+        assert np.all(panel.times == [0.0, 0.1])
+
+    def test_unknown_series_rejected(self, op):
+        panel = MonitorPanel.standard("N1")
+        panel.observe(0.0, op)
+        with pytest.raises(KeyError, match="thrust"):
+            panel.series("thrust")
+
+    def test_duplicate_probes_rejected(self):
+        p = STANDARD_PROBES["N1"]
+        with pytest.raises(ValueError):
+            MonitorPanel(probes=(p, p))
+
+    def test_decimation_filters_samples(self, op):
+        """The §2.3 filtering strategy: a slow display keeps every
+        4th sample."""
+        panel = MonitorPanel.standard("N1", keep_every=4)
+        for i in range(20):
+            panel.observe(i * 0.01, op)
+        assert panel.samples_offered == 20
+        assert panel.samples_kept == 5
+
+    def test_keep_every_validated(self):
+        with pytest.raises(ValueError):
+            MonitorPanel.standard("N1", keep_every=0)
+
+    def test_render_strip_chart(self, op):
+        panel = MonitorPanel.standard("N1", "T4")
+        for i in range(10):
+            panel.observe(i * 0.1, op)
+        text = panel.render()
+        assert "N1" in text and "T4" in text
+        assert "[K]" in text
+
+    def test_render_empty(self):
+        panel = MonitorPanel.standard("N1")
+        assert "no samples" in panel.render()
+
+
+class TestMonitoredTransient:
+    def test_monitor_tracks_spool_up(self, engine):
+        """Monitor a throttle transient: the N1 series must rise."""
+        sched = Schedule.of((0.0, 1.35), (0.3, 1.5), (1.0, 1.5))
+        res = engine.transient(SLS, sched, t_end=1.0, dt=0.05)
+        panel = MonitorPanel.standard("N1", "thrust", "T4", keep_every=2)
+
+        from repro.core import monitor_transient
+
+        def solve_point(t, n1, n2):
+            return engine._solve_gas_path(SLS, sched.value(t), n1, n2)
+
+        monitor_transient(panel, res, solve_point)
+        n1 = panel.series("N1")
+        assert n1[-1] > n1[0]
+        assert panel.samples_kept == (res.t.size + 1) // 2
+        thrust = panel.series("thrust")
+        assert thrust[-1] > thrust[0]

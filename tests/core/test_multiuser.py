@@ -1,0 +1,83 @@
+"""Two independent simulation sessions sharing the machine park.
+
+The paper's Manager is "one such process per executing program" — so two
+users at two workstations run two Managers against the same machines.
+Their processes, lines, and results must not interfere.
+"""
+
+import pytest
+
+from repro.core import NPSSExecutive
+from repro.schooner import SchoonerEnvironment
+
+
+@pytest.fixture
+def shared_world():
+    env = SchoonerEnvironment.standard()
+    ua = NPSSExecutive(env=env, avs_machine="ua-sparc10")
+    lerc = NPSSExecutive(env=env, avs_machine="lerc-sparc10")
+    ua.modules = ua.build_f100_network()
+    lerc.modules = lerc.build_f100_network()
+    for ex in (ua, lerc):
+        ex.modules["system"].set_param("transient seconds", 0.0)
+    return env, ua, lerc
+
+
+class TestTwoUsers:
+    def test_independent_managers(self, shared_world):
+        env, ua, lerc = shared_world
+        assert ua.manager is not lerc.manager
+        assert ua.manager.host is not lerc.manager.host
+
+    def test_both_place_on_the_same_machine(self, shared_world):
+        """Both users put their nozzle on the same RS6000: two separate
+        processes, one per Manager, no cross-talk."""
+        env, ua, lerc = shared_world
+        ua.modules["nozzle"].set_param("remote machine", "rs6000.lerc.nasa.gov")
+        lerc.modules["nozzle"].set_param("remote machine", "rs6000.lerc.nasa.gov")
+        ua.execute()
+        lerc.execute()
+        assert len(env.park["lerc-rs6000"].running_processes) == 2
+        assert ua.solution.thrust_N == pytest.approx(lerc.solution.thrust_N, rel=1e-9)
+
+    def test_different_settings_do_not_leak(self, shared_world):
+        env, ua, lerc = shared_world
+        ua.modules["combustor"].set_param("fuel flow", 1.3)
+        ua.modules["combustor"].set_param("fuel flow-op", 1.3)
+        lerc.modules["combustor"].set_param("fuel flow", 1.5)
+        lerc.modules["combustor"].set_param("fuel flow-op", 1.5)
+        ua.execute()
+        lerc.execute()
+        assert ua.solution.thrust_N < lerc.solution.thrust_N
+
+    def test_one_user_clearing_spares_the_other(self, shared_world):
+        env, ua, lerc = shared_world
+        ua.modules["nozzle"].set_param("remote machine", "rs6000.lerc.nasa.gov")
+        lerc.modules["nozzle"].set_param("remote machine", "rs6000.lerc.nasa.gov")
+        ua.execute()
+        lerc.execute()
+        ua.clear_network()
+        assert len(env.park["lerc-rs6000"].running_processes) == 1
+        assert lerc.manager.running
+        # the surviving user keeps working
+        lerc.modules["inlet"].set_param("mach", 0.01)
+        lerc.execute()
+        assert lerc.solution.converged
+
+    def test_wan_cost_depends_on_the_users_site(self, shared_world):
+        """The same placement is cheap for the LeRC user and expensive
+        for the Arizona user — placement is per-user, as §2.3 says."""
+        env, ua, lerc = shared_world
+        for ex in (ua, lerc):
+            ex.modules["nozzle"].set_param("remote machine", "sgi4d420.lerc.nasa.gov")
+            ex.modules["system"].set_param("transient seconds", 0.1)
+        env.reset_traces()
+        ua.execute()
+        ua_cost = sum(t.network_s for t in env.traces if t.procedure == "nozl")
+        ua_calls = sum(1 for t in env.traces if t.procedure == "nozl")
+        env.reset_traces()
+        lerc.execute()
+        lerc_cost = sum(t.network_s for t in env.traces if t.procedure == "nozl")
+        lerc_calls = sum(1 for t in env.traces if t.procedure == "nozl")
+        assert ua_calls == lerc_calls
+        assert ua_cost > 10 * lerc_cost

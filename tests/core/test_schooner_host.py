@@ -1,0 +1,103 @@
+"""Unit tests for SchoonerHost: placement bookkeeping, local fallback,
+lazy set* initialization, and teardown."""
+
+import pytest
+
+from repro.core import REMOTE_PATHS, SchoonerHost, install_tess_executables
+from repro.schooner import Manager, ManagerMode, SchoonerEnvironment
+from repro.tess import Combustor, ConvergentNozzle, Duct, GasState, Shaft
+
+STATE = GasState(W=63.0, Tt=745.0, Pt=2.2e6, far=0.0)
+
+
+@pytest.fixture
+def host():
+    env = SchoonerEnvironment.standard()
+    install_tess_executables(env.park)
+    manager = Manager(env=env, host=env.park["ua-sparc10"], mode=ManagerMode.LINES)
+    return SchoonerHost(
+        manager=manager, avs_machine=env.park["ua-sparc10"],
+        placements={"duct:core": "lerc-cray", "combustor": "ua-sgi340"},
+    )
+
+
+class TestRouting:
+    def test_placed_instances_go_remote(self, host):
+        duct = Duct(dpqp=0.02)
+        out = host.duct("core", duct, STATE)
+        assert out.Pt == pytest.approx(STATE.Pt * 0.98, rel=1e-9)
+        assert host.calls["duct:core"] == 1
+
+    def test_unplaced_instances_stay_local(self, host):
+        duct = Duct(dpqp=0.02)
+        out = host.duct("bypass", duct, STATE)
+        assert out.Pt == pytest.approx(STATE.Pt * 0.98)
+        assert "duct:bypass" not in host.calls
+        assert host._local.calls["duct:bypass"] == 1
+
+    def test_combustor_remote(self, host):
+        out = host.combustor(Combustor(), STATE, 1.5)
+        assert out.Tt > STATE.Tt
+        assert host.calls["combustor"] == 1
+
+    def test_nozzle_local_fallback(self, host):
+        noz = ConvergentNozzle().sized_for(
+            GasState(W=100.0, Tt=900.0, Pt=3e5, far=0.02), 101325.0
+        )
+        wcap, fn = host.nozzle(noz, GasState(W=100.0, Tt=900.0, Pt=3e5, far=0.02),
+                               101325.0, 0.0)
+        assert wcap == pytest.approx(100.0, rel=1e-9)
+        assert "nozzle" not in host.calls
+
+    def test_shaft_remote_when_placed(self, host):
+        host.placements["shaft:low"] = "lerc-rs6000"
+        shaft = Shaft(inertia=2.2, omega_design=1050.0)
+        dn = host.shaft_accel("low", shaft, (12.9e6,), (13.4e6,), 0.0, 1.0)
+        local = shaft.accel([12.9e6], 1, [13.4e6], 1, 0.0, 1.0)
+        assert dn == pytest.approx(local, rel=1e-9)
+        assert host.calls["shaft:low"] == 1
+
+
+class TestLazyInit:
+    def test_set_procedure_called_once(self, host):
+        duct = Duct(dpqp=0.02)
+        host.duct("core", duct, STATE)
+        host.duct("core", duct, STATE)
+        traces = [t.procedure for t in host.manager.env.traces]
+        assert traces.count("setduct") == 1
+        assert traces.count("duct") == 2
+
+    def test_parameter_change_reinitializes(self, host):
+        host.duct("core", Duct(dpqp=0.02), STATE)
+        out = host.duct("core", Duct(dpqp=0.10), STATE)
+        assert out.Pt == pytest.approx(STATE.Pt * 0.90, rel=1e-9)
+        traces = [t.procedure for t in host.manager.env.traces]
+        assert traces.count("setduct") == 2
+
+
+class TestLifecycle:
+    def test_setup_starts_all_placed(self, host):
+        host.setup()
+        env = host.manager.env
+        assert len(env.park["lerc-cray"].running_processes) == 1
+        assert len(env.park["ua-sgi340"].running_processes) == 1
+
+    def test_destroy_instance_stops_its_process(self, host):
+        host.setup()
+        host.destroy_instance("duct:core")
+        env = host.manager.env
+        assert len(env.park["lerc-cray"].running_processes) == 0
+        assert len(env.park["ua-sgi340"].running_processes) == 1
+
+    def test_destroy_all(self, host):
+        host.setup()
+        host.destroy_all()
+        env = host.manager.env
+        for nick in ("lerc-cray", "ua-sgi340"):
+            assert len(env.park[nick].running_processes) == 0
+        assert host.manager.running
+
+    def test_remote_call_count(self, host):
+        host.duct("core", Duct(dpqp=0.02), STATE)
+        host.combustor(Combustor(), STATE, 1.5)
+        assert host.remote_call_count == 2

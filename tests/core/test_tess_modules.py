@@ -1,0 +1,140 @@
+"""Unit tests for the TESS AVS module wrappers."""
+
+import pytest
+
+from repro.core import (
+    LOCAL_CHOICE,
+    CombustorModule,
+    CompressorModule,
+    DuctModule,
+    InletModule,
+    NozzleModule,
+    NPSSExecutive,
+    ShaftModule,
+    SystemModule,
+    TESS_PALETTE,
+)
+
+
+@pytest.fixture
+def executive():
+    ex = NPSSExecutive()
+    ex.modules = ex.build_f100_network()
+    ex.modules["system"].set_param("transient seconds", 0.0)
+    return ex
+
+
+class TestModuleDeclarations:
+    def test_palette_covers_all_module_types(self):
+        assert set(TESS_PALETTE) == {
+            "InletModule", "CompressorModule", "SplitterModule", "BleedModule",
+            "DuctModule", "CombustorModule", "TurbineModule",
+            "MixingVolumeModule", "NozzleModule", "ShaftModule", "SystemModule",
+        }
+
+    def test_inlet_widgets(self):
+        m = InletModule(role="inlet")
+        assert set(m.widgets) == {"altitude", "mach", "humidity", "recovery"}
+        assert "out" in m.output_ports
+
+    def test_compressor_has_map_browser(self):
+        """'this method is used for the compressor and turbine modules
+        to select performance maps' — the browser widget."""
+        m = CompressorModule(role="fan")
+        browser = m.widget("performance map")
+        m.set_param("performance map", "f100-fan.map")
+        from repro.avs import WidgetError
+
+        with pytest.raises(WidgetError):
+            m.set_param("performance map", "not-a-map.map")
+
+    def test_compressor_fidelity_menu(self):
+        m = CompressorModule(role="hpc")
+        assert not m.zoomed
+        m.set_param("fidelity", "level 2 (stage-stacked)")
+        assert m.zoomed
+
+    def test_shaft_widgets_match_figure2(self):
+        m = ShaftModule(role="shaft:low")
+        for name in ("moment inertia", "spool speed", "spool speed-op",
+                     "remote machine", "pathname"):
+            assert name in m.widgets
+
+    def test_system_module_menus_match_paper(self):
+        m = SystemModule(role="system")
+        assert m.widget("steady-state method").choices == (
+            "Newton-Raphson", "Runge-Kutta",
+        )
+        assert m.widget("transient method").choices == (
+            "Modified Euler", "Runge-Kutta", "Adams", "Gear",
+        )
+
+    def test_remote_kind_placement_keys(self):
+        assert DuctModule(role="duct:bypass").placement_key == "duct:bypass"
+        assert ShaftModule(role="shaft:high").placement_key == "shaft:high"
+        assert CombustorModule(role="combustor").placement_key == "combustor"
+        assert NozzleModule(role="nozzle").placement_key == "nozzle"
+
+    def test_machine_choices_include_both_sites(self):
+        m = DuctModule(role="duct:core")
+        choices = m.widget("remote machine").choices
+        assert LOCAL_CHOICE in choices
+        assert any("lerc.nasa.gov" in c for c in choices)
+        assert any("arizona.edu" in c for c in choices)
+
+
+class TestModuleOutputs:
+    def test_compressor_publishes_station_and_energy(self, executive):
+        executive.execute()
+        sched = executive.scheduler
+        fan_out = sched.output_of("fan", "out")
+        fan_energy = sched.output_of("fan", "energy")
+        assert fan_out.Pt > executive.solution.stations["2"].Pt
+        assert fan_energy == pytest.approx(executive.solution.powers["fan"])
+
+    def test_turbines_publish_energy(self, executive):
+        executive.execute()
+        sched = executive.scheduler
+        assert sched.output_of("high pressure turbine", "energy") == pytest.approx(
+            executive.solution.powers["hpt"]
+        )
+
+    def test_splitter_divides_flow(self, executive):
+        executive.execute()
+        sched = executive.scheduler
+        core = sched.output_of("splitter", "core")
+        bypass = sched.output_of("splitter", "bypass")
+        fan = sched.output_of("fan", "out")
+        assert core.W + bypass.W == pytest.approx(fan.W, rel=1e-9)
+
+    def test_shaft_displays_solved_speed(self, executive):
+        executive.execute()
+        low = executive.editor.module("low speed shaft")
+        assert low.widget("spool speed").value == pytest.approx(
+            executive.solution.n1
+        )
+        assert executive.scheduler.output_of("low speed shaft", "speed") == pytest.approx(
+            executive.solution.n1
+        )
+
+    def test_nozzle_publishes_thrust(self, executive):
+        executive.execute()
+        assert executive.scheduler.output_of("nozzle", "thrust") == pytest.approx(
+            executive.solution.thrust_N
+        )
+
+    def test_widget_changes_flow_into_engine_spec(self, executive):
+        executive.execute()
+        t0 = executive.solution.thrust_N
+        executive.editor.module("combustor").set_param("efficiency", 0.92)
+        executive.execute()
+        assert executive.solution.thrust_N < t0  # worse burner, less thrust
+
+    def test_inlet_condition_widgets_drive_flight(self, executive):
+        executive.modules["inlet"].set_param("altitude", 5000.0)
+        executive.modules["inlet"].set_param("mach", 0.7)
+        fc = executive.flight_condition()
+        assert fc.altitude_m == 5000.0
+        assert fc.mach == 0.7
+        executive.execute()
+        assert executive.solution.converged

@@ -1,0 +1,89 @@
+"""Tests for architecture descriptors and the Fortran name-case rules."""
+
+import pytest
+
+from repro.machines import (
+    ALL_ARCHITECTURES,
+    CONVEX_C2,
+    CRAY_YMP_ARCH,
+    MIPS_SGI,
+    RS6000_ARCH,
+    SPARC,
+    FortranCase,
+    Language,
+    compiled_name,
+    name_synonyms,
+)
+from repro.uts import CrayFormat, IEEEFormat, VAXFormat
+
+
+class TestArchitectureCatalogue:
+    def test_unique_names(self):
+        names = [a.name for a in ALL_ARCHITECTURES]
+        assert len(set(names)) == len(names)
+
+    def test_cray_uses_cray_format_and_upper_case(self):
+        assert isinstance(CRAY_YMP_ARCH.native_format, CrayFormat)
+        assert CRAY_YMP_ARCH.fortran_case is FortranCase.UPPER
+
+    def test_convex_uses_vax_format(self):
+        assert isinstance(CONVEX_C2.native_format, VAXFormat)
+
+    def test_workstations_use_ieee(self):
+        for arch in (SPARC, MIPS_SGI, RS6000_ARCH):
+            assert isinstance(arch.native_format, IEEEFormat)
+            assert arch.native_format.big_endian
+            assert arch.native_format.int_bits == 32
+            assert arch.fortran_case is FortranCase.LOWER
+
+    def test_relative_speeds_match_the_park(self):
+        # vector Cray > minisuper Convex > workstations
+        assert CRAY_YMP_ARCH.mflops > CONVEX_C2.mflops > SPARC.mflops
+
+    def test_compute_seconds_scales_inverse_speed(self):
+        flops = 1e6
+        assert SPARC.compute_seconds(flops) > CRAY_YMP_ARCH.compute_seconds(flops)
+        assert SPARC.compute_seconds(flops) == pytest.approx(0.1)
+
+    def test_compute_seconds_load(self):
+        flops = 1e6
+        idle = SPARC.compute_seconds(flops, load=0.0)
+        busy = SPARC.compute_seconds(flops, load=0.5)
+        assert busy == pytest.approx(2 * idle)
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            SPARC.compute_seconds(1.0, load=1.0)
+        with pytest.raises(ValueError):
+            SPARC.compute_seconds(1.0, load=-0.1)
+
+
+class TestFortranNames:
+    def test_most_compilers_lower_case(self):
+        assert compiled_name("SetShaft", Language.FORTRAN, FortranCase.LOWER) == "setshaft"
+
+    def test_cray_compiler_upper_cases(self):
+        assert compiled_name("setshaft", Language.FORTRAN, FortranCase.UPPER) == "SETSHAFT"
+
+    def test_c_names_case_preserved(self):
+        # the paper rejected blanket lower-casing because it would break C
+        assert compiled_name("SetShaft", Language.C, FortranCase.UPPER) == "SetShaft"
+        assert compiled_name("SetShaft", Language.C, FortranCase.LOWER) == "SetShaft"
+
+    def test_fortran_synonyms_both_cases(self):
+        assert name_synonyms("shaft", Language.FORTRAN) == {"shaft", "SHAFT"}
+        assert name_synonyms("SHAFT", Language.FORTRAN) == {"shaft", "SHAFT"}
+
+    def test_c_names_have_no_synonyms(self):
+        assert name_synonyms("Shaft", Language.C) == {"Shaft"}
+
+    def test_synonym_sets_meet_across_compilers(self):
+        """A Sun-compiled caller and a Cray-compiled callee must agree on
+        at least one name — the section-4.1 requirement."""
+        sun = name_synonyms(
+            compiled_name("shaft", Language.FORTRAN, FortranCase.LOWER), Language.FORTRAN
+        )
+        cray = name_synonyms(
+            compiled_name("shaft", Language.FORTRAN, FortranCase.UPPER), Language.FORTRAN
+        )
+        assert sun & cray

@@ -1,0 +1,48 @@
+"""Tests for the VirtualProcess API surface."""
+
+import pytest
+
+from repro.machines import (
+    SPARC,
+    Machine,
+    ProcessDead,
+    ProcessState,
+    VirtualProcess,
+)
+
+
+@pytest.fixture
+def proc():
+    m = Machine(hostname="h", architecture=SPARC, site="s", subnet="n")
+    m.install("/bin/x", object())
+    return m.spawn("/bin/x")
+
+
+class TestVirtualProcess:
+    def test_require_alive_passes_when_running(self, proc):
+        proc.require_alive()
+
+    def test_require_alive_raises_when_stopped(self, proc):
+        proc.machine.kill(proc.pid)
+        with pytest.raises(ProcessDead, match="stopped"):
+            proc.require_alive()
+
+    def test_require_alive_raises_when_failed(self, proc):
+        proc.machine.shutdown()
+        with pytest.raises(ProcessDead, match="failed"):
+            proc.require_alive()
+
+    def test_memory_is_private_per_process(self, proc):
+        other = proc.machine.spawn("/bin/x")
+        proc.memory["k"] = 1
+        assert "k" not in other.memory
+
+    def test_states(self, proc):
+        assert proc.state is ProcessState.RUNNING
+        proc.machine.kill(proc.pid)
+        assert proc.state is ProcessState.STOPPED
+        assert not proc.alive
+
+    def test_str_forms(self, proc):
+        assert "h:" in str(proc)
+        assert proc.executable_path in str(proc)

@@ -1,0 +1,114 @@
+"""Tests for the fast-talker/slow-listener bottleneck channel (§2.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network import BottleneckChannel, Strategy
+
+
+def fast_to_slow(**kw):
+    """Producer 4x faster than consumer."""
+    defaults = dict(produce_seconds=0.01, transfer_seconds=0.005, consume_seconds=0.04)
+    defaults.update(kw)
+    return BottleneckChannel(**defaults)
+
+
+class TestBlockStrategy:
+    def test_producer_stalls_to_consumer_rate(self):
+        report = fast_to_slow().run(100, Strategy.BLOCK)
+        assert report.items_consumed == 100
+        assert report.items_dropped == 0
+        assert report.producer_stall_seconds > 0
+        # the run is consumer-bound: roughly n * consume_seconds
+        assert report.total_seconds == pytest.approx(100 * 0.04, rel=0.1)
+
+    def test_no_stall_when_consumer_faster(self):
+        ch = BottleneckChannel(
+            produce_seconds=0.04, transfer_seconds=0.001, consume_seconds=0.01
+        )
+        report = ch.run(50, Strategy.BLOCK)
+        assert report.producer_stall_seconds == 0
+        assert report.producer_utilization == 1.0
+
+
+class TestBufferStrategy:
+    def test_buffer_absorbs_short_bursts(self):
+        # 5 items, buffer of 8: no stall at all
+        report = fast_to_slow(buffer_capacity=8).run(5, Strategy.BUFFER)
+        assert report.producer_stall_seconds == 0
+        assert report.items_consumed == 5
+
+    def test_buffer_eventually_fills_on_long_streams(self):
+        report = fast_to_slow(buffer_capacity=4).run(200, Strategy.BUFFER)
+        assert report.producer_stall_seconds > 0
+        assert report.peak_queue_depth == 4
+        assert report.items_consumed == 200
+
+    def test_bigger_buffer_less_stall(self):
+        small = fast_to_slow(buffer_capacity=2).run(100, Strategy.BUFFER)
+        big = fast_to_slow(buffer_capacity=64).run(100, Strategy.BUFFER)
+        assert big.producer_stall_seconds < small.producer_stall_seconds
+
+    def test_buffer_beats_block_for_bursts(self):
+        block = fast_to_slow().run(8, Strategy.BLOCK)
+        buffered = fast_to_slow(buffer_capacity=16).run(8, Strategy.BUFFER)
+        assert buffered.producer_stall_seconds < block.producer_stall_seconds
+
+
+class TestFilterStrategy:
+    def test_filtering_drops_items(self):
+        report = fast_to_slow(filter_keep_every=4).run(100, Strategy.FILTER)
+        assert report.items_consumed == 25
+        assert report.items_dropped == 75
+
+    def test_filtering_removes_the_bottleneck(self):
+        """Keeping every 5th item more than covers a 4x slower consumer:
+        the producer runs at full speed.  (keep_every=4 would be exactly
+        marginal, where float accumulation makes the outcome undefined.)"""
+        report = fast_to_slow(filter_keep_every=5).run(200, Strategy.FILTER)
+        assert report.producer_stall_seconds == 0
+
+    def test_keep_every_1_equals_block(self):
+        ch = fast_to_slow(filter_keep_every=1)
+        f = ch.run(50, Strategy.FILTER)
+        b = ch.run(50, Strategy.BLOCK)
+        assert f.items_consumed == b.items_consumed == 50
+        assert f.total_seconds == pytest.approx(b.total_seconds)
+
+    def test_invalid_filter_rejected(self):
+        with pytest.raises(ValueError):
+            fast_to_slow(filter_keep_every=0).run(10, Strategy.FILTER)
+
+
+class TestInvariants:
+    @given(
+        n=st.integers(min_value=0, max_value=300),
+        produce=st.floats(min_value=0.001, max_value=0.1),
+        consume=st.floats(min_value=0.001, max_value=0.1),
+        cap=st.integers(min_value=0, max_value=32),
+        strategy=st.sampled_from(list(Strategy)),
+    )
+    def test_conservation(self, n, produce, consume, cap, strategy):
+        ch = BottleneckChannel(
+            produce_seconds=produce,
+            transfer_seconds=0.002,
+            consume_seconds=consume,
+            buffer_capacity=cap,
+            filter_keep_every=3,
+        )
+        report = ch.run(n, strategy)
+        assert report.items_consumed + report.items_dropped == n
+        assert report.producer_stall_seconds >= 0
+        assert report.total_seconds >= 0
+        assert 0 <= report.producer_utilization <= 1
+
+    @given(n=st.integers(min_value=1, max_value=200))
+    def test_total_time_at_least_consumer_work(self, n):
+        ch = fast_to_slow()
+        report = ch.run(n, Strategy.BLOCK)
+        assert report.total_seconds >= n * ch.consume_seconds - 1e-9
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError):
+            fast_to_slow().run(-1, Strategy.BLOCK)

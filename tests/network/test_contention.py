@@ -1,0 +1,101 @@
+"""Tests for link contention: concurrent senders share trunk capacity."""
+
+import pytest
+
+from repro.machines import standard_park
+from repro.network import Topology, Transport, VirtualClock
+
+
+@pytest.fixture
+def world():
+    park = standard_park()
+    clock = VirtualClock()
+    tx = Transport(topology=Topology(), clock=clock, contention=True)
+    return park, tx, clock
+
+
+BULK = 500_000  # bytes: ~10 s of WAN serialization
+
+
+class TestContention:
+    def test_single_sender_unaffected(self, world):
+        park, tx, clock = world
+        plain = Transport(topology=Topology(), clock=VirtualClock())
+        a = plain.send(park["ua-sparc10"], park["lerc-cray"], "x", None, BULK)
+        b = tx.send(park["ua-sparc10"], park["lerc-cray"], "x", None, BULK)
+        assert b.transfer_seconds == pytest.approx(a.transfer_seconds)
+
+    def test_concurrent_wan_senders_queue(self, world):
+        """Two lines pushing bulk data over the same WAN trunk at the
+        same instant: the second waits for the first's serialization."""
+        park, tx, clock = world
+        t1 = clock.timeline("line-1")
+        t2 = clock.timeline("line-2")
+        m1 = tx.send(park["ua-sparc10"], park["lerc-cray"], "x", None, BULK, timeline=t1)
+        m2 = tx.send(park["ua-sgi340"], park["lerc-rs6000"], "x", None, BULK, timeline=t2)
+        # same (arizona, lerc) trunk: the second transfer waits out the
+        # first's serialization time before its own bits can start
+        serialization = (BULK + 64) / 5.0e4  # WAN bytes/s
+        assert m2.transfer_seconds == pytest.approx(
+            m1.transfer_seconds + serialization, rel=0.01
+        )
+
+    def test_different_trunks_do_not_interfere(self, world):
+        park, tx, clock = world
+        t1 = clock.timeline("line-1")
+        t2 = clock.timeline("line-2")
+        m1 = tx.send(park["ua-sparc10"], park["lerc-cray"], "x", None, BULK, timeline=t1)
+        # LeRC-internal Ethernet traffic is a different trunk
+        m2 = tx.send(park["lerc-sparc10"], park["lerc-sgi480"], "x", None, BULK, timeline=t2)
+        base = Transport(topology=Topology(), clock=VirtualClock())
+        solo = base.send(park["lerc-sparc10"], park["lerc-sgi480"], "x", None, BULK)
+        assert m2.transfer_seconds == pytest.approx(solo.transfer_seconds)
+
+    def test_spaced_messages_do_not_queue(self, world):
+        """A sender whose messages are farther apart than their
+        serialization time never waits."""
+        park, tx, clock = world
+        t = clock.timeline("line")
+        m1 = tx.send(park["ua-sparc10"], park["lerc-cray"], "x", None, 100, timeline=t)
+        t.advance(60.0)  # long gap
+        m2 = tx.send(park["ua-sparc10"], park["lerc-cray"], "x", None, 100, timeline=t)
+        assert m2.transfer_seconds == pytest.approx(m1.transfer_seconds)
+
+    def test_sequential_rpc_on_one_timeline_barely_queues(self, world):
+        """Within one line, request/reply alternation self-spaces: the
+        reply starts after the request arrived, so the trunk is free."""
+        park, tx, clock = world
+        t = clock.timeline("line")
+        m1 = tx.send(park["ua-sparc10"], park["lerc-cray"], "call", None, 200, timeline=t)
+        m2 = tx.send(park["lerc-cray"], park["ua-sparc10"], "reply", None, 100, timeline=t)
+        base = Transport(topology=Topology(), clock=VirtualClock())
+        solo = base.send(park["lerc-cray"], park["ua-sparc10"], "reply", None, 100)
+        assert m2.transfer_seconds == pytest.approx(solo.transfer_seconds, rel=0.05)
+
+
+class TestContentionInTable2:
+    def test_contended_distributed_run_is_slower(self):
+        """The contention ablation: Table 2's six lines over one WAN
+        trunk cost more virtual time when the trunk is shared."""
+        from repro.core import NPSSExecutive
+        from repro.schooner import SchoonerEnvironment
+
+        def run(contention: bool) -> float:
+            env = SchoonerEnvironment.standard()
+            env.transport.contention = contention
+            ex = NPSSExecutive(env=env)
+            ex.modules = ex.build_f100_network()
+            ex.modules["system"].set_param("transient seconds", 0.2)
+            for mod, machine in {
+                "duct-bypass": "cray-ymp.lerc.nasa.gov",
+                "duct-core": "cray-ymp.lerc.nasa.gov",
+                "shaft-low": "rs6000.lerc.nasa.gov",
+                "shaft-high": "rs6000.lerc.nasa.gov",
+            }.items():
+                ex.modules[mod].set_param("remote machine", machine)
+            ex.execute()
+            return ex.env.clock.now
+
+        free = run(False)
+        contended = run(True)
+        assert contended >= free  # sharing can only cost

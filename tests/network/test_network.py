@@ -1,0 +1,208 @@
+"""Tests for the simulated network: clock, links, topology, transport."""
+
+import pytest
+
+from repro.machines import standard_park
+from repro.network import (
+    CAMPUS_GATEWAYS,
+    ETHERNET,
+    INTERNET_1993,
+    LOOPBACK,
+    NetworkError,
+    Topology,
+    Transport,
+    VirtualClock,
+)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        c = VirtualClock()
+        assert c.advance(1.5) == 1.5
+        assert c.now == 1.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_timelines_advance_independently(self):
+        c = VirtualClock()
+        a, b = c.timeline("a"), c.timeline("b")
+        a.advance(2.0)
+        b.advance(5.0)
+        assert a.now == 2.0
+        assert b.now == 5.0
+
+    def test_global_now_is_envelope(self):
+        c = VirtualClock()
+        c.timeline("a").advance(2.0)
+        c.timeline("b").advance(5.0)
+        assert c.now == 5.0
+
+    def test_sync_to_only_moves_forward(self):
+        c = VirtualClock()
+        t = c.timeline("t")
+        t.advance(3.0)
+        t.sync_to(1.0)  # no-op: already past
+        assert t.now == 3.0
+        t.sync_to(4.0)
+        assert t.now == 4.0
+
+    def test_timeline_is_memoized(self):
+        c = VirtualClock()
+        assert c.timeline("x") is c.timeline("x")
+
+    def test_reset(self):
+        c = VirtualClock()
+        c.timeline("x").advance(1.0)
+        c.reset()
+        assert c.now == 0.0
+
+
+class TestLinkModels:
+    def test_latency_ordering(self):
+        """The Table 1 tiers: Ethernet < campus < Internet for any
+        message size."""
+        for nbytes in (0, 100, 10_000):
+            t_eth = ETHERNET.transfer_seconds(nbytes)
+            t_campus = CAMPUS_GATEWAYS.transfer_seconds(nbytes)
+            t_wan = INTERNET_1993.transfer_seconds(nbytes)
+            assert t_eth < t_campus < t_wan
+
+    def test_loopback_is_cheapest(self):
+        assert LOOPBACK.transfer_seconds(100) < ETHERNET.transfer_seconds(100)
+
+    def test_small_messages_latency_dominated(self):
+        """Doubling a tiny payload barely changes WAN cost."""
+        t1 = INTERNET_1993.transfer_seconds(64)
+        t2 = INTERNET_1993.transfer_seconds(128)
+        assert (t2 - t1) / t1 < 0.05
+
+    def test_large_messages_bandwidth_dominated(self):
+        t1 = ETHERNET.transfer_seconds(1_000_000)
+        t2 = ETHERNET.transfer_seconds(2_000_000)
+        assert t2 / t1 == pytest.approx(2.0, rel=0.01)
+
+    def test_store_and_forward_multiplies_hops(self):
+        one_hop = CAMPUS_GATEWAYS.latency_s + 1000 / CAMPUS_GATEWAYS.bandwidth_Bps
+        expected = CAMPUS_GATEWAYS.per_message_s + CAMPUS_GATEWAYS.hops * one_hop
+        assert CAMPUS_GATEWAYS.transfer_seconds(1000) == pytest.approx(expected)
+
+    def test_round_trip(self):
+        rt = ETHERNET.round_trip_seconds(100, 50)
+        assert rt == ETHERNET.transfer_seconds(100) + ETHERNET.transfer_seconds(50)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ETHERNET.transfer_seconds(-1)
+
+
+class TestTopology:
+    @pytest.fixture
+    def park(self):
+        return standard_park()
+
+    @pytest.fixture
+    def topo(self, park):
+        t = Topology()
+        for m in park:
+            t.register(m)
+        return t
+
+    def test_loopback_same_machine(self, topo, park):
+        m = park["lerc-cray"]
+        assert topo.classify(m, m) is topo.loopback
+
+    def test_table1_row1_ethernet(self, topo, park):
+        """Sparc 10 -> SGI 4D/480, 'local Ethernet'."""
+        link = topo.classify(park["lerc-sparc10"], park["lerc-sgi480"])
+        assert link is topo.ethernet
+
+    def test_table1_row2_campus(self, topo, park):
+        """Sparc 10 -> Convex C220, 'same building, multiple gateways'."""
+        link = topo.classify(park["lerc-sparc10"], park["lerc-convex"])
+        assert link is topo.campus
+
+    def test_table1_row3_campus(self, topo, park):
+        """SGI 4D/480 -> Cray YMP, 'same building, multiple gateways'."""
+        link = topo.classify(park["lerc-sgi480"], park["lerc-cray"])
+        assert link is topo.campus
+
+    def test_table1_rows45_internet(self, topo, park):
+        """Cross-site pairs go via Internet."""
+        assert topo.classify(park["lerc-sgi480"], park["ua-sparc10"]) is topo.internet
+        assert topo.classify(park["ua-sparc10"], park["lerc-rs6000"]) is topo.internet
+
+    def test_classification_symmetric(self, topo, park):
+        pairs = [
+            ("lerc-sparc10", "lerc-sgi480"),
+            ("lerc-sparc10", "lerc-convex"),
+            ("ua-sparc10", "lerc-rs6000"),
+        ]
+        for a, b in pairs:
+            assert topo.classify(park[a], park[b]) is topo.classify(park[b], park[a])
+
+    def test_override(self, topo, park):
+        a, b = park["lerc-sparc10"], park["lerc-sgi480"]
+        topo.set_override(a, b, INTERNET_1993)
+        assert topo.classify(a, b) is INTERNET_1993
+        assert topo.classify(b, a) is INTERNET_1993
+
+    def test_partition_blocks_cross_site(self, topo, park):
+        topo.partition("lerc", "arizona")
+        with pytest.raises(NetworkError):
+            topo.classify(park["ua-sparc10"], park["lerc-cray"])
+        # intra-site traffic unaffected
+        topo.classify(park["lerc-sparc10"], park["lerc-cray"])
+        topo.heal("lerc", "arizona")
+        topo.classify(park["ua-sparc10"], park["lerc-cray"])
+
+    def test_graph_paths_exist(self, topo, park):
+        hops_lan = topo.graph_path_hops(park["lerc-sparc10"], park["lerc-sgi480"])
+        hops_wan = topo.graph_path_hops(park["ua-sparc10"], park["lerc-cray"])
+        assert hops_lan < hops_wan
+
+
+class TestTransport:
+    @pytest.fixture
+    def env(self):
+        park = standard_park()
+        topo = Topology()
+        clock = VirtualClock()
+        return park, Transport(topology=topo, clock=clock), clock
+
+    def test_send_advances_clock(self, env):
+        park, tx, clock = env
+        msg = tx.send(park["lerc-sparc10"], park["lerc-sgi480"], "call", None, 100)
+        assert clock.now == msg.delivered_at > 0
+
+    def test_wan_slower_than_lan(self, env):
+        park, tx, clock = env
+        lan = tx.send(park["lerc-sparc10"], park["lerc-sgi480"], "call", None, 100)
+        wan = tx.send(park["ua-sparc10"], park["lerc-rs6000"], "call", None, 100)
+        assert wan.transfer_seconds > 10 * lan.transfer_seconds
+
+    def test_stats_accumulate(self, env):
+        park, tx, _ = env
+        tx.send(park["lerc-sparc10"], park["lerc-sgi480"], "call", None, 100)
+        tx.send(park["lerc-sparc10"], park["lerc-sgi480"], "reply", None, 50)
+        assert tx.stats.messages == 2
+        assert tx.stats.bytes == 100 + 50 + 2 * 64  # payloads + headers
+        assert tx.stats.by_kind == {"call": 1, "reply": 1}
+
+    def test_timeline_charging(self, env):
+        park, tx, clock = env
+        t = clock.timeline("line-1")
+        tx.send(park["lerc-sparc10"], park["lerc-cray"], "call", None, 100, timeline=t)
+        assert t.now > 0
+        assert clock.now == t.now
+
+    def test_round_trip_cost(self, env):
+        park, tx, _ = env
+        total = tx.round_trip(
+            park["lerc-sparc10"], park["lerc-cray"], "call", None, 100, None, 50
+        )
+        assert total > 0

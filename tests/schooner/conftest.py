@@ -1,0 +1,108 @@
+"""Shared fixtures: a Schooner environment with the paper's machine park
+and a shaft-like executable (the paper's running example) installed on
+several machines."""
+
+import pytest
+
+from repro.machines import Language
+from repro.schooner import Executable, Manager, ManagerMode, Procedure, SchoonerEnvironment
+from repro.uts import SpecFile
+
+SHAFT_SPEC = """
+export setshaft prog(
+    "ecom"  val array[4] of float,
+    "incom" val integer,
+    "etur"  val array[4] of float,
+    "intur" val integer,
+    "ecorr" res float)
+
+export shaft prog(
+    "ecom"   val array[4] of float,
+    "incom"  val integer,
+    "etur"   val array[4] of float,
+    "intur"  val integer,
+    "ecorr"  val float,
+    "xspool" val float,
+    "xmyi"   val float,
+    "dxspl"  res float)
+"""
+
+
+def setshaft_impl(ecom, incom, etur, intur):
+    """Initialization: an energy-correction factor from the component
+    energy vectors (deterministic toy physics)."""
+    return sum(ecom[:incom]) - sum(etur[:intur])
+
+
+def shaft_impl(ecom, incom, etur, intur, ecorr, xspool, xmyi):
+    """One shaft derivative evaluation: net power unbalance over inertia
+    times speed gives the spool acceleration."""
+    power = sum(ecom[:incom]) - sum(etur[:intur]) - ecorr
+    if xspool == 0.0 or xmyi == 0.0:
+        return 0.0
+    return power / (xmyi * xspool)
+
+
+def make_shaft_executable(flops=2.0e5):
+    spec = SpecFile.parse(SHAFT_SPEC)
+    return Executable(
+        "npss-shaft",
+        (
+            Procedure(
+                name="setshaft",
+                signature=spec.export_named("setshaft"),
+                impl=setshaft_impl,
+                language=Language.FORTRAN,
+                flops=flops,
+            ),
+            Procedure(
+                name="shaft",
+                signature=spec.export_named("shaft"),
+                impl=shaft_impl,
+                language=Language.FORTRAN,
+                flops=flops,
+            ),
+        ),
+    )
+
+
+SHAFT_PATH = "/npss/bin/npss-shaft"
+
+
+@pytest.fixture
+def env():
+    environment = SchoonerEnvironment.standard()
+    exe = make_shaft_executable()
+    for machine in environment.park:
+        machine.install(SHAFT_PATH, exe)
+    return environment
+
+
+@pytest.fixture
+def manager(env):
+    return Manager(env=env, host=env.park["ua-sparc10"], mode=ManagerMode.LINES)
+
+
+@pytest.fixture
+def shaft_import_spec():
+    return SpecFile.parse(SHAFT_SPEC).as_imports()
+
+
+SHAFT_ARGS = dict(
+    ecom=[10.0, 20.0, 30.0, 0.0],
+    incom=3,
+    etur=[15.0, 25.0, 0.0, 0.0],
+    intur=2,
+    ecorr=5.0,
+    xspool=100.0,
+    xmyi=2.0,
+)
+
+
+def expected_dxspl(args=SHAFT_ARGS):
+    power = (
+        sum(args["ecom"][: args["incom"]])
+        - sum(args["etur"][: args["intur"]])
+        - args["ecorr"]
+    )
+    return power / (args["xmyi"] * args["xspool"])

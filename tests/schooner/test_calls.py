@@ -1,0 +1,208 @@
+"""End-to-end remote procedure call tests."""
+
+import pytest
+
+from repro.machines import Language
+from repro.schooner import (
+    CallFailed,
+    Executable,
+    ModuleContext,
+    Procedure,
+    StaleBinding,
+)
+from repro.uts import DOUBLE, OutOfRangePolicy, SpecFile, UTSRangeError
+
+from .conftest import SHAFT_ARGS, SHAFT_PATH, SHAFT_SPEC, expected_dxspl
+
+
+@pytest.fixture
+def ctx(manager, env):
+    return ModuleContext(manager=manager, module_name="shaft-module", machine=env.park["ua-sparc10"])
+
+
+class TestBasicCalls:
+    def test_remote_shaft_computes_correctly(self, ctx, env, shaft_import_spec):
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        shaft = ctx.import_proc(shaft_import_spec.import_named("shaft"))
+        result = shaft(**SHAFT_ARGS)
+        assert result["dxspl"] == pytest.approx(expected_dxspl(), rel=1e-6)
+
+    def test_call1_convenience(self, ctx, shaft_import_spec):
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        shaft = ctx.import_proc(shaft_import_spec.import_named("shaft"))
+        assert shaft.call1(**SHAFT_ARGS) == pytest.approx(expected_dxspl(), rel=1e-6)
+
+    def test_setshaft_and_shaft_share_a_process(self, ctx, shaft_import_spec):
+        records = ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        setshaft = ctx.import_proc(shaft_import_spec.import_named("setshaft"))
+        ecorr = setshaft.call1(
+            ecom=SHAFT_ARGS["ecom"], incom=SHAFT_ARGS["incom"],
+            etur=SHAFT_ARGS["etur"], intur=SHAFT_ARGS["intur"],
+        )
+        assert ecorr == pytest.approx(60.0 - 40.0, rel=1e-6)
+        assert records[0].process is records[1].process
+
+    def test_import_from_spec_source(self, ctx):
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        shaft = ctx.import_proc(
+            SpecFile.parse(SHAFT_SPEC).as_imports(), name="shaft"
+        )
+        assert shaft.call1(**SHAFT_ARGS) == pytest.approx(expected_dxspl(), rel=1e-6)
+
+    def test_remote_equals_local(self, ctx, shaft_import_spec):
+        """The paper's own validation method: 'the results were compared
+        with the same computation using the original local-compute-only
+        versions.'"""
+        from .conftest import shaft_impl
+
+        local = shaft_impl(**SHAFT_ARGS)
+        ctx.sch_contact_schx("lerc-cray", SHAFT_PATH)
+        remote = ctx.import_proc(shaft_import_spec.import_named("shaft")).call1(**SHAFT_ARGS)
+        # single-precision float params -> agreement to float32 accuracy
+        assert remote == pytest.approx(local, rel=1e-5)
+
+
+class TestVirtualTimeCharging:
+    def run_call(self, manager, env, machine_nick, shaft_import_spec):
+        ctx = ModuleContext(manager=manager, module_name=f"m-{machine_nick}",
+                            machine=env.park["ua-sparc10"])
+        ctx.sch_contact_schx(machine_nick, SHAFT_PATH)
+        stub = ctx.import_proc(shaft_import_spec.import_named("shaft"))
+        env.reset_traces()
+        stub(**SHAFT_ARGS)
+        (trace,) = env.traces
+        return trace
+
+    def test_call_advances_line_timeline(self, ctx, env, shaft_import_spec):
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        stub = ctx.import_proc(shaft_import_spec.import_named("shaft"))
+        before = ctx.line.timeline.now
+        stub(**SHAFT_ARGS)
+        assert ctx.line.timeline.now > before
+
+    def test_wan_call_much_slower_than_lan(self, manager, env, shaft_import_spec):
+        # The UA Sparc calling LeRC RS6000 crosses the Internet; calling
+        # the UA SGI stays on the local Ethernet.
+        wan = self.run_call(manager, env, "lerc-rs6000", shaft_import_spec)
+        lan = self.run_call(manager, env, "ua-sgi340", shaft_import_spec)
+        assert wan.total_s > 5 * lan.total_s
+        assert wan.network_s > lan.network_s
+
+    def test_trace_phases_sum_to_total(self, manager, env, shaft_import_spec):
+        t = self.run_call(manager, env, "lerc-cray", shaft_import_spec)
+        parts = t.client_cpu_s + t.server_cpu_s + t.compute_s + t.network_s
+        assert parts == pytest.approx(t.total_s, rel=1e-9)
+
+    def test_faster_machine_less_compute_time(self, manager, env, shaft_import_spec):
+        cray = self.run_call(manager, env, "lerc-cray", shaft_import_spec)
+        sparc = self.run_call(manager, env, "lerc-sparc10", shaft_import_spec)
+        assert cray.compute_s < sparc.compute_s
+
+
+class TestHeterogeneousConversion:
+    def make_echo_exe(self, name="echo"):
+        spec = SpecFile.parse(f'export {name} prog("x" val double, "y" res double)')
+        return Executable(
+            name,
+            (
+                Procedure(
+                    name=name,
+                    signature=spec.export_named(name),
+                    impl=lambda x: x,
+                    language=Language.C,
+                ),
+            ),
+        )
+
+    def echo_on(self, manager, env, machine_nick, value):
+        machine = env.park[machine_nick]
+        machine.install("/bin/echo", self.make_echo_exe())
+        ctx = ModuleContext(manager=manager, module_name="echo-mod",
+                            machine=env.park["ua-sparc10"])
+        ctx.sch_contact_schx(machine_nick, "/bin/echo")
+        stub = ctx.import_proc(
+            SpecFile.parse('import echo prog("x" val double, "y" res double)')
+        )
+        return stub.call1(x=value)
+
+    def test_cray_truncates_to_48_bits(self, manager, env):
+        import math
+
+        got = self.echo_on(manager, env, "lerc-cray", math.pi)
+        assert got != math.pi  # 48-bit Cray mantissa
+        assert got == pytest.approx(math.pi, rel=2.0**-47)
+
+    def test_ieee_machines_are_exact(self, manager, env):
+        import math
+
+        assert self.echo_on(manager, env, "lerc-rs6000", math.pi) == math.pi
+
+    def test_large_double_rejected_by_convex(self, manager, env):
+        """A value that exceeds the Convex's VAX-style range triggers the
+        out-of-range machinery under the ERROR policy the paper chose."""
+        with pytest.raises(UTSRangeError):
+            self.echo_on(manager, env, "lerc-convex", 1e300)
+
+    def test_large_double_clamped_under_infinity_policy(self, manager, env):
+        env.range_policy = OutOfRangePolicy.INFINITY
+        got = self.echo_on(manager, env, "lerc-convex", 1e300)
+        assert got == pytest.approx(1.7e38, rel=0.01)
+
+
+class TestErrorHandling:
+    def test_remote_exception_wrapped(self, manager, env):
+        spec = SpecFile.parse('export boom prog("x" val integer, "y" res integer)')
+
+        def boom(x):
+            raise RuntimeError("kaboom")
+
+        exe = Executable(
+            "boom",
+            (Procedure(name="boom", signature=spec.export_named("boom"),
+                       impl=boom, language=Language.C),),
+        )
+        env.park["lerc-rs6000"].install("/bin/boom", exe)
+        ctx = ModuleContext(manager=manager, module_name="m", machine=env.park["ua-sparc10"])
+        ctx.sch_contact_schx("lerc-rs6000", "/bin/boom")
+        stub = ctx.import_proc(
+            SpecFile.parse('import boom prog("x" val integer, "y" res integer)')
+        )
+        with pytest.raises(CallFailed, match="kaboom"):
+            stub(x=1)
+
+    def test_call_to_dead_process_is_stale(self, ctx, env, shaft_import_spec):
+        records = ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        stub = ctx.import_proc(shaft_import_spec.import_named("shaft"))
+        stub(**SHAFT_ARGS)  # populate the cache
+        env.park["lerc-rs6000"].shutdown()
+        # failover re-lookup finds the same dead instance -> StaleBinding
+        with pytest.raises(StaleBinding):
+            stub(**SHAFT_ARGS)
+        assert stub.failovers == 1
+
+
+class TestPlacementChanges:
+    def test_contact_idempotent(self, ctx):
+        r1 = ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        r2 = ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        assert r1 == r2
+
+    def test_widget_change_moves_placement(self, ctx, env, shaft_import_spec):
+        """The user flips the machine radio button: the old remote process
+        is shut down and a fresh one starts on the new machine."""
+        old = ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        stub = ctx.import_proc(shaft_import_spec.import_named("shaft"))
+        stub(**SHAFT_ARGS)
+        new = ctx.sch_contact_schx("lerc-cray", SHAFT_PATH)
+        assert not any(r.alive for r in old)
+        assert all(r.alive for r in new)
+        assert new[0].machine is env.park["lerc-cray"]
+        # stub keeps working against the new placement
+        assert stub.call1(**SHAFT_ARGS) == pytest.approx(expected_dxspl(), rel=1e-5)
+
+    def test_quit_then_reuse_creates_new_line(self, ctx):
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        first_line = ctx.line
+        ctx.sch_i_quit()
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        assert ctx.line is not first_line

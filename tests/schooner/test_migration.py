@@ -1,0 +1,173 @@
+"""Tests for procedure migration (§4.2)."""
+
+import pytest
+
+from repro.machines import Language
+from repro.schooner import (
+    Executable,
+    MigrationError,
+    ModuleContext,
+    Procedure,
+)
+from repro.uts import DOUBLE, INTEGER, SpecFile
+
+from .conftest import SHAFT_ARGS, SHAFT_PATH, expected_dxspl
+
+
+@pytest.fixture
+def ctx(manager, env):
+    return ModuleContext(manager=manager, module_name="mig", machine=env.park["ua-sparc10"])
+
+
+class TestStatelessMigration:
+    def test_move_updates_mapping(self, ctx, env, shaft_import_spec):
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        old = ctx.manager.lookup(ctx.line, "shaft")
+        new = ctx.sch_move("shaft", "lerc-cray")
+        assert new.machine is env.park["lerc-cray"]
+        assert not old.process.alive
+        assert new.process.alive
+        assert new.generation == old.generation + 1
+        assert ctx.manager.lookup(ctx.line, "shaft") is new
+
+    def test_results_identical_after_move(self, ctx, shaft_import_spec):
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        stub = ctx.import_proc(shaft_import_spec.import_named("shaft"))
+        before = stub.call1(**SHAFT_ARGS)
+        ctx.sch_move("shaft", "lerc-sgi420")
+        after = stub.call1(**SHAFT_ARGS)
+        assert after == pytest.approx(before, rel=1e-6)
+        assert before == pytest.approx(expected_dxspl(), rel=1e-5)
+
+    def test_stale_cache_self_corrects(self, ctx, shaft_import_spec):
+        """'Procedure name caches within each procedure in the line are
+        updated when the next call to the procedure is attempted.  The
+        call to the old location fails, resulting in an automatic call
+        to the Manager for the new information.'"""
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        stub = ctx.import_proc(shaft_import_spec.import_named("shaft"))
+        stub(**SHAFT_ARGS)
+        lookups_before = stub.lookups
+        ctx.sch_move("shaft", "lerc-cray")
+        result = stub.call1(**SHAFT_ARGS)  # first call after the move
+        assert stub.failovers == 1
+        assert stub.lookups == lookups_before + 1
+        assert result == pytest.approx(expected_dxspl(), rel=1e-5)
+
+    def test_move_to_down_machine_fails(self, ctx, env):
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        env.park["lerc-cray"].shutdown()
+        with pytest.raises(MigrationError):
+            ctx.sch_move("shaft", "lerc-cray")
+
+    def test_move_off_loaded_machine_speeds_calls(self, ctx, env, shaft_import_spec):
+        """The paper's motivation: 'when the load on the current machine
+        grows too large and a more lightly loaded machine is available.'"""
+        env.park["lerc-sgi420"].load = 0.9
+        ctx.sch_contact_schx("lerc-sgi420", SHAFT_PATH)
+        stub = ctx.import_proc(shaft_import_spec.import_named("shaft"))
+        env.reset_traces()
+        stub(**SHAFT_ARGS)
+        loaded = env.traces[-1].compute_s
+        ctx.sch_move("shaft", "lerc-sgi480")  # idle twin
+        stub(**SHAFT_ARGS)
+        idle = env.traces[-1].compute_s
+        assert idle < loaded / 5
+
+
+def make_accumulator_exe():
+    """A stateful procedure: a running sum kept in process memory."""
+    spec = SpecFile.parse('export accum prog("x" val double, "total" res double)')
+
+    def accum(x, _state):
+        _state["total"] = _state.get("total", 0.0) + x
+        return _state["total"]
+
+    return Executable(
+        "accumulator",
+        (
+            Procedure(
+                name="accum",
+                signature=spec.export_named("accum"),
+                impl=accum,
+                language=Language.C,
+                stateless=False,
+                state_spec={"total": DOUBLE},
+            ),
+        ),
+    )
+
+
+def make_stateful_no_spec_exe():
+    spec = SpecFile.parse('export counter prog("n" res integer)')
+
+    def counter(_state):
+        _state["n"] = _state.get("n", 0) + 1
+        return _state["n"]
+
+    return Executable(
+        "counter",
+        (
+            Procedure(
+                name="counter",
+                signature=spec.export_named("counter"),
+                impl=counter,
+                language=Language.C,
+                stateless=False,
+                state_spec=None,  # no transfer description
+            ),
+        ),
+    )
+
+
+class TestStatefulMigration:
+    def test_state_travels_with_the_procedure(self, ctx, env):
+        """The planned UTS extension: 'a list of state variables whose
+        values are to be transferred when the procedure is moved.'"""
+        for nick in ("lerc-rs6000", "lerc-cray"):
+            env.park[nick].install("/bin/accum", make_accumulator_exe())
+        ctx.sch_contact_schx("lerc-rs6000", "/bin/accum")
+        stub = ctx.import_proc(
+            SpecFile.parse('import accum prog("x" val double, "total" res double)')
+        )
+        assert stub.call1(x=1.0) == 1.0
+        assert stub.call1(x=2.0) == 3.0
+        ctx.sch_move("accum", "lerc-cray", "/bin/accum")
+        assert stub.call1(x=4.0) == pytest.approx(7.0)  # 3 transferred + 4
+
+    def test_state_left_behind_without_transfer(self, ctx, env):
+        """Contrast: a fresh process starts from empty state when nothing
+        is transferred (the pre-extension behaviour for stateless-claimed
+        procedures)."""
+        for nick in ("lerc-rs6000", "lerc-cray"):
+            env.park[nick].install("/bin/accum2", make_accumulator_exe())
+        ctx.sch_contact_schx("lerc-rs6000", "/bin/accum2")
+        stub = ctx.import_proc(
+            SpecFile.parse('import accum prog("x" val double, "total" res double)')
+        )
+        stub.call1(x=5.0)
+        # simulate the old runtime: kill and restart rather than move
+        ctx.sch_contact_schx("lerc-cray", "/bin/accum2")
+        assert stub.call1(x=1.0) == 1.0  # state was lost
+
+    def test_stateful_without_spec_cannot_move(self, ctx, env):
+        env.park["lerc-rs6000"].install("/bin/counter", make_stateful_no_spec_exe())
+        env.park["lerc-cray"].install("/bin/counter", make_stateful_no_spec_exe())
+        ctx.sch_contact_schx("lerc-rs6000", "/bin/counter")
+        stub = ctx.import_proc(SpecFile.parse('import counter prog("n" res integer)'))
+        assert stub.call1() == 1
+        with pytest.raises(MigrationError, match="state"):
+            ctx.sch_move("counter", "lerc-cray")
+
+    def test_state_transfer_charges_network_time(self, ctx, env):
+        for nick in ("ua-sgi340", "lerc-cray"):
+            env.park[nick].install("/bin/accum", make_accumulator_exe())
+        ctx.sch_contact_schx("ua-sgi340", "/bin/accum")
+        stub = ctx.import_proc(
+            SpecFile.parse('import accum prog("x" val double, "total" res double)')
+        )
+        stub.call1(x=1.0)
+        msgs_before = env.transport.stats.by_kind.copy()
+        ctx.sch_move("accum", "lerc-cray", "/bin/accum")
+        assert env.transport.stats.by_kind.get("state:accum", 0) == 1
+        assert msgs_before.get("state:accum") is None

@@ -1,0 +1,123 @@
+"""Tests for the original (command-line) Schooner program model."""
+
+import pytest
+
+from repro.schooner import (
+    DuplicateName,
+    SchoonerEnvironment,
+    SchoonerProgram,
+)
+from repro.uts import SpecFile
+
+from .conftest import SHAFT_ARGS, SHAFT_PATH, expected_dxspl, make_shaft_executable
+
+
+@pytest.fixture
+def prog_env():
+    env = SchoonerEnvironment.standard()
+    exe = make_shaft_executable()
+    for machine in env.park:
+        machine.install(SHAFT_PATH, exe)
+    return env
+
+
+IMPORT_SHAFT = SpecFile.parse(
+    """
+import shaft prog(
+    "ecom"   val array[4] of float,
+    "incom"  val integer,
+    "etur"   val array[4] of float,
+    "intur"  val integer,
+    "ecorr"  val float,
+    "xspool" val float,
+    "xmyi"   val float,
+    "dxspl"  res float)
+"""
+)
+
+
+class TestSchoonerProgram:
+    def test_run_returns_main_result(self, prog_env):
+        def main(ctx):
+            stub = ctx.import_proc(IMPORT_SHAFT.import_named("shaft"))
+            return stub.call1(**SHAFT_ARGS)
+
+        program = SchoonerProgram(
+            env=prog_env,
+            host=prog_env.park["ua-sparc10"],
+            main=main,
+            placements=[("lerc-cray", SHAFT_PATH)],
+        )
+        assert program.run() == pytest.approx(expected_dxspl(), rel=1e-5)
+
+    def test_all_processes_started_before_main(self, prog_env):
+        seen = {}
+
+        def main(ctx):
+            seen["procs"] = len(prog_env.park["lerc-cray"].running_processes)
+            return None
+
+        SchoonerProgram(
+            env=prog_env,
+            host=prog_env.park["ua-sparc10"],
+            main=main,
+            placements=[("lerc-cray", SHAFT_PATH)],
+        ).run()
+        assert seen["procs"] == 1
+
+    def test_everything_terminated_after_run(self, prog_env):
+        SchoonerProgram(
+            env=prog_env,
+            host=prog_env.park["ua-sparc10"],
+            main=lambda ctx: None,
+            placements=[("lerc-cray", SHAFT_PATH)],
+        ).run()
+        assert len(prog_env.park["lerc-cray"].running_processes) == 0
+
+    def test_error_terminates_everything(self, prog_env):
+        """'The original Schooner shutdown procedure terminated the
+        entire program when any part ... errors.'"""
+        from repro.machines import Language
+        from repro.schooner import Executable, Procedure
+
+        spec = SpecFile.parse('export duct prog("p" val double, "q" res double)')
+        duct_exe = Executable(
+            "npss-duct",
+            (Procedure(name="duct", signature=spec.export_named("duct"),
+                       impl=lambda p: p * 0.98, language=Language.C),),
+        )
+        prog_env.park["lerc-rs6000"].install("/npss/bin/duct", duct_exe)
+
+        def main(ctx):
+            raise RuntimeError("simulation diverged")
+
+        program = SchoonerProgram(
+            env=prog_env,
+            host=prog_env.park["ua-sparc10"],
+            main=main,
+            placements=[("lerc-cray", SHAFT_PATH), ("lerc-rs6000", "/npss/bin/duct")],
+        )
+        with pytest.raises(RuntimeError):
+            program.run()
+        assert len(prog_env.park["lerc-cray"].running_processes) == 0
+        assert len(prog_env.park["lerc-rs6000"].running_processes) == 0
+
+    def test_duplicate_placement_rejected(self, prog_env):
+        """The a-priori model cannot host two instances of a module."""
+        program = SchoonerProgram(
+            env=prog_env,
+            host=prog_env.park["ua-sparc10"],
+            main=lambda ctx: None,
+            placements=[("lerc-cray", SHAFT_PATH), ("lerc-rs6000", SHAFT_PATH)],
+        )
+        with pytest.raises(DuplicateName):
+            program.run()
+
+    def test_placement_accepts_machine_objects(self, prog_env):
+        program = SchoonerProgram(
+            env=prog_env,
+            host=prog_env.park["ua-sparc10"],
+            main=lambda ctx: 42,
+            placements=[(prog_env.park["lerc-cray"], SHAFT_PATH)],
+        )
+        assert program.run() == 42

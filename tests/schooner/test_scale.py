@@ -1,0 +1,106 @@
+"""Scale and stress tests: many lines, many machines, repeated cycles.
+
+The paper's model must hold up beyond the six-instance Table 2 — these
+tests push the Manager's bookkeeping (dozens of lines, interleaved
+lifecycles, repeated place/quit churn) and assert the invariants that
+matter: no leaked processes, correct per-line isolation, stable virtual
+time accounting.
+"""
+
+import pytest
+
+from repro.core import REMOTE_PATHS, install_tess_executables
+from repro.schooner import (
+    Manager,
+    ManagerMode,
+    ModuleContext,
+    SchoonerEnvironment,
+)
+from repro.uts import SpecFile
+from repro.core.specs import DUCT_SPEC_SOURCE
+
+DUCT_IMPORTS = SpecFile.parse(DUCT_SPEC_SOURCE).as_imports()
+MACHINES = ["lerc-rs6000", "lerc-cray", "lerc-sgi480", "lerc-sgi420",
+            "lerc-convex", "ua-sgi340"]
+
+
+@pytest.fixture
+def world():
+    env = SchoonerEnvironment.standard()
+    install_tess_executables(env.park)
+    manager = Manager(env=env, host=env.park["ua-sparc10"], mode=ManagerMode.LINES)
+    return env, manager
+
+
+def start_module(env, manager, i):
+    ctx = ModuleContext(manager=manager, module_name=f"duct-{i}",
+                        machine=env.park["ua-sparc10"])
+    ctx.sch_contact_schx(MACHINES[i % len(MACHINES)], REMOTE_PATHS["duct"])
+    return ctx
+
+
+class TestManyLines:
+    def test_thirty_concurrent_lines(self, world):
+        env, manager = world
+        contexts = [start_module(env, manager, i) for i in range(30)]
+        assert len(manager.active_lines) == 30
+        # every context calls its own instance correctly
+        for ctx in contexts:
+            ctx.import_proc(DUCT_IMPORTS.import_named("setduct"))(dpqp=0.1)
+            out = ctx.import_proc(DUCT_IMPORTS.import_named("duct"))(
+                w=10.0, tt=300.0, pt=1e5, far=0.0
+            )
+            assert out["pto"] == pytest.approx(0.9e5)
+        total_procs = sum(
+            len(env.park[m].running_processes) for m in MACHINES
+        )
+        assert total_procs == 30
+
+    def test_no_process_leaks_after_churn(self, world):
+        """Start/quit 20 modules in interleaved order: everything must
+        be cleaned up and the Manager must survive."""
+        env, manager = world
+        contexts = [start_module(env, manager, i) for i in range(20)]
+        # quit in an interleaved pattern
+        for i in list(range(0, 20, 2)) + list(range(1, 20, 2)):
+            contexts[i].sch_i_quit()
+        assert len(manager.active_lines) == 0
+        assert manager.running
+        for m in MACHINES:
+            assert len(env.park[m].running_processes) == 0
+
+    def test_per_line_state_isolation(self, world):
+        """Each instance's setduct state is private to its line."""
+        env, manager = world
+        a = start_module(env, manager, 0)
+        b = start_module(env, manager, 0)  # same machine, same executable
+        a.import_proc(DUCT_IMPORTS.import_named("setduct"))(dpqp=0.5)
+        b.import_proc(DUCT_IMPORTS.import_named("setduct"))(dpqp=0.0)
+        out_a = a.import_proc(DUCT_IMPORTS.import_named("duct"))(
+            w=1.0, tt=300.0, pt=1e5, far=0.0
+        )
+        out_b = b.import_proc(DUCT_IMPORTS.import_named("duct"))(
+            w=1.0, tt=300.0, pt=1e5, far=0.0
+        )
+        assert out_a["pto"] == pytest.approx(0.5e5)
+        assert out_b["pto"] == pytest.approx(1e5)
+
+    def test_virtual_time_monotone_under_churn(self, world):
+        env, manager = world
+        last = 0.0
+        for i in range(10):
+            ctx = start_module(env, manager, i)
+            ctx.import_proc(DUCT_IMPORTS.import_named("setduct"))(dpqp=0.1)
+            ctx.sch_i_quit()
+            assert env.clock.now >= last
+            last = env.clock.now
+
+    def test_hundred_calls_per_line(self, world):
+        env, manager = world
+        ctx = start_module(env, manager, 0)
+        ctx.import_proc(DUCT_IMPORTS.import_named("setduct"))(dpqp=0.02)
+        stub = ctx.import_proc(DUCT_IMPORTS.import_named("duct"))
+        for _ in range(100):
+            out = stub(w=10.0, tt=300.0, pt=1e5, far=0.0)
+        assert out["pto"] == pytest.approx(0.98e5)
+        assert stub.lookups == 1  # the name cache held for all 100 calls

@@ -1,0 +1,94 @@
+"""Tests for the stub compiler."""
+
+import pytest
+
+from repro.machines import Language
+from repro.schooner import ModuleContext, compile_stubs, load_stub_module
+from repro.uts import SpecFile
+
+from .conftest import SHAFT_ARGS, SHAFT_PATH, SHAFT_SPEC, expected_dxspl
+
+
+IMPORT_SPEC = SpecFile.parse(SHAFT_SPEC).as_imports().render()
+
+
+class TestGeneratedSource:
+    def test_compiles_to_valid_python(self):
+        source = compile_stubs(IMPORT_SPEC, Language.FORTRAN)
+        compile(source, "<stub>", "exec")  # must not raise
+
+    def test_one_function_per_import(self):
+        module = load_stub_module(compile_stubs(IMPORT_SPEC, Language.FORTRAN))
+        assert callable(module.shaft)
+        assert callable(module.setshaft)
+
+    def test_client_stub_has_named_parameters(self):
+        import inspect
+
+        module = load_stub_module(compile_stubs(IMPORT_SPEC, Language.FORTRAN))
+        params = list(inspect.signature(module.shaft).parameters)
+        assert params == [
+            "ctx", "ecom", "incom", "etur", "intur", "ecorr", "xspool", "xmyi",
+        ]
+
+    def test_docstrings_carry_the_spec(self):
+        module = load_stub_module(compile_stubs(IMPORT_SPEC, Language.FORTRAN))
+        assert "dxspl" in module.shaft.__doc__
+        assert "val array[4] of float" in module.shaft.__doc__
+
+    def test_fortran_stub_names_lower_cased(self):
+        spec = 'import SHAFT prog("x" val float, "y" res float)'
+        module = load_stub_module(compile_stubs(spec, Language.FORTRAN))
+        assert hasattr(module, "shaft")
+
+    def test_c_stub_names_case_preserved(self):
+        spec = 'import GetValue prog("x" val float, "y" res float)'
+        module = load_stub_module(compile_stubs(spec, Language.C))
+        assert hasattr(module, "GetValue")
+        assert not hasattr(module, "getvalue")
+
+    def test_export_generates_dispatch(self):
+        module = load_stub_module(compile_stubs(SHAFT_SPEC, Language.FORTRAN))
+        assert callable(module.dispatch_shaft)
+
+
+class TestGeneratedStubsEndToEnd:
+    def test_client_stub_performs_remote_call(self, manager, env):
+        module = load_stub_module(compile_stubs(IMPORT_SPEC, Language.FORTRAN))
+        ctx = ModuleContext(manager=manager, module_name="gen", machine=env.park["ua-sparc10"])
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        dxspl = module.shaft(ctx, **SHAFT_ARGS)
+        assert dxspl == pytest.approx(expected_dxspl(), rel=1e-5)
+
+    def test_multi_result_stub_returns_tuple(self, manager, env):
+        from repro.schooner import Executable, Procedure
+
+        spec_src = 'export minmax prog("xs" val array[3] of double, "lo" res double, "hi" res double)'
+        spec = SpecFile.parse(spec_src)
+        exe = Executable(
+            "minmax",
+            (Procedure(name="minmax", signature=spec.export_named("minmax"),
+                       impl=lambda xs: (min(xs), max(xs)), language=Language.C),),
+        )
+        env.park["lerc-sgi480"].install("/bin/minmax", exe)
+        module = load_stub_module(
+            compile_stubs(spec_src.replace("export", "import"), Language.C)
+        )
+        ctx = ModuleContext(manager=manager, module_name="mm", machine=env.park["ua-sparc10"])
+        ctx.sch_contact_schx("lerc-sgi480", "/bin/minmax")
+        lo, hi = module.minmax(ctx, xs=[3.0, 1.0, 2.0])
+        assert (lo, hi) == (1.0, 3.0)
+
+    def test_server_dispatch_validates_results(self):
+        module = load_stub_module(compile_stubs(SHAFT_SPEC, Language.FORTRAN))
+        from .conftest import shaft_impl
+
+        results = module.dispatch_shaft(shaft_impl, SHAFT_ARGS)
+        assert results["dxspl"] == pytest.approx(expected_dxspl(), rel=1e-6)
+
+    def test_server_dispatch_rejects_bad_results(self):
+        module = load_stub_module(compile_stubs(SHAFT_SPEC, Language.FORTRAN))
+        from repro.uts import UTSTypeError
+
+        with pytest.raises(UTSTypeError):
+            module.dispatch_shaft(lambda **kw: "not a float", SHAFT_ARGS)

@@ -1,0 +1,105 @@
+"""Edge-case tests for the solvers: short runs, startup handling,
+Newton failure paths, and the Newton-flow method."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    ConvergenceFailure,
+    adams,
+    gear,
+    modified_euler,
+    newton_flow_rk4,
+    rk4,
+)
+
+
+def decay(t, y):
+    return -y
+
+
+class TestShortRuns:
+    @pytest.mark.parametrize("method", [modified_euler, rk4, adams, gear],
+                             ids=lambda m: m.__name__)
+    def test_single_step(self, method):
+        """One step: Adams has no history, Gear has only BDF1 — both
+        must degrade gracefully."""
+        res = method(decay, 0.0, np.array([1.0]), 0.1, 0.1)
+        assert res.steps == 1
+        assert res.final[0] == pytest.approx(np.exp(-0.1), rel=0.1)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_adams_startup_boundary(self, n):
+        """Runs shorter than / equal to the RK4 startup length."""
+        res = adams(decay, 0.0, np.array([1.0]), n * 0.1, 0.1)
+        assert res.steps == n
+        assert res.final[0] == pytest.approx(np.exp(-n * 0.1), rel=1e-3)
+
+    def test_gear_two_steps_uses_bdf2(self):
+        res = gear(decay, 0.0, np.array([1.0]), 0.2, 0.1)
+        assert res.steps == 2
+        assert res.newton_iterations > 0
+
+
+class TestMultiDimensional:
+    def test_coupled_system(self):
+        """A 3-state coupled linear system through every method."""
+        A = np.array([[-1.0, 0.5, 0.0], [0.0, -2.0, 0.3], [0.1, 0.0, -0.5]])
+
+        def f(t, y):
+            return A @ y
+
+        y0 = np.array([1.0, -1.0, 0.5])
+        import scipy.linalg
+
+        exact = scipy.linalg.expm(A * 1.0) @ y0
+        for method in (modified_euler, rk4, adams, gear):
+            res = method(f, 0.0, y0, 1.0, 0.01)
+            assert np.allclose(res.final, exact, atol=1e-3), method.__name__
+
+
+class TestNewtonFlow:
+    def test_converges_on_rotating_system(self):
+        """A residual whose raw flow dx/dt = F(x) spirals (complex
+        eigenvalues with positive real part) — plain relaxation fails,
+        the Newton flow does not care about F's spectrum."""
+        A = np.array([[0.5, -2.0], [2.0, 0.5]])  # unstable spiral
+        b = np.array([1.0, 1.0])
+
+        def F(x):
+            return A @ x - b
+
+        report = newton_flow_rk4(F, np.zeros(2), tol=1e-10)
+        assert report.converged
+        assert np.allclose(A @ report.x, b, atol=1e-8)
+
+    def test_reports_failure(self):
+        with pytest.raises(ConvergenceFailure):
+            newton_flow_rk4(
+                lambda x: np.array([x[0] ** 2 + 1.0]), np.array([2.0]),
+                max_iter=10,
+            )
+
+    def test_failure_report_mode(self):
+        report = newton_flow_rk4(
+            lambda x: np.array([x[0] ** 2 + 1.0]), np.array([2.0]),
+            max_iter=10, raise_on_failure=False,
+        )
+        assert not report.converged
+        assert report.fevals > 0
+
+
+class TestGearRobustness:
+    def test_newton_budget_exceeded_raises(self):
+        """A pathologically tight Newton budget surfaces cleanly."""
+
+        def nasty(t, y):
+            return np.array([1e6 * np.sin(50.0 * y[0]) - y[0]])
+
+        with pytest.raises(ConvergenceFailure):
+            gear(nasty, 0.0, np.array([0.3]), 1.0, 0.5, newton_max=1)
+
+    def test_linear_problem_one_newton_iteration_per_step(self):
+        res = gear(decay, 0.0, np.array([1.0]), 0.5, 0.1)
+        # linear RHS: Newton converges in ~1 iteration per implicit solve
+        assert res.newton_iterations <= 2 * res.steps

@@ -1,0 +1,118 @@
+"""Tests for the steady-state balancing methods."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    STEADY_METHODS,
+    ConvergenceFailure,
+    fd_jacobian,
+    newton_raphson,
+    rk4_relaxation,
+)
+
+
+def linear(x):
+    A = np.array([[3.0, 1.0], [1.0, 2.0]])
+    b = np.array([5.0, 5.0])
+    return A @ x - b
+
+
+LINEAR_SOLUTION = np.array([1.0, 2.0])
+
+
+def rosenbrock_grad(x):
+    """Gradient of the Rosenbrock function: root at (1, 1)."""
+    return np.array(
+        [
+            -2 * (1 - x[0]) - 400 * x[0] * (x[1] - x[0] ** 2),
+            200 * (x[1] - x[0] ** 2),
+        ]
+    )
+
+
+class TestFDJacobian:
+    def test_linear_jacobian_exact(self):
+        J = fd_jacobian(linear, np.zeros(2))
+        assert np.allclose(J, [[3, 1], [1, 2]], atol=1e-5)
+
+    def test_nonlinear_jacobian(self):
+        f = lambda x: np.array([x[0] ** 2 + x[1], np.sin(x[0])])
+        J = fd_jacobian(f, np.array([1.0, 2.0]))
+        assert np.allclose(J, [[2.0, 1.0], [np.cos(1.0), 0.0]], atol=1e-5)
+
+
+class TestNewtonRaphson:
+    def test_linear_one_iteration(self):
+        report = newton_raphson(linear, np.zeros(2))
+        assert report.converged
+        assert report.iterations <= 2
+        assert np.allclose(report.x, LINEAR_SOLUTION, atol=1e-8)
+
+    def test_scalar_nonlinear(self):
+        report = newton_raphson(lambda x: np.array([x[0] ** 2 - 2.0]), np.array([1.0]))
+        assert report.x[0] == pytest.approx(np.sqrt(2), rel=1e-9)
+
+    def test_rosenbrock_root(self):
+        report = newton_raphson(rosenbrock_grad, np.array([0.5, 0.5]), max_iter=100)
+        assert report.converged
+        assert np.allclose(report.x, [1.0, 1.0], atol=1e-6)
+
+    def test_residual_history_decreases(self):
+        report = newton_raphson(rosenbrock_grad, np.array([0.8, 0.8]), max_iter=100)
+        assert report.history[-1] < report.history[0]
+
+    def test_failure_raises_with_report(self):
+        # a residual with no root: F(x) = x^2 + 1
+        with pytest.raises(ConvergenceFailure) as ei:
+            newton_raphson(lambda x: np.array([x[0] ** 2 + 1.0]), np.array([1.0]),
+                           max_iter=5)
+        assert ei.value.report is not None
+        assert not ei.value.report.converged
+
+    def test_failure_report_mode(self):
+        report = newton_raphson(
+            lambda x: np.array([x[0] ** 2 + 1.0]),
+            np.array([1.0]),
+            max_iter=5,
+            raise_on_failure=False,
+        )
+        assert not report.converged
+
+
+class TestRK4Relaxation:
+    def test_linear_converges(self):
+        # relax toward A x = b; -A must be stable, so solve F = b - A x
+        f = lambda x: -linear(x)
+        report = rk4_relaxation(f, np.zeros(2), dtau=0.2)
+        assert report.converged
+        assert np.allclose(report.x, LINEAR_SOLUTION, atol=1e-7)
+
+    def test_scalar_decay(self):
+        report = rk4_relaxation(lambda x: -(x - 3.0), np.array([0.0]), dtau=0.5)
+        assert report.x[0] == pytest.approx(3.0, abs=1e-8)
+
+    def test_step_adaptation_recovers_from_aggressive_dtau(self):
+        report = rk4_relaxation(lambda x: -10 * (x - 1.0), np.array([0.0]), dtau=1.0)
+        assert report.converged
+
+    def test_failure_raises(self):
+        # a repeller: F = +x grows, no convergence
+        with pytest.raises(ConvergenceFailure):
+            rk4_relaxation(lambda x: x + 1.0, np.array([1.0]), max_iter=50)
+
+
+class TestMethodMenu:
+    def test_menu_matches_the_paper(self):
+        assert set(STEADY_METHODS) == {"Newton-Raphson", "Runge-Kutta"}
+
+    def test_both_methods_agree(self):
+        f = lambda x: -linear(x)
+        nr = newton_raphson(lambda x: linear(x), np.zeros(2))
+        rk = rk4_relaxation(f, np.zeros(2), dtau=0.2)
+        assert np.allclose(nr.x, rk.x, atol=1e-6)
+
+    def test_newton_cheaper_on_smooth_problems(self):
+        nr = newton_raphson(linear, np.zeros(2))
+        rk = rk4_relaxation(lambda x: -linear(x), np.zeros(2), dtau=0.2)
+        assert nr.fevals < rk.fevals

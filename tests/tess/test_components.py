@@ -1,0 +1,297 @@
+"""Unit tests for the individual engine components."""
+
+import numpy as np
+import pytest
+
+from repro.tess import (
+    Bleed,
+    Combustor,
+    Compressor,
+    ConvergentNozzle,
+    Duct,
+    FlightCondition,
+    GasState,
+    Inlet,
+    MixingVolume,
+    Shaft,
+    Splitter,
+    Turbine,
+    enthalpy,
+    load_map,
+)
+
+SLS = GasState(W=100.0, Tt=288.15, Pt=101325.0)
+
+
+class TestInlet:
+    def test_static_capture(self):
+        s = Inlet(recovery=1.0).capture(FlightCondition(0.0, 0.0), W=100.0)
+        assert s.Tt == pytest.approx(288.15)
+        assert s.Pt == pytest.approx(101325.0)
+
+    def test_recovery_loss(self):
+        s = Inlet(recovery=0.95).capture(FlightCondition(0.0, 0.0), W=100.0)
+        assert s.Pt == pytest.approx(0.95 * 101325.0)
+
+    def test_ram_compression_in_flight(self):
+        s = Inlet().capture(FlightCondition(0.0, 0.85), W=100.0)
+        assert s.Tt > 288.15
+        assert s.Pt > 101325.0
+
+
+class TestCompressor:
+    @pytest.fixture
+    def fan(self):
+        return Compressor(map=load_map("f100-fan.map"))
+
+    def test_design_operation(self, fan):
+        state_in = SLS.with_(W=103.0)
+        op = fan.operate(state_in, 1.0, 0.5)
+        assert op.pressure_ratio == pytest.approx(3.0)
+        assert op.state_out.Pt == pytest.approx(3.0 * SLS.Pt)
+        assert op.state_out.Tt > state_in.Tt
+        assert op.power_W > 0
+
+    def test_power_equals_enthalpy_rise(self, fan):
+        state_in = SLS.with_(W=103.0)
+        op = fan.operate(state_in, 1.0, 0.5)
+        dh = op.state_out.ht - state_in.ht
+        assert op.power_W == pytest.approx(state_in.W * dh, rel=1e-9)
+
+    def test_lower_efficiency_more_work(self, fan):
+        """Same pressure ratio with worse efficiency needs more power
+        (compare design beta to an off-design beta at matched PR)."""
+        state_in = SLS.with_(W=103.0)
+        op = fan.operate(state_in, 1.0, 0.5)
+        ideal_power = op.power_W * op.efficiency
+        assert ideal_power < op.power_W
+
+    def test_map_physical_flow_at_design(self, fan):
+        assert fan.map_physical_flow(SLS, 1.0, 0.5) == pytest.approx(103.0)
+
+    def test_hot_day_reduces_corrected_speed(self, fan):
+        hot = SLS.with_(Tt=310.0)
+        assert fan.corrected_speed(1.0, hot) < 1.0
+
+
+class TestCombustor:
+    def test_temperature_rise(self):
+        comb = Combustor()
+        state_in = GasState(W=60.0, Tt=750.0, Pt=20e5)
+        out = comb.burn(state_in, wf=1.2)
+        assert out.Tt > state_in.Tt
+        assert out.W == pytest.approx(61.2)
+        assert out.far == pytest.approx(1.2 / 60.0)
+
+    def test_energy_conservation(self):
+        comb = Combustor(efficiency=1.0, dpqp=0.0)
+        state_in = GasState(W=60.0, Tt=750.0, Pt=20e5)
+        wf = 1.0
+        out = comb.burn(state_in, wf)
+        from repro.tess import FUEL_LHV
+
+        energy_in = state_in.W * state_in.ht + wf * FUEL_LHV
+        energy_out = out.W * out.ht
+        assert energy_out == pytest.approx(energy_in, rel=1e-9)
+
+    def test_pressure_drop(self):
+        out = Combustor(dpqp=0.05).burn(GasState(W=60.0, Tt=750.0, Pt=20e5), 1.0)
+        assert out.Pt == pytest.approx(0.95 * 20e5)
+
+    def test_zero_fuel_passthrough_temperature(self):
+        state_in = GasState(W=60.0, Tt=750.0, Pt=20e5)
+        out = Combustor(dpqp=0.0).burn(state_in, 0.0)
+        assert out.Tt == pytest.approx(state_in.Tt, rel=1e-9)
+
+    def test_overtemp_guarded(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            Combustor().burn(GasState(W=60.0, Tt=900.0, Pt=20e5), 4.0)
+
+    def test_negative_fuel_rejected(self):
+        with pytest.raises(ValueError):
+            Combustor().burn(SLS, -0.1)
+
+
+class TestTurbine:
+    STATE = GasState(W=62.0, Tt=1600.0, Pt=21e5, far=0.024)
+
+    def test_sizing(self):
+        t = Turbine().sized(self.STATE.corrected_flow)
+        assert t.flow_error(self.STATE) == pytest.approx(0.0)
+
+    def test_unsized_flow_error_raises(self):
+        with pytest.raises(ValueError, match="not sized"):
+            Turbine().flow_error(self.STATE)
+
+    def test_expand_with_ratio(self):
+        t = Turbine(efficiency=0.9)
+        op = t.expand_with_ratio(self.STATE, 3.0)
+        assert op.state_out.Pt == pytest.approx(self.STATE.Pt / 3.0)
+        assert op.state_out.Tt < self.STATE.Tt
+        assert op.power_W > 0
+
+    def test_power_equals_enthalpy_drop(self):
+        t = Turbine(efficiency=0.9)
+        op = t.expand_with_ratio(self.STATE, 3.0)
+        dh = self.STATE.ht - op.state_out.ht
+        assert op.power_W == pytest.approx(self.STATE.W * dh, rel=1e-9)
+
+    def test_to_power_and_with_ratio_consistent(self):
+        """expand_to_power followed by expand_with_ratio at the returned
+        PR reproduces the same exit state."""
+        t = Turbine(efficiency=0.89)
+        op1 = t.expand_to_power(self.STATE, 20e6)
+        op2 = t.expand_with_ratio(self.STATE, op1.pressure_ratio)
+        assert op2.power_W == pytest.approx(op1.power_W, rel=1e-6)
+        assert op2.state_out.Tt == pytest.approx(op1.state_out.Tt, rel=1e-6)
+
+    def test_validation(self):
+        t = Turbine()
+        with pytest.raises(ValueError):
+            t.expand_with_ratio(self.STATE, 0.9)
+        with pytest.raises(ValueError):
+            t.expand_to_power(self.STATE, -1.0)
+
+
+class TestDuct:
+    def test_pressure_loss(self):
+        out = Duct(dpqp=0.02).run(SLS)
+        assert out.Pt == pytest.approx(0.98 * SLS.Pt)
+        assert out.Tt == SLS.Tt
+        assert out.W == SLS.W
+
+    def test_loss_fraction_validated(self):
+        with pytest.raises(ValueError):
+            Duct(dpqp=1.5)
+        with pytest.raises(ValueError):
+            Duct(dpqp=-0.1)
+
+
+class TestNozzle:
+    HOT = GasState(W=100.0, Tt=900.0, Pt=3.0 * 101325.0, far=0.015)
+
+    def test_sizing_is_exact(self):
+        noz = ConvergentNozzle().sized_for(self.HOT, 101325.0)
+        assert noz.flow_capacity(self.HOT, 101325.0) == pytest.approx(100.0, rel=1e-9)
+
+    def test_unsized_raises(self):
+        with pytest.raises(ValueError, match="not sized"):
+            ConvergentNozzle().flow_capacity(self.HOT, 101325.0)
+
+    def test_choked_flow_independent_of_backpressure(self):
+        noz = ConvergentNozzle().sized_for(self.HOT, 101325.0)
+        # PR = 3 > critical (~1.85): choked
+        w1 = noz.flow_capacity(self.HOT, 101325.0)
+        w2 = noz.flow_capacity(self.HOT, 90000.0)
+        assert w1 == pytest.approx(w2)
+
+    def test_unchoked_flow_depends_on_backpressure(self):
+        state = self.HOT.with_(Pt=1.3 * 101325.0)
+        noz = ConvergentNozzle().sized_for(self.HOT, 101325.0)
+        w_lo = noz.flow_capacity(state, 101325.0)
+        w_hi = noz.flow_capacity(state, 95000.0)
+        assert w_hi > w_lo
+
+    def test_no_flow_without_pressure(self):
+        noz = ConvergentNozzle().sized_for(self.HOT, 101325.0)
+        stalled = self.HOT.with_(Pt=90000.0)
+        assert noz.flow_capacity(stalled, 101325.0) == 0.0
+        assert noz.gross_thrust(stalled, 101325.0) == 0.0
+
+    def test_thrust_positive_and_ram_drag(self):
+        noz = ConvergentNozzle().sized_for(self.HOT, 101325.0)
+        fg = noz.gross_thrust(self.HOT, 101325.0)
+        assert fg > 0
+        fn = noz.net_thrust(self.HOT, 101325.0, flight_speed=250.0)
+        assert fn == pytest.approx(fg - 100.0 * 250.0)
+
+    def test_flow_scales_with_area(self):
+        noz = ConvergentNozzle().sized_for(self.HOT, 101325.0)
+        from dataclasses import replace
+
+        bigger = replace(noz, area_m2=2 * noz.area_m2)
+        assert bigger.flow_capacity(self.HOT, 101325.0) == pytest.approx(
+            2 * noz.flow_capacity(self.HOT, 101325.0)
+        )
+
+
+class TestFlowpath:
+    def test_bleed_conserves_mass(self):
+        main, bleed = Bleed(fraction=0.05).run(SLS)
+        assert main.W + bleed.W == pytest.approx(SLS.W)
+        assert bleed.W == pytest.approx(5.0)
+
+    def test_bleed_fraction_validated(self):
+        with pytest.raises(ValueError):
+            Bleed(fraction=1.0)
+
+    def test_splitter_ratio(self):
+        core, bypass = Splitter().split(SLS, bypass_ratio=0.6)
+        assert bypass.W / core.W == pytest.approx(0.6)
+        assert core.W + bypass.W == pytest.approx(SLS.W)
+
+    def test_splitter_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Splitter().split(SLS, -0.1)
+
+    def test_mixer_conserves_mass_and_energy(self):
+        core = GasState(W=62.0, Tt=950.0, Pt=2.8e5, far=0.024)
+        bypass = GasState(W=38.0, Tt=370.0, Pt=2.8e5)
+        mixed = MixingVolume().mix(core, bypass)
+        assert mixed.W == pytest.approx(100.0)
+        e_in = core.W * core.ht + bypass.W * bypass.ht
+        assert mixed.W * mixed.ht == pytest.approx(e_in, rel=1e-9)
+        assert bypass.Tt < mixed.Tt < core.Tt
+
+    def test_mixer_far_bookkeeping(self):
+        core = GasState(W=61.0, Tt=950.0, Pt=2.8e5, far=0.025)
+        bypass = GasState(W=39.0, Tt=370.0, Pt=2.8e5, far=0.0)
+        mixed = MixingVolume().mix(core, bypass)
+        core_air = core.W / 1.0250
+        assert mixed.far == pytest.approx(0.025 * core_air / (core_air + 39.0))
+
+    def test_pressure_imbalance_sign(self):
+        a = GasState(W=1.0, Tt=300.0, Pt=2.0e5)
+        b = GasState(W=1.0, Tt=300.0, Pt=1.0e5)
+        mv = MixingVolume()
+        assert mv.pressure_imbalance(a, b) > 0
+        assert mv.pressure_imbalance(b, a) < 0
+        assert mv.pressure_imbalance(a, a) == 0.0
+
+
+class TestShaft:
+    SHAFT = Shaft(inertia=2.0, omega_design=1000.0, mech_eff=1.0)
+
+    def test_balanced_shaft_no_accel(self):
+        assert self.SHAFT.accel([10e6], 1, [10e6], 1, 0.0, 1.0) == pytest.approx(0.0)
+
+    def test_surplus_accelerates(self):
+        assert self.SHAFT.accel([10e6], 1, [12e6], 1, 0.0, 1.0) > 0
+
+    def test_deficit_decelerates(self):
+        assert self.SHAFT.accel([12e6], 1, [10e6], 1, 0.0, 1.0) < 0
+
+    def test_counts_select_array_prefix(self):
+        """The paper's signature passes arrays plus counts."""
+        a = self.SHAFT.accel([10e6, 99e6, 0, 0], 1, [12e6, 99e6, 0, 0], 1, 0.0, 1.0)
+        b = self.SHAFT.accel([10e6], 1, [12e6], 1, 0.0, 1.0)
+        assert a == b
+
+    def test_correction_term(self):
+        with_corr = self.SHAFT.accel([10e6], 1, [12e6], 1, 2e6, 1.0)
+        assert with_corr == pytest.approx(0.0)
+
+    def test_heavier_rotor_slower(self):
+        light = Shaft(inertia=1.0, omega_design=1000.0, mech_eff=1.0)
+        heavy = Shaft(inertia=4.0, omega_design=1000.0, mech_eff=1.0)
+        assert abs(heavy.accel([0], 0, [1e6], 1, 0.0, 1.0)) < abs(
+            light.accel([0], 0, [1e6], 1, 0.0, 1.0)
+        )
+
+    def test_mech_efficiency_taxes_turbine(self):
+        s = Shaft(inertia=2.0, omega_design=1000.0, mech_eff=0.98)
+        assert s.net_power([10e6], 1, [10e6], 1) == pytest.approx(-0.2e6)
+
+    def test_power_residual_normalized(self):
+        assert self.SHAFT.power_residual([10e6], 1, [10e6], 1) == pytest.approx(0.0)
+        assert abs(self.SHAFT.power_residual([9e6], 1, [10e6], 1)) == pytest.approx(0.1)

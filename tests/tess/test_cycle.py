@@ -1,0 +1,89 @@
+"""Tests for the level-1 cycle analysis, including cross-validation
+against the mapped, balanced engine deck."""
+
+import pytest
+
+from repro.tess import FlightCondition, build_f100
+from repro.tess.cycle import CycleInputs, CycleSummary, cycle_point
+
+
+class TestCyclePoint:
+    def test_default_cycle_is_f100_class(self):
+        s = cycle_point()
+        assert 50e3 < s.thrust_N < 90e3
+        assert 1.0 < s.fuel_kgs < 2.0
+        assert 600 < s.t3_K < 900
+        assert s.core_power_MW > 20
+
+    def test_fuel_flow_hits_requested_t4(self):
+        inputs = CycleInputs(t4_K=1500.0)
+        s = cycle_point(inputs)
+        # verify by re-burning at the found fuel flow
+        from repro.tess.components import Combustor, Inlet, Splitter
+        from repro.tess.cycle import _compress
+
+        face = Inlet(recovery=inputs.inlet_recovery).capture(
+            inputs.flight, inputs.airflow_kgs
+        )
+        fan_out = _compress(face, inputs.fan_pr, inputs.fan_eta)
+        core, _ = Splitter().split(fan_out, inputs.bypass_ratio)
+        hpc_out = _compress(core, inputs.overall_pr / inputs.fan_pr, inputs.hpc_eta)
+        burned = Combustor(
+            efficiency=inputs.burner_eta, dpqp=inputs.burner_dpqp
+        ).burn(hpc_out, s.fuel_kgs)
+        assert burned.Tt == pytest.approx(1500.0, abs=0.5)
+
+    def test_hotter_t4_more_thrust_and_fuel(self):
+        cool = cycle_point(CycleInputs(t4_K=1450.0))
+        hot = cycle_point(CycleInputs(t4_K=1650.0))
+        assert hot.thrust_N > cool.thrust_N
+        assert hot.fuel_kgs > cool.fuel_kgs
+
+    def test_higher_opr_better_sfc(self):
+        """The textbook Brayton result: raising OPR at fixed T4 improves
+        thermal efficiency and SFC."""
+        lo = cycle_point(CycleInputs(overall_pr=16.0))
+        hi = cycle_point(CycleInputs(overall_pr=28.0))
+        assert hi.sfc_kg_per_Ns < lo.sfc_kg_per_Ns
+
+    def test_altitude_thrust_lapse(self):
+        sls = cycle_point()
+        alt = cycle_point(CycleInputs(flight=FlightCondition(9000.0, 0.8)))
+        assert alt.thrust_N < sls.thrust_N
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="overall_pr"):
+            cycle_point(CycleInputs(overall_pr=2.0, fan_pr=3.0))
+        with pytest.raises(ValueError, match="temperature"):
+            cycle_point(CycleInputs(t4_K=300.0))
+
+
+class TestCrossValidationWithLevel15Deck:
+    """Zooming in reverse: the level-1 cycle and the mapped, balanced
+    deck must agree at the shared design point."""
+
+    def test_design_point_agreement(self):
+        engine = build_f100()
+        deck = engine.balance(FlightCondition(0.0, 0.0), engine.spec.wf_design)
+        opr = deck.stations["3"].Pt / deck.stations["2"].Pt
+        level1 = cycle_point(
+            CycleInputs(
+                airflow_kgs=deck.airflow,
+                fan_pr=deck.stations["13"].Pt / deck.stations["2"].Pt,
+                overall_pr=opr,
+                bypass_ratio=deck.bypass_ratio,
+                t4_K=deck.t4,
+                fan_eta=engine.fan.map.eta_design,
+                hpc_eta=engine.hpc.map.eta_design,
+                hpt_eta=engine.spec.hpt_efficiency,
+                lpt_eta=engine.spec.lpt_efficiency,
+                burner_eta=engine.spec.burner_efficiency,
+                burner_dpqp=engine.spec.burner_loss,
+                inlet_recovery=engine.spec.inlet_recovery,
+                mech_eta=engine.spec.mech_efficiency,
+            )
+        )
+        # the level-1 model has no ducts/bleed, so agreement to ~10% is
+        # the right expectation; gross disagreement means a cycle bug
+        assert level1.thrust_N == pytest.approx(deck.thrust_N, rel=0.10)
+        assert level1.fuel_kgs == pytest.approx(deck.wf, rel=0.10)

@@ -1,0 +1,150 @@
+"""Integration tests for the F100 engine model."""
+
+import numpy as np
+import pytest
+
+from repro.tess import (
+    FlightCondition,
+    LocalHost,
+    Schedule,
+    TwinSpoolTurbofan,
+    build_f100,
+)
+
+SLS = FlightCondition(altitude_m=0.0, mach=0.0)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return build_f100()
+
+
+class TestDesignClosure:
+    def test_design_point_is_exact_root(self, engine):
+        op = engine.evaluate(SLS, engine.spec.wf_design, 1.0, 1.0, engine.design_x)
+        assert np.allclose(op.residuals, 0.0, atol=1e-12)
+
+    def test_design_point_plausible_f100(self, engine):
+        op = engine.evaluate(SLS, engine.spec.wf_design, 1.0, 1.0, engine.design_x)
+        assert 90 < op.airflow < 115  # kg/s
+        assert 50e3 < op.thrust_N < 90e3  # dry F100 class
+        assert 1400 < op.t4 < 1700  # K
+        assert op.bypass_ratio == pytest.approx(0.6)
+
+    def test_overall_pressure_ratio(self, engine):
+        op = engine.evaluate(SLS, engine.spec.wf_design, 1.0, 1.0, engine.design_x)
+        opr = op.stations["3"].Pt / op.stations["2"].Pt
+        assert 20 < opr < 28
+
+    def test_balance_at_design_returns_design(self, engine):
+        op = engine.balance(SLS, engine.spec.wf_design)
+        assert op.converged
+        assert op.n1 == pytest.approx(1.0, abs=1e-6)
+        assert op.n2 == pytest.approx(1.0, abs=1e-6)
+
+    def test_station_chain_monotone(self, engine):
+        op = engine.evaluate(SLS, engine.spec.wf_design, 1.0, 1.0, engine.design_x)
+        s = op.stations
+        # pressure rises through compression, falls through expansion
+        assert s["2"].Pt < s["13"].Pt < s["3"].Pt
+        assert s["4"].Pt > s["45"].Pt > s["5"].Pt
+        # temperature peaks at the burner exit
+        assert s["4"].Tt == max(st.Tt for st in s.values())
+
+
+class TestOffDesign:
+    def test_less_fuel_slower_spools(self, engine):
+        lo = engine.balance(SLS, 1.2)
+        hi = engine.balance(SLS, 1.5)
+        assert lo.n1 < hi.n1
+        assert lo.n2 < hi.n2
+        assert lo.thrust_N < hi.thrust_N
+
+    def test_altitude_lapse(self, engine):
+        sls = engine.balance(SLS, 1.3)
+        cruise = engine.balance(FlightCondition(9000.0, 0.8), 1.3 * 0.45)
+        assert cruise.thrust_N < sls.thrust_N  # thrust lapses with altitude
+        assert cruise.converged
+
+    def test_steady_methods_agree(self, engine):
+        nr = engine.balance(SLS, 1.35, method="Newton-Raphson")
+        rk = engine.balance(SLS, 1.35, method="Runge-Kutta", tol=1e-7)
+        assert rk.converged
+        assert rk.n1 == pytest.approx(nr.n1, abs=1e-4)
+        assert rk.n2 == pytest.approx(nr.n2, abs=1e-4)
+        assert rk.thrust_N == pytest.approx(nr.thrust_N, rel=1e-3)
+
+    def test_unknown_method_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.balance(SLS, 1.4, method="Secant")
+
+    def test_stator_closure_reduces_flow(self, engine):
+        nominal = engine.balance(SLS, 1.4)
+        closed = engine.balance(SLS, 1.4, fan_stator=-5.0)
+        assert closed.airflow < nominal.airflow
+
+    def test_local_host_counts_calls(self):
+        host = LocalHost()
+        eng = build_f100(host=host)
+        eng.balance(SLS, 1.4)
+        assert host.calls.get("combustor", 0) > 0
+        assert host.calls.get("nozzle", 0) > 0
+        assert any(k.startswith("duct:") for k in host.calls)
+
+
+class TestTransient:
+    def test_throttle_up_reaches_new_steady_state(self, engine):
+        sched = Schedule.of((0.0, 1.3), (0.3, 1.5), (3.0, 1.5))
+        res = engine.transient(SLS, sched, t_end=3.0, dt=0.02)
+        target = engine.balance(SLS, 1.5)
+        assert res.n1[-1] == pytest.approx(target.n1, abs=2e-3)
+        assert res.n2[-1] == pytest.approx(target.n2, abs=2e-3)
+        assert res.thrust[-1] > res.thrust[0]
+
+    def test_starts_balanced(self, engine):
+        """TESS balances before the transient begins: no initial jump."""
+        sched = Schedule.constant(1.4)
+        res = engine.transient(SLS, sched, t_end=0.2, dt=0.02)
+        assert np.allclose(res.n1, res.n1[0], atol=1e-5)
+        assert np.allclose(res.n2, res.n2[0], atol=1e-5)
+
+    def test_spool_inertia_ordering(self, engine):
+        """The heavier low spool lags the high spool on a throttle step."""
+        sched = Schedule.of((0.0, 1.3), (0.05, 1.5), (1.0, 1.5))
+        res = engine.transient(SLS, sched, t_end=1.0, dt=0.02)
+        n1_progress = (res.n1[-1] - res.n1[0]) / max(res.n1[-1] - res.n1[0], 1e-9)
+        # both spools must have moved
+        assert res.n1[-1] > res.n1[0]
+        assert res.n2[-1] > res.n2[0]
+
+    @pytest.mark.parametrize("method", ["Modified Euler", "Runge-Kutta", "Adams", "Gear"])
+    def test_all_menu_methods_agree(self, engine, method):
+        """The paper's solution-method menu: every method reaches the
+        same trajectory for a mild transient."""
+        sched = Schedule.of((0.0, 1.35), (0.2, 1.45), (1.0, 1.45))
+        res = engine.transient(SLS, sched, t_end=1.0, dt=0.02, method=method)
+        ref = engine.transient(SLS, sched, t_end=1.0, dt=0.02, method="Runge-Kutta")
+        assert res.n1[-1] == pytest.approx(ref.n1[-1], abs=5e-4)
+        assert res.n2[-1] == pytest.approx(ref.n2[-1], abs=5e-4)
+
+    def test_t4_follows_fuel(self, engine):
+        sched = Schedule.of((0.0, 1.3), (0.2, 1.5), (1.0, 1.5))
+        res = engine.transient(SLS, sched, t_end=1.0, dt=0.02)
+        assert res.t4[-1] > res.t4[0]
+        assert res.wf[0] == pytest.approx(1.3)
+        assert res.wf[-1] == pytest.approx(1.5)
+
+    def test_transient_with_stator_schedule(self, engine):
+        fuel = Schedule.constant(1.4)
+        stators = Schedule.of((0.0, 0.0), (0.5, -4.0), (1.0, -4.0))
+        res = engine.transient(
+            SLS, fuel, t_end=1.0, dt=0.02, fan_stator_schedule=stators
+        )
+        # closing fan stators with fixed fuel drops airflow -> thrust sags
+        assert res.thrust[-1] < res.thrust[0]
+
+    def test_start_can_be_supplied(self, engine):
+        start = engine.balance(SLS, 1.4)
+        sched = Schedule.constant(1.4)
+        res = engine.transient(SLS, sched, t_end=0.1, dt=0.02, start=start)
+        assert res.n1[0] == pytest.approx(start.n1)

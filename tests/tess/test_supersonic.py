@@ -1,0 +1,63 @@
+"""Tests for supersonic inlet recovery and the supersonic envelope
+corner (the F100 is a fighter engine)."""
+
+import pytest
+
+from repro.tess import FlightCondition, Inlet, build_f100
+
+
+class TestMilSpecRecovery:
+    def test_subsonic_uses_duct_recovery(self):
+        inlet = Inlet(recovery=0.99)
+        assert inlet.recovery_at(0.0) == 0.99
+        assert inlet.recovery_at(0.9) == 0.99
+        assert inlet.recovery_at(1.0) == 0.99
+
+    def test_shock_losses_grow_with_mach(self):
+        inlet = Inlet(recovery=0.99)
+        r12 = inlet.recovery_at(1.2)
+        r16 = inlet.recovery_at(1.6)
+        r20 = inlet.recovery_at(2.0)
+        assert 0.99 > r12 > r16 > r20
+
+    def test_mil_spec_values(self):
+        """MIL-E-5008B: eta = 1 - 0.075 (M-1)^1.35."""
+        inlet = Inlet(recovery=1.0)
+        assert inlet.recovery_at(1.5) == pytest.approx(1 - 0.075 * 0.5**1.35, rel=1e-9)
+        assert inlet.recovery_at(2.0) == pytest.approx(0.925, rel=1e-3)
+
+    def test_floor_guards_extreme_mach(self):
+        assert Inlet(recovery=1.0).recovery_at(10.0) >= 0.1
+
+    def test_capture_applies_shock_loss(self):
+        inlet = Inlet(recovery=1.0)
+        sub = inlet.capture(FlightCondition(11000.0, 0.9), W=50.0)
+        sup = inlet.capture(FlightCondition(11000.0, 1.6), W=50.0)
+        # ram ratio grows with Mach, but recovery cuts into it
+        _, pt_ideal = FlightCondition(11000.0, 1.6).ram_conditions()
+        assert sup.Pt == pytest.approx(pt_ideal * inlet.recovery_at(1.6), rel=1e-9)
+        assert sup.Pt > sub.Pt  # ram still wins at M1.6
+
+
+class TestSupersonicEnvelope:
+    # the thin air at 11 km needs much less fuel for the same corrected
+    # operating point; full SLS fuel would over-speed the spools
+    CRUISE_FUEL = 0.62
+
+    def test_balance_at_mach_1_4(self):
+        engine = build_f100()
+        op = engine.balance(FlightCondition(11000.0, 1.4), self.CRUISE_FUEL)
+        assert op.converged
+        assert op.thrust_N > 0
+
+    def test_transonic_continuity(self):
+        """Thrust varies smoothly through Mach 1 (the recovery schedule
+        is continuous at M=1)."""
+        engine = build_f100()
+        ops = [
+            engine.balance(FlightCondition(11000.0, m), self.CRUISE_FUEL)
+            for m in (0.95, 1.0, 1.05)
+        ]
+        assert all(op.converged for op in ops)
+        thrusts = [op.thrust_N for op in ops]
+        assert abs(thrusts[2] - thrusts[0]) / thrusts[1] < 0.15

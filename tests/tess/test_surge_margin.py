@@ -1,0 +1,58 @@
+"""Tests for surge-margin diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.tess import FlightCondition, Schedule, build_f100, load_map
+
+SLS = FlightCondition(0.0, 0.0)
+
+
+class TestMapSurgeLine:
+    @pytest.fixture
+    def fan(self):
+        return load_map("f100-fan.map")
+
+    def test_surge_line_above_operating_line(self, fan):
+        for n in (0.8, 0.9, 1.0):
+            assert fan.surge_pressure_ratio(n) > fan.pressure_ratio(n, 0.5)
+
+    def test_surge_margin_zero_on_the_line(self, fan):
+        assert fan.surge_margin(1.0, 0.0) == pytest.approx(0.0)
+
+    def test_margin_grows_toward_choke(self, fan):
+        assert fan.surge_margin(1.0, 0.9) > fan.surge_margin(1.0, 0.3)
+
+
+class TestEngineSurgeMargins:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return build_f100()
+
+    def test_steady_margins_healthy(self, engine):
+        op = engine.balance(SLS, 1.4)
+        assert 0.05 < op.diagnostics["fan_surge_margin"] < 0.5
+        assert 0.05 < op.diagnostics["hpc_surge_margin"] < 0.5
+
+    def test_hpc_margin_dips_during_acceleration(self, engine):
+        """The classic transient result: a fuel slam drives the HPC
+        operating point toward surge before the spools catch up, then
+        the margin recovers."""
+        sched = Schedule.of((0.0, 1.3), (0.1, 1.5), (2.0, 1.5))
+        start = engine.balance(SLS, 1.3)
+        sm_start = start.diagnostics["hpc_surge_margin"]
+        res = engine.transient(SLS, sched, t_end=1.0, dt=0.02, start=start)
+        sms = []
+        for t, n1, n2 in zip(res.t, res.n1, res.n2):
+            op = engine._solve_gas_path(SLS, sched.value(float(t)), float(n1), float(n2))
+            sms.append(op.diagnostics["hpc_surge_margin"])
+        sms = np.array(sms)
+        assert sms.min() < sm_start - 0.005  # the dip
+        assert sms[-1] > sms.min() + 0.005  # the recovery
+
+    def test_surge_margin_probe_available(self, engine):
+        from repro.core import STANDARD_PROBES
+
+        op = engine.balance(SLS, 1.4)
+        assert STANDARD_PROBES["SM_hpc"](op) == op.diagnostics["hpc_surge_margin"]
+        assert STANDARD_PROBES["SM_fan"](op) == op.diagnostics["fan_surge_margin"]

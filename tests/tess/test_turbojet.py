@@ -1,0 +1,87 @@
+"""Tests for the single-spool turbojet — the component library's second
+engine configuration (§2.4: 'model a wide range of engines')."""
+
+import numpy as np
+import pytest
+
+from repro.tess import FlightCondition, Schedule, SingleSpoolTurbojet, TurbojetSpec
+
+SLS = FlightCondition(0.0, 0.0)
+
+
+@pytest.fixture(scope="module")
+def turbojet():
+    return SingleSpoolTurbojet()
+
+
+class TestDesign:
+    def test_design_point_is_exact_root(self, turbojet):
+        op = turbojet.evaluate(SLS, turbojet.spec.wf_design, 1.0, turbojet.design_x)
+        assert np.allclose(op.residuals, 0.0, atol=1e-12)
+
+    def test_balance_at_design(self, turbojet):
+        op = turbojet.balance(SLS, turbojet.spec.wf_design)
+        assert op.converged
+        assert op.n1 == pytest.approx(1.0, abs=1e-6)
+
+    def test_plausible_small_turbojet(self, turbojet):
+        op = turbojet.balance(SLS, turbojet.spec.wf_design)
+        assert 5e3 < op.thrust_N < 30e3  # J85 class
+        assert 10 < op.airflow < 30
+
+    def test_station_ordering(self, turbojet):
+        op = turbojet.balance(SLS, turbojet.spec.wf_design)
+        s = op.stations
+        assert s["2"].Pt < s["3"].Pt
+        assert s["4"].Tt > s["3"].Tt
+        assert s["5"].Pt < s["4"].Pt
+
+
+class TestOffDesign:
+    def test_throttle_response(self, turbojet):
+        hi = turbojet.balance(SLS, 0.45)
+        lo = turbojet.balance(SLS, 0.38)
+        assert lo.n1 < hi.n1
+        assert lo.thrust_N < hi.thrust_N
+
+    def test_altitude_lapse(self, turbojet):
+        sls = turbojet.balance(SLS, 0.42)
+        alt = turbojet.balance(FlightCondition(6000.0, 0.6), 0.42 * 0.6)
+        assert alt.converged
+        assert alt.thrust_N < sls.thrust_N
+
+    def test_shaft_powers_balance_at_steady_state(self, turbojet):
+        op = turbojet.balance(SLS, 0.42)
+        assert op.powers["turbine"] * turbojet.spec.mech_efficiency == pytest.approx(
+            op.powers["compressor"], rel=1e-6
+        )
+
+
+class TestTransient:
+    def test_spool_up(self, turbojet):
+        sched = Schedule.of((0.0, 0.40), (0.2, 0.45), (1.5, 0.45))
+        ode, thrust = turbojet.transient(SLS, sched, t_end=1.5, dt=0.02)
+        assert ode.y[-1, 0] > ode.y[0, 0]
+        assert thrust[-1] > thrust[0]
+
+    def test_reaches_target_steady_state(self, turbojet):
+        sched = Schedule.of((0.0, 0.40), (0.2, 0.45), (4.0, 0.45))
+        ode, _ = turbojet.transient(SLS, sched, t_end=4.0, dt=0.02)
+        target = turbojet.balance(SLS, 0.45)
+        assert float(ode.y[-1, 0]) == pytest.approx(target.n1, abs=2e-3)
+
+    def test_gear_method_works_too(self, turbojet):
+        sched = Schedule.of((0.0, 0.42), (0.2, 0.44), (1.0, 0.44))
+        ode_g, _ = turbojet.transient(SLS, sched, t_end=0.5, dt=0.02, method="Gear")
+        ode_e, _ = turbojet.transient(SLS, sched, t_end=0.5, dt=0.02)
+        assert float(ode_g.y[-1, 0]) == pytest.approx(float(ode_e.y[-1, 0]), abs=1e-3)
+
+
+class TestSpecVariants:
+    def test_custom_spec(self):
+        spec = TurbojetSpec(airflow_scale=1.0, wf_design=0.75)
+        tj = SingleSpoolTurbojet(spec)
+        op = tj.balance(SLS, spec.wf_design)
+        assert op.converged
+        # bigger engine, more thrust
+        assert op.thrust_N > SingleSpoolTurbojet().balance(SLS, 0.45).thrust_N

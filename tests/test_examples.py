@@ -1,0 +1,45 @@
+"""Smoke tests: every example script and the package entry point run to
+completion and print their headline results."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+EXPECTED_MARKER = {
+    "quickstart.py": "remote shaft() on the Cray",
+    "f100_engine.py": "agreement with local-only thrust",
+    "migration_and_lines.py": "Manager persistent: True",
+    "parallel_encapsulation.py": "encapsulated-cluster speedup",
+    "wan_placement.py": "lowest per-call total",
+    "zooming.py": "extracted efficiency",
+    "engine_test_cell.py": "the margin the test cell exists to quantify",
+    "cycle_design_study.py": "good enough to pick the cycle",
+}
+
+
+def run_script(args):
+    return subprocess.run(
+        [sys.executable, *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=EXAMPLES.parent,
+    )
+
+
+@pytest.mark.parametrize("script,marker", sorted(EXPECTED_MARKER.items()))
+def test_example_runs(script, marker):
+    result = run_script([str(EXAMPLES / script)])
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker in result.stdout
+
+
+def test_python_dash_m_repro():
+    result = run_script(["-m", "repro"])
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Table-2 distributed" in result.stdout
+    assert "agrees to" in result.stdout
