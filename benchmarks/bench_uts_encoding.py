@@ -129,3 +129,51 @@ def test_cray_out_of_range_policy(benchmark):
     assert errored
     assert inf_val == math.inf
     benchmark.extra_info["chosen_policy"] = "error (after consulting NPSS researchers)"
+
+
+def test_compiled_vs_interpretive_encode(benchmark):
+    """The compiled fast path: a 1k-double array must encode byte-identically
+    to the interpretive reference and at least 2x faster (the whole array
+    collapses to one struct('>1000d') call)."""
+    import time
+
+    from repro.uts import codec_for
+
+    t = ArrayType(1000, DOUBLE)
+    values = [math.sin(i) for i in range(1000)]
+    codec = codec_for(t)
+    assert codec.plan == "struct('>1000d')"
+    assert codec.encode(values) == encode_value(t, values)
+
+    def best_of(fn, rounds=7, number=50):
+        best = math.inf
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for _ in range(number):
+                fn(values)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    interp = best_of(lambda v: encode_value(t, v))
+    compiled = benchmark(codec.encode, values)
+    compiled_t = best_of(codec.encode)
+    speedup = interp / compiled_t
+    benchmark.extra_info.update(
+        {"interpretive_s": interp, "compiled_s": compiled_t,
+         "speedup": round(speedup, 1)}
+    )
+    assert speedup >= 2.0, f"compiled path only {speedup:.1f}x faster"
+    assert compiled == encode_value(t, values)
+
+
+def test_compiled_native_plan_speedup(benchmark):
+    """The per-(format, type, policy) native plans: same values, same
+    exceptions, less dispatch."""
+    from repro.uts import identical, native_roundtrip_for, roundtrip_native_interpreted
+
+    t = ArrayType(256, DOUBLE)
+    values = [1.5 * i for i in range(256)]
+    fmt = SPARC.native_format
+    plan = native_roundtrip_for(fmt, t, ERR)
+    out = benchmark(plan, values)
+    assert identical(t, out, roundtrip_native_interpreted(fmt, t, values, ERR))

@@ -85,6 +85,10 @@ def table2() -> None:
     from repro.schooner import render_summary
 
     print(render_summary(ex.env.traces))
+    stats = ex.env.transport.stats
+    print(f"network traffic: {stats.bytes} payload B + {stats.header_bytes} "
+          f"header B = {stats.total_bytes} B on the wire "
+          f"({stats.messages} messages)")
 
 
 def figure1() -> None:

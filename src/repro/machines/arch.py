@@ -22,6 +22,7 @@ __all__ = [
     "RS6000_ARCH",
     "I860_NODE",
     "ALL_ARCHITECTURES",
+    "ALL_NATIVE_FORMATS",
 ]
 
 
@@ -124,4 +125,12 @@ ALL_ARCHITECTURES = (
     CONVEX_C2,
     RS6000_ARCH,
     I860_NODE,
+)
+
+# The distinct native formats of the machine park, in a stable order —
+# the sweep set of the UTS conformance harness
+# (:mod:`repro.uts.conformance`): every codec bug that matters shows up
+# on one of these.
+ALL_NATIVE_FORMATS = tuple(
+    {arch.native_format: None for arch in ALL_ARCHITECTURES}
 )

@@ -24,7 +24,12 @@ __all__ = ["Message", "Transport", "TrafficStats"]
 
 @dataclass(frozen=True)
 class Message:
-    """One delivered message."""
+    """One delivered message.
+
+    ``nbytes`` is the *payload* size (the UTS-encoded arguments);
+    ``header_nbytes`` is the fixed Schooner message header charged on top
+    of it.  The wire occupancy is :attr:`total_nbytes`.
+    """
 
     msg_id: int
     src: str
@@ -32,8 +37,14 @@ class Message:
     kind: str
     body: Any
     nbytes: int
+    header_nbytes: int
     sent_at: float
     delivered_at: float
+
+    @property
+    def total_nbytes(self) -> int:
+        """Bytes actually put on the wire: payload plus header."""
+        return self.nbytes + self.header_nbytes
 
     @property
     def transfer_seconds(self) -> float:
@@ -42,16 +53,27 @@ class Message:
 
 @dataclass
 class TrafficStats:
-    """Aggregate counters, reported by the benchmark harness."""
+    """Aggregate counters, reported by the benchmark harness.
+
+    ``bytes`` counts payload only; ``header_bytes`` counts the framing
+    overhead, so reports can show both and :attr:`total_bytes` matches
+    what the topology charged transfer time for.
+    """
 
     messages: int = 0
     bytes: int = 0
+    header_bytes: int = 0
     virtual_seconds: float = 0.0
     by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes + self.header_bytes
 
     def record(self, msg: Message) -> None:
         self.messages += 1
         self.bytes += msg.nbytes
+        self.header_bytes += msg.header_nbytes
         self.virtual_seconds += msg.transfer_seconds
         self.by_kind[msg.kind] = self.by_kind.get(msg.kind, 0) + 1
 
@@ -122,7 +144,8 @@ class Transport:
             dst=dst.hostname,
             kind=kind,
             body=body,
-            nbytes=total,
+            nbytes=nbytes,
+            header_nbytes=header_bytes,
             sent_at=sent_at,
             delivered_at=delivered_at,
         )

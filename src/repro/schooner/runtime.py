@@ -20,10 +20,10 @@ from ..machines.registry import MachinePark, standard_park
 from ..network.clock import Timeline, VirtualClock
 from ..network.topology import Topology
 from ..network.transport import Transport
-from ..uts.native import OutOfRangePolicy, roundtrip_native
+from ..uts.compiled import native_roundtrip_for, signature_codec
+from ..uts.native import OutOfRangePolicy
 from ..uts.types import Signature
 from ..uts.values import conform_args
-from ..uts.wire import marshal_args, unmarshal_args
 from .errors import CallFailed, StaleBinding
 from .lines import InstanceRecord
 
@@ -151,15 +151,21 @@ def execute_call(
         started_at=timeline.now,
     )
 
+    # Compiled UTS plans: one walk of each parameter type, cached per
+    # (signature, direction) and per (format, type, policy) — the RPC
+    # hot path never re-dispatches on the type tree.
+    caller_fmt = caller_machine.architecture.native_format
+    callee_fmt = callee_machine.architecture.native_format
+    send_codec = signature_codec(import_sig, "send")
+    return_codec = signature_codec(import_sig, "return")
+
     # --- client side: conform, apply caller-native storage, marshal -------
     sent = conform_args(import_sig, args, "send")
     sent = {
-        p.name: roundtrip_native(
-            caller_machine.architecture.native_format, p.type, sent[p.name], policy
-        )
+        p.name: native_roundtrip_for(caller_fmt, p.type, policy)(sent[p.name])
         for p in import_sig.sent_params
     }
-    request = marshal_args(import_sig, sent, "send")
+    request = send_codec.encode_conformed(sent)
     dt = env.cpu_seconds_for_bytes(caller_machine, len(request))
     trace.client_cpu_s += dt
     timeline.advance(dt)
@@ -184,14 +190,11 @@ def execute_call(
 
     # The callee sees the subset of parameters its *export* declares that
     # the import actually sent (import may be a subset of the export).
-    recv = unmarshal_args(import_sig, request, "send")
+    recv = send_codec.unmarshal(request)
     recv = {
-        name: roundtrip_native(
-            callee_machine.architecture.native_format,
-            import_sig.param_named(name).type,
-            value,
-            policy,
-        )
+        name: native_roundtrip_for(
+            callee_fmt, import_sig.param_named(name).type, policy
+        )(value)
         for name, value in recv.items()
     }
 
@@ -220,12 +223,10 @@ def execute_call(
     results = _shape_results(import_sig, raw_result, recv)
     results = conform_args(import_sig, results, "return")
     results = {
-        p.name: roundtrip_native(
-            callee_machine.architecture.native_format, p.type, results[p.name], policy
-        )
+        p.name: native_roundtrip_for(callee_fmt, p.type, policy)(results[p.name])
         for p in import_sig.returned_params
     }
-    reply = marshal_args(import_sig, results, "return")
+    reply = return_codec.encode_conformed(results)
     dt = env.cpu_seconds_for_bytes(callee_machine, len(reply))
     trace.server_cpu_s += dt
     timeline.advance(dt)
@@ -247,11 +248,9 @@ def execute_call(
     dt = env.cpu_seconds_for_bytes(caller_machine, len(reply))
     trace.client_cpu_s += dt
     timeline.advance(dt)
-    out = unmarshal_args(import_sig, reply, "return")
+    out = return_codec.unmarshal(reply)
     out = {
-        p.name: roundtrip_native(
-            caller_machine.architecture.native_format, p.type, out[p.name], policy
-        )
+        p.name: native_roundtrip_for(caller_fmt, p.type, policy)(out[p.name])
         for p in import_sig.returned_params
     }
 

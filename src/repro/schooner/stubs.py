@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from ..machines.host import Machine
+from ..uts.compiled import precompile_signature
 from ..uts.types import Signature
 from .errors import StaleBinding
 from .lines import InstanceRecord, Line
@@ -41,6 +42,11 @@ class ClientStub:
     _cache: Optional[InstanceRecord] = field(default=None, repr=False)
     lookups: int = 0  # Manager round trips, for the migration benchmark
     failovers: int = 0
+
+    def __post_init__(self) -> None:
+        # stub generation time, not call time, is when the UTS plans are
+        # built — the first RPC pays no compile cost
+        precompile_signature(self.import_sig)
 
     @property
     def name(self) -> str:

@@ -4,6 +4,10 @@ The runtime records a :class:`~repro.schooner.runtime.CallTrace` per
 call; this module aggregates trace lists into the per-procedure and
 per-link summaries the benchmark harness reports — calls, bytes, and
 where the virtual time went (network vs marshal vs compute).
+
+Byte counts are UTS *payload* bytes (the marshaled arguments); the fixed
+per-message Schooner header is accounted separately by
+:class:`~repro.network.transport.TrafficStats`.
 """
 
 from __future__ import annotations

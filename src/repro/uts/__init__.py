@@ -10,6 +10,12 @@ provides three things, each a submodule here:
 * a **common data interchange format** plus per-architecture native
   codecs, including a bit-accurate Cray Y-MP floating format
   (:mod:`.wire`, :mod:`.native`).
+
+Two companion modules harden and accelerate the codecs: :mod:`.compiled`
+holds per-type compiled encoder/decoder plans (the RPC hot path), and
+:mod:`.conformance` is a differential harness that cross-checks every
+format, policy, and codec path against the documented semantics in
+``docs/CODECS.md``.
 """
 
 from .errors import (
@@ -20,6 +26,14 @@ from .errors import (
     UTSSyntaxError,
     UTSTypeError,
 )
+from .compiled import (
+    CompiledCodec,
+    SignatureCodec,
+    codec_for,
+    native_roundtrip_for,
+    precompile_signature,
+    signature_codec,
+)
 from .native import (
     CrayFormat,
     IEEEFormat,
@@ -27,6 +41,7 @@ from .native import (
     OutOfRangePolicy,
     VAXFormat,
     roundtrip_native,
+    roundtrip_native_interpreted,
 )
 from .parser import Declaration, parse_spec, parse_type
 from .spec import SpecFile, check_compatibility, render_signature
@@ -51,7 +66,7 @@ from .types import (
     StringType,
     UTSType,
 )
-from .values import conform, conform_args, values_equal, zero_value
+from .values import conform, conform_args, identical, values_equal, zero_value
 from .wire import (
     decode_value,
     encode_value,
@@ -100,6 +115,7 @@ __all__ = [
     "conform_args",
     "zero_value",
     "values_equal",
+    "identical",
     # wire
     "encode_value",
     "decode_value",
@@ -113,4 +129,12 @@ __all__ = [
     "VAXFormat",
     "OutOfRangePolicy",
     "roundtrip_native",
+    "roundtrip_native_interpreted",
+    # compiled fast path
+    "CompiledCodec",
+    "SignatureCodec",
+    "codec_for",
+    "signature_codec",
+    "precompile_signature",
+    "native_roundtrip_for",
 ]

@@ -57,6 +57,7 @@ __all__ = [
     "CrayFormat",
     "VAXFormat",
     "roundtrip_native",
+    "roundtrip_native_interpreted",
 ]
 
 
@@ -180,23 +181,36 @@ class CrayFormat(NativeFormat):
     def _unpack_int_bytes(self, data: bytes) -> int:
         return struct.unpack(">q", data)[0]
 
-    def _pack_cray(self, value: float) -> bytes:
+    def _pack_cray(self, value: float, policy: OutOfRangePolicy) -> bytes:
         if value != value:
             raise UTSConversionError("Cray format has no NaN representation")
         if math.isinf(value):
-            raise UTSRangeError("Cray format has no infinity representation")
-        if value == 0.0:
-            return b"\x00" * 8
+            if policy is OutOfRangePolicy.ERROR:
+                raise UTSRangeError("Cray format has no infinity representation")
+            # INFINITY policy: store the largest Cray magnitude.  Its
+            # exponent exceeds IEEE binary64, so unpacking under the same
+            # policy yields +/-inf again — infinity round-trips.
+            sign = 1 if value < 0 else 0
+            word = (
+                (sign << 63)
+                | (0x7FFF << _CRAY_MANT_BITS)
+                | ((1 << _CRAY_MANT_BITS) - 1)
+            )
+            return word.to_bytes(8, "big")
         sign = 1 if math.copysign(1.0, value) < 0 else 0
+        if value == 0.0:
+            # a zero word with the sign bit carries IEEE's -0.0, which the
+            # wire format preserves and the unpacker restores
+            return (sign << 63).to_bytes(8, "big")
         m, e = math.frexp(abs(value))  # m in [0.5, 1)
         mant = round(m * (1 << _CRAY_MANT_BITS))
         if mant >= 1 << _CRAY_MANT_BITS:  # rounding carried out of the top
             mant >>= 1
             e += 1
         biased = e + _CRAY_BIAS
-        if biased <= 0:
-            # Cray flushed underflow to zero
-            return b"\x00" * 8
+        if biased <= 0:  # pragma: no cover - unreachable from a double
+            # Cray flushed underflow to zero, keeping the sign bit
+            return (sign << 63).to_bytes(8, "big")
         if biased >= 1 << 15:  # pragma: no cover - unreachable from a double
             raise UTSRangeError(f"{value!r} exceeds Cray exponent range")
         word = (sign << 63) | (biased << _CRAY_MANT_BITS) | mant
@@ -208,7 +222,7 @@ class CrayFormat(NativeFormat):
         biased = (word >> _CRAY_MANT_BITS) & 0x7FFF
         mant = word & ((1 << _CRAY_MANT_BITS) - 1)
         if mant == 0:
-            return 0.0
+            return sign * 0.0  # preserves the sign bit as IEEE +/-0.0
         frac = mant / (1 << _CRAY_MANT_BITS)
         try:
             return sign * math.ldexp(frac, biased - _CRAY_BIAS)
@@ -223,13 +237,13 @@ class CrayFormat(NativeFormat):
 
     # Cray single == Cray double == one 64-bit word.
     def pack_float32(self, value: float, policy: OutOfRangePolicy) -> bytes:
-        return self._pack_cray(value)
+        return self._pack_cray(value, policy)
 
     def unpack_float32(self, data: bytes, policy: OutOfRangePolicy) -> float:
         return self._unpack_cray(data, policy)
 
     def pack_float64(self, value: float, policy: OutOfRangePolicy) -> bytes:
-        return self._pack_cray(value)
+        return self._pack_cray(value, policy)
 
     def unpack_float64(self, data: bytes, policy: OutOfRangePolicy) -> float:
         return self._unpack_cray(data, policy)
@@ -278,8 +292,26 @@ class VAXFormat(NativeFormat):
         if value != value:
             raise UTSConversionError("VAX format has no NaN representation")
         if math.isinf(value):
-            raise UTSRangeError("VAX format has no infinity representation")
+            if policy is OutOfRangePolicy.ERROR:
+                raise UTSRangeError("VAX format has no infinity representation")
+            # no infinity in VAX format: clamp to the largest representable
+            logical = (
+                ((1 if value < 0 else 0) << (frac_bits + 8))
+                | (255 << frac_bits)
+                | ((1 << frac_bits) - 1)
+            )
+            return self._to_pdp_order(logical, nbytes)
         if value == 0.0:
+            if math.copysign(1.0, value) < 0:
+                # IEEE -0.0: sign bit with zero exponent is the VAX
+                # *reserved operand*, so the sign cannot be stored.  Raise
+                # rather than silently dropping a sign the wire preserves;
+                # the lenient policy flushes to a clean +0.0.
+                if policy is OutOfRangePolicy.ERROR:
+                    raise UTSConversionError(
+                        f"{self.name} VAX format cannot represent -0.0 "
+                        f"(sign bit with zero exponent is a reserved operand)"
+                    )
             return b"\x00" * nbytes
         sign = 1 if value < 0 else 0
         m, e = math.frexp(abs(value))  # m in [0.5, 1): VAX normalization
@@ -308,9 +340,35 @@ class VAXFormat(NativeFormat):
         biased = (logical >> frac_bits) & 0xFF
         frac = logical & ((1 << frac_bits) - 1)
         if biased == 0:
-            return 0.0  # sign bit set with exp 0 is a reserved operand; treat as 0
+            if sign < 0:
+                # sign bit set with exponent 0 is the VAX *reserved
+                # operand*: real hardware raised a reserved-operand fault
+                # on any use, so the strict policy raises too
+                if policy is OutOfRangePolicy.ERROR:
+                    raise UTSConversionError(
+                        f"{self.name} VAX reserved operand "
+                        f"(sign bit set with zero exponent)"
+                    )
+                return 0.0
+            return 0.0  # "dirty zero": exponent 0 is zero whatever the fraction
         mant = frac | (1 << frac_bits)  # restore hidden bit
         return sign * math.ldexp(mant / (1 << (frac_bits + 1)), biased - _VAX_BIAS)
+
+    @staticmethod
+    def raw(sign: int, biased_exponent: int, fraction: int, frac_bits: int = 55) -> bytes:
+        """Build raw PDP-ordered VAX bytes from fields (for tests and the
+        conformance harness, which need bit patterns — reserved operands,
+        dirty zeros — that no Python float produces through the packer)."""
+        if not 0 <= fraction < 1 << frac_bits:
+            raise ValueError("fraction out of range")
+        if not 0 <= biased_exponent < 256:
+            raise ValueError("biased exponent out of range")
+        logical = (
+            ((1 if sign else 0) << (frac_bits + 8))
+            | (biased_exponent << frac_bits)
+            | fraction
+        )
+        return VAXFormat._to_pdp_order(logical, (1 + 8 + frac_bits) // 8)
 
     @staticmethod
     def _to_pdp_order(logical: int, nbytes: int) -> bytes:
@@ -360,6 +418,29 @@ def roundtrip_native(
 
     Structured types are handled element-wise; strings, bytes, and
     booleans are format-independent.
+
+    This is the hot path of every simulated RPC, so it executes a
+    compiled per-``(format, type, policy)`` plan (see
+    :mod:`repro.uts.compiled`) instead of re-dispatching on ``isinstance``
+    for each element.  :func:`roundtrip_native_interpreted` is the
+    interpretive reference the conformance harness checks the plans
+    against.
+    """
+    from .compiled import native_roundtrip_for  # deferred: avoids an import cycle
+
+    return native_roundtrip_for(fmt, t, policy)(value)
+
+
+def roundtrip_native_interpreted(
+    fmt: NativeFormat,
+    t: UTSType,
+    value: Any,
+    policy: OutOfRangePolicy = OutOfRangePolicy.ERROR,
+) -> Any:
+    """Interpretive reference implementation of :func:`roundtrip_native`.
+
+    Dispatches on ``isinstance`` per element; kept as the semantics oracle
+    for the conformance harness and the compiled-codec benchmarks.
     """
     if isinstance(t, IntegerType):
         return fmt.unpack_integer(fmt.pack_integer(value))
@@ -370,7 +451,10 @@ def roundtrip_native(
     if isinstance(t, (ByteType, StringType, BooleanType)):
         return value
     if isinstance(t, ArrayType):
-        return [roundtrip_native(fmt, t.element, v, policy) for v in value]
+        return [roundtrip_native_interpreted(fmt, t.element, v, policy) for v in value]
     if isinstance(t, RecordType):
-        return {f.name: roundtrip_native(fmt, f.type, value[f.name], policy) for f in t.fields}
+        return {
+            f.name: roundtrip_native_interpreted(fmt, f.type, value[f.name], policy)
+            for f in t.fields
+        }
     raise UTSConversionError(f"unsupported type {t!r}")  # pragma: no cover

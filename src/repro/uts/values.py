@@ -41,7 +41,7 @@ from .types import (
     UTSType,
 )
 
-__all__ = ["conform", "conform_args", "zero_value"]
+__all__ = ["conform", "conform_args", "zero_value", "identical"]
 
 INT64_MIN = -(2**63)
 INT64_MAX = 2**63 - 1
@@ -185,6 +185,25 @@ def zero_value(t: UTSType) -> Any:
     if isinstance(t, RecordType):
         return {f.name: zero_value(f.type) for f in t.fields}
     raise UTSTypeError(f"unsupported UTS type {t!r}")
+
+
+def identical(t: UTSType, a: Any, b: Any) -> bool:
+    """Bit-level structural equality of two conformed values.
+
+    Unlike ``==`` (and :func:`values_equal`), this distinguishes ``0.0``
+    from ``-0.0`` and treats NaN as identical to itself — the comparison
+    the conformance harness needs when checking that codecs preserve
+    signed zeros and special values exactly.
+    """
+    if isinstance(t, (FloatType, DoubleType)):
+        return struct.pack(">d", a) == struct.pack(">d", b)
+    if isinstance(t, ArrayType):
+        return len(a) == len(b) and all(
+            identical(t.element, x, y) for x, y in zip(a, b)
+        )
+    if isinstance(t, RecordType):
+        return all(identical(f.type, a[f.name], b[f.name]) for f in t.fields)
+    return type(a) is type(b) and a == b
 
 
 def values_equal(t: UTSType, a: Any, b: Any, rel_tol: float = 0.0) -> bool:

@@ -21,6 +21,12 @@ record                fields encoded in declaration order
 ====================  ================================================
 
 Values must be *conformed* (see :mod:`repro.uts.values`) before encoding.
+
+These functions are the *interpretive reference* implementation: clear,
+recursive, and dispatching on ``isinstance`` per element.  The RPC
+runtime uses the compiled plans in :mod:`repro.uts.compiled`, which must
+produce byte-identical output — the conformance harness
+(:mod:`repro.uts.conformance`) enforces that equivalence.
 """
 
 from __future__ import annotations

@@ -56,8 +56,8 @@ class TestEstimates:
         trace = env.traces[-1]
         est = advisor.estimate(
             caller, target, comb,
-            request_bytes=trace.request_bytes - env.costs.header_bytes,
-            reply_bytes=trace.reply_bytes - env.costs.header_bytes,
+            request_bytes=trace.request_bytes,
+            reply_bytes=trace.reply_bytes,
         )
         assert est.total_s == pytest.approx(trace.total_s, rel=0.05)
 

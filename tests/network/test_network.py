@@ -190,7 +190,9 @@ class TestTransport:
         tx.send(park["lerc-sparc10"], park["lerc-sgi480"], "call", None, 100)
         tx.send(park["lerc-sparc10"], park["lerc-sgi480"], "reply", None, 50)
         assert tx.stats.messages == 2
-        assert tx.stats.bytes == 100 + 50 + 2 * 64  # payloads + headers
+        assert tx.stats.bytes == 100 + 50  # payloads only
+        assert tx.stats.header_bytes == 2 * 64
+        assert tx.stats.total_bytes == 100 + 50 + 2 * 64
         assert tx.stats.by_kind == {"call": 1, "reply": 1}
 
     def test_timeline_charging(self, env):

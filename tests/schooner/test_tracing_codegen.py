@@ -59,8 +59,9 @@ class TestSummarize:
     def test_mean_and_bytes(self, traced_env):
         s = summarize(traced_env.traces)["duct"]
         assert s.mean_ms > 0
-        # the duct call is symmetric: 4 doubles each way (+ headers)
-        assert s.request_bytes == s.reply_bytes == 5 * (32 + 64)
+        # the duct call is symmetric: 4 doubles each way, payload only
+        # (headers are accounted separately by TrafficStats)
+        assert s.request_bytes == s.reply_bytes == 5 * 32
 
     def test_empty(self):
         assert summarize([]) == {}

@@ -241,3 +241,140 @@ class TestCrossFormatConversion:
     def test_large_ieee_value_clamped_under_infinity_policy(self):
         got = self.transfer(1e300, SPARC, CONVEX, policy=INF)
         assert got == pytest.approx(1.7e38, rel=0.01)
+
+
+class TestSignedZero:
+    """Regression: the packers' early ``value == 0.0`` return matched
+    ``-0.0`` and silently dropped the sign the wire format preserves."""
+
+    def test_cray_packs_negative_zero_as_sign_bit(self):
+        data = CRAY.pack_float64(-0.0, ERR)
+        assert int.from_bytes(data, "big") == 1 << 63
+
+    def test_cray_roundtrips_negative_zero(self):
+        for policy in (ERR, INF):
+            rt = CRAY.unpack_float64(CRAY.pack_float64(-0.0, policy), policy)
+            assert rt == 0.0 and math.copysign(1.0, rt) == -1.0
+
+    def test_ieee_roundtrips_negative_zero(self):
+        for fmt in (SPARC, X86ISH):
+            rt = fmt.unpack_float64(fmt.pack_float64(-0.0, ERR), ERR)
+            assert rt == 0.0 and math.copysign(1.0, rt) == -1.0
+
+    def test_vax_negative_zero_is_reserved_under_error(self):
+        # a sign bit with zero exponent is the VAX reserved operand: the
+        # format cannot represent -0.0, so the strict policy must refuse
+        # rather than silently drop the sign
+        with pytest.raises(UTSConversionError):
+            CONVEX.pack_float64(-0.0, ERR)
+        with pytest.raises(UTSConversionError):
+            CONVEX.pack_float32(-0.0, ERR)
+
+    def test_vax_negative_zero_becomes_positive_under_infinity(self):
+        rt = CONVEX.unpack_float64(CONVEX.pack_float64(-0.0, INF), INF)
+        assert rt == 0.0 and math.copysign(1.0, rt) == 1.0
+
+    def test_positive_zero_unaffected(self):
+        for fmt in (SPARC, X86ISH, CRAY, CONVEX):
+            rt = fmt.unpack_float64(fmt.pack_float64(0.0, ERR), ERR)
+            assert rt == 0.0 and math.copysign(1.0, rt) == 1.0
+
+
+class TestVAXReservedOperand:
+    """Regression: unpacking a sign bit with zero exponent returned -0.0
+    instead of faulting the way VAX/Convex hardware did."""
+
+    def test_reserved_operand_raises_under_error(self):
+        with pytest.raises(UTSConversionError):
+            CONVEX.unpack_float64(VAXFormat.raw(1, 0, 0), ERR)
+
+    def test_reserved_operand_with_fraction_raises_too(self):
+        with pytest.raises(UTSConversionError):
+            CONVEX.unpack_float64(VAXFormat.raw(1, 0, 12345), ERR)
+
+    def test_reserved_operand_reads_zero_under_infinity(self):
+        assert CONVEX.unpack_float64(VAXFormat.raw(1, 0, 0), INF) == 0.0
+
+    def test_dirty_zero_reads_zero_under_both_policies(self):
+        # zero exponent, sign clear, nonzero fraction: a "dirty zero"
+        for policy in (ERR, INF):
+            assert CONVEX.unpack_float64(VAXFormat.raw(0, 0, 999), policy) == 0.0
+
+    def test_f_floating_reserved_operand(self):
+        data = VAXFormat.raw(1, 0, 0, frac_bits=23)
+        with pytest.raises(UTSConversionError):
+            CONVEX.unpack_float32(data, ERR)
+        assert CONVEX.unpack_float32(data, INF) == 0.0
+
+    def test_raw_roundtrips_packed_bytes(self):
+        assert VAXFormat.raw(0, 129, 0) == CONVEX.pack_float64(1.0, ERR)
+
+    def test_raw_validation(self):
+        with pytest.raises(ValueError):
+            VAXFormat.raw(0, 256, 0)
+        with pytest.raises(ValueError):
+            VAXFormat.raw(0, 0, 1 << 55)
+        with pytest.raises(ValueError):
+            VAXFormat.raw(0, 0, 1 << 23, frac_bits=23)
+
+
+class TestCrayUnderflowSign:
+    def test_underflow_flush_keeps_sign(self):
+        # a negative Cray value too small for IEEE flushes to -0.0, not 0.0
+        tiny = CrayFormat.raw(1, -16384, 1 << 47)
+        rt = CRAY.unpack_float64(tiny, ERR)
+        assert rt == 0.0 and math.copysign(1.0, rt) == -1.0
+
+    def test_signed_zero_words_unpack_with_sign(self):
+        neg = CrayFormat.raw(1, 0, 0)
+        rt = CRAY.unpack_float64(neg, ERR)
+        assert rt == 0.0 and math.copysign(1.0, rt) == -1.0
+
+
+class TestInfinityConversion:
+    def test_cray_infinity_raises_under_error(self):
+        for v in (math.inf, -math.inf):
+            with pytest.raises(UTSRangeError):
+                CRAY.pack_float64(v, ERR)
+
+    def test_cray_infinity_roundtrips_under_infinity_policy(self):
+        # the max Cray word has an exponent beyond IEEE, so unpacking it
+        # under the same policy restores +/-inf
+        for v in (math.inf, -math.inf):
+            assert CRAY.unpack_float64(CRAY.pack_float64(v, INF), INF) == v
+
+    def test_vax_infinity_raises_under_error(self):
+        for v in (math.inf, -math.inf):
+            with pytest.raises(UTSRangeError):
+                CONVEX.pack_float64(v, ERR)
+
+    def test_vax_infinity_clamps_to_largest_finite(self):
+        vmax = math.ldexp(1.0 - 2.0**-56, 127)
+        assert CONVEX.unpack_float64(CONVEX.pack_float64(math.inf, INF), INF) == vmax
+        assert CONVEX.unpack_float64(CONVEX.pack_float64(-math.inf, INF), INF) == -vmax
+
+
+class TestNestedPolicy:
+    """The INFINITY policy must reach every element of a structured value
+    through roundtrip_native, not just top-level scalars."""
+
+    def test_infinity_policy_on_nested_record(self):
+        t = RecordType.of(xs=ArrayType(2, DOUBLE), y=DOUBLE)
+        v = {"xs": [1e300, -1e300], "y": 1.0}
+        with pytest.raises(UTSRangeError):
+            roundtrip_native(CONVEX, t, v, ERR)
+        out = roundtrip_native(CONVEX, t, v, INF)
+        vmax = math.ldexp(1.0 - 2.0**-56, 127)
+        assert out["xs"] == [vmax, -vmax]
+        assert out["y"] == 1.0
+
+    def test_infinity_policy_on_array_of_records(self):
+        t = ArrayType(2, RecordType.of(x=DOUBLE))
+        out = roundtrip_native(CRAY, t, [{"x": math.inf}, {"x": 2.0}], INF)
+        assert out == [{"x": math.inf}, {"x": 2.0}]
+
+    def test_negative_zero_in_array_raises_on_convex(self):
+        t = ArrayType(3, DOUBLE)
+        with pytest.raises(UTSConversionError):
+            roundtrip_native(CONVEX, t, [1.0, -0.0, 2.0], ERR)
+        assert roundtrip_native(CRAY, t, [1.0, -0.0, 2.0], ERR)[1] == 0.0

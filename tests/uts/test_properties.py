@@ -10,6 +10,7 @@ Core invariants:
 
 import math
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -30,13 +31,19 @@ from repro.uts import (
     RecordType,
     Signature,
     SpecFile,
+    UTSConversionError,
+    UTSError,
     VAXFormat,
+    codec_for,
     conform,
     decode_value,
     encode_value,
     encoded_size,
+    identical,
+    native_roundtrip_for,
     render_signature,
     roundtrip_native,
+    roundtrip_native_interpreted,
 )
 from repro.uts.parser import parse_spec
 
@@ -188,11 +195,14 @@ cray_safe_doubles = st.floats(
 @settings(max_examples=300)
 def test_cray_roundtrip_within_48_bit_precision(v):
     rt = CRAY.unpack_float64(CRAY.pack_float64(v, ERR), ERR)
+    # the sign always survives, including the sign of zero (the Cray
+    # word keeps its sign bit over a zero mantissa)
+    assert math.copysign(1.0, rt) == math.copysign(1.0, v)
     if v == 0.0:
         assert rt == 0.0
     else:
-        assert math.copysign(1.0, rt) == math.copysign(1.0, v) or rt == 0.0
-        assert rt == 0.0 or abs(rt - v) <= abs(v) * 2.0**-47
+        assert rt != 0.0
+        assert abs(rt - v) <= abs(v) * 2.0**-47
 
 
 @given(cray_safe_doubles)
@@ -207,11 +217,18 @@ def test_cray_roundtrip_is_stable(v):
 
 @given(st.floats(allow_nan=False, allow_infinity=False, min_value=-1e37, max_value=1e37))
 def test_vax_roundtrip_within_range(v):
+    if v == 0.0 and math.copysign(1.0, v) < 0:
+        # -0.0 would be the reserved operand bit pattern: strict policy refuses
+        with pytest.raises(UTSConversionError):
+            CONVEX.pack_float64(v, ERR)
+        return
     rt = CONVEX.unpack_float64(CONVEX.pack_float64(v, ERR), ERR)
-    if v == 0.0 or abs(v) < 1e-38:
-        assert abs(rt) <= abs(v)
+    if v == 0.0 or abs(v) < 2.0**-128:
+        # at/below the D_floating exponent floor values flush to +0.0
+        assert rt == 0.0 and math.copysign(1.0, rt) == 1.0
     else:
-        assert rt == v or abs(rt - v) <= abs(v) * 2.0**-55
+        # 56-bit mantissa beats IEEE's 53: in-range doubles are exact
+        assert rt == v
 
 
 @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
@@ -234,3 +251,63 @@ def test_roundtrip_native_idempotent_on_ieee64(tv):
     v = conform(t, v)
     once = roundtrip_native(fmt, t, v, ERR)
     assert roundtrip_native(fmt, t, once, ERR) == once
+
+
+# -- compiled fast path vs interpretive reference -----------------------------
+
+
+@given(typed_values)
+@settings(max_examples=200)
+def test_compiled_encoder_matches_interpretive_bytes(tv):
+    t, v = tv
+    v = conform(t, v)
+    codec = codec_for(t)
+    data = encode_value(t, v)
+    assert codec.encode(v) == data
+    decoded, offset = codec.decode(data)
+    assert offset == len(data)
+    assert identical(t, decoded, v)
+
+
+@given(typed_values)
+@settings(max_examples=200)
+def test_compiled_native_plan_matches_interpreter(tv):
+    t, v = tv
+    v = conform(t, v)
+    for fmt in (SPARC, CRAY, CONVEX):
+        plan = native_roundtrip_for(fmt, t, ERR)
+        try:
+            expected = roundtrip_native_interpreted(fmt, t, v, ERR)
+        except UTSError as exc:
+            with pytest.raises(type(exc)):
+                plan(v)
+        else:
+            assert identical(t, plan(v), expected)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=True))
+@settings(max_examples=300)
+def test_roundtrip_native_delegates_to_compiled(v):
+    """The public roundtrip_native and the interpretive reference agree
+    on every double, for every format, under both policies."""
+    for fmt in (SPARC, CRAY, CONVEX):
+        for policy in (ERR, OutOfRangePolicy.INFINITY):
+            try:
+                expected = roundtrip_native_interpreted(fmt, DOUBLE, v, policy)
+            except UTSError as exc:
+                with pytest.raises(type(exc)):
+                    roundtrip_native(fmt, DOUBLE, v, policy)
+            else:
+                assert identical(DOUBLE, roundtrip_native(fmt, DOUBLE, v, policy),
+                                 expected)
+
+
+@given(typed_values)
+@settings(max_examples=150)
+def test_wire_roundtrip_preserves_float_bits(tv):
+    """Strengthened losslessness: bit-level identity, so signed zeros in
+    nested structures survive the wire (== alone cannot see them)."""
+    t, v = tv
+    v = conform(t, v)
+    decoded, _ = decode_value(t, encode_value(t, v))
+    assert identical(t, decoded, v)
