@@ -1,0 +1,128 @@
+"""Failover ablation — recovery latency vs checkpoint interval.
+
+Kills the machine hosting the F100 nozzle halfway through a transient
+(the ``machine-crash`` plan from ``python -m repro faults``) and
+measures, on the virtual clock, how long the run is disrupted:
+
+* detection latency — crash until the supervisor marks the host dead;
+* recovery latency — crash until the instance is rebound on a
+  surviving machine with its checkpointed state restored;
+* accuracy — final thrust vs the fault-free reference (the restored
+  state is at most one checkpoint interval stale).
+
+Runs the sweep at several checkpoint intervals; shorter intervals cost
+more checkpoint traffic but bound the staleness of the restored state.
+
+Usable both as a pytest-benchmark module and as a script::
+
+    PYTHONPATH=src python benchmarks/bench_failover.py --quick
+"""
+
+import argparse
+import math
+import sys
+
+import pytest
+
+from repro.faults.demo import _build_executive, named_plan
+
+#: checkpoint intervals (virtual seconds) swept by both entry points
+INTERVALS = (0.5, 1.0, 2.0, 4.0)
+
+
+def run_reference(quick: bool = True):
+    """The fault-free run every faulted configuration is compared to."""
+    transient_s = 0.4 if quick else 1.0
+    ref = _build_executive(transient_s, 0.02)
+    ref.run_simulation()
+    return ref
+
+
+def measure(reference, checkpoint_interval_s: float, seed: int = 0,
+            quick: bool = True) -> dict:
+    """One faulted run; returns the latency/accuracy row for one
+    checkpoint interval."""
+    transient_s = 0.4 if quick else 1.0
+    plan = named_plan("machine-crash", seed, reference.env.clock.now)
+    crash_at = plan.events[0].at_s
+    ex = _build_executive(transient_s, 0.02)
+    ex.run_resilient(plan, checkpoint_interval_s=checkpoint_interval_s)
+
+    detected = [e for e in ex.supervisor.events if e.kind == "host-dead"]
+    failovers = [e for e in ex.supervisor.events if e.kind == "failover"]
+    detect_s = detected[0].at_s - crash_at if detected else math.nan
+    recover_s = failovers[0].at_s - crash_at if failovers else math.nan
+    rel_err = abs(ex.solution.thrust_N - reference.solution.thrust_N) / abs(
+        reference.solution.thrust_N
+    )
+    return {
+        "interval_s": checkpoint_interval_s,
+        "checkpoints": ex.supervisor.store.taken,
+        "recoveries": ex.supervisor.recoveries,
+        "detect_s": detect_s,
+        "recover_s": recover_s,
+        "rel_err": rel_err,
+    }
+
+
+# -- pytest-benchmark entry point -------------------------------------------
+
+@pytest.fixture(scope="module")
+def quick_reference():
+    return run_reference(quick=True)
+
+
+@pytest.mark.parametrize("interval", INTERVALS)
+def test_recovery_latency(benchmark, quick_reference, interval):
+    row = benchmark.pedantic(
+        lambda: measure(quick_reference, interval), rounds=1, iterations=1
+    )
+    assert row["recoveries"] >= 1
+    assert not math.isnan(row["recover_s"]) and row["recover_s"] > 0
+    assert row["rel_err"] < 1e-3
+    benchmark.extra_info.update(
+        {
+            "checkpoint_interval_s": interval,
+            "recover_virtual_s": round(row["recover_s"], 3),
+            "detect_virtual_s": round(row["detect_s"], 3),
+            "rel_err": f"{row['rel_err']:.2e}",
+        }
+    )
+
+
+# -- script entry point -----------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="recovery latency (virtual s) vs checkpoint interval"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick", action="store_true", help="short transient (CI smoke)"
+    )
+    args = parser.parse_args(argv)
+
+    reference = run_reference(quick=args.quick)
+    print(
+        f"reference: thrust {reference.solution.thrust_N / 1e3:.2f} kN over "
+        f"{reference.env.clock.now:.1f} virtual s; crash at halfway\n"
+    )
+    print("ckpt-int-s  checkpoints  detect-s  recover-s   rel-err")
+    ok = True
+    for interval in INTERVALS:
+        row = measure(reference, interval, seed=args.seed, quick=args.quick)
+        ok &= row["recoveries"] >= 1 and row["rel_err"] < 1e-3
+        print(
+            f"{row['interval_s']:10.2f}  {row['checkpoints']:11d}  "
+            f"{row['detect_s']:8.3f}  {row['recover_s']:9.3f}  "
+            f"{row['rel_err']:9.2e}"
+        )
+    print(
+        "\nOK: recovery bounded at every interval" if ok
+        else "\nFAILED: a run missed recovery or accuracy"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,9 @@
 Runs the headline demonstration: the F100 in the prototype executive,
 all-local and then distributed per the paper's Table 2, with the
 correctness check and the modelled 1993 cost.
+
+``python -m repro faults [...]`` runs the fault-injection/failover demo
+instead (see :mod:`repro.faults.demo` for its options).
 """
 
 from __future__ import annotations
@@ -11,6 +14,13 @@ import sys
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "faults":
+        from repro.faults.demo import main as faults_main
+
+        return faults_main(argv[1:])
+
     from repro.avs import render_network
     from repro.core import NPSSExecutive
 

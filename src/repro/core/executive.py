@@ -290,6 +290,46 @@ class NPSSExecutive:
         modules publish their station states."""
         return self.scheduler.execute_all()
 
+    # ----------------------------------------------------- resilient running
+    def run_resilient(
+        self,
+        plan=None,
+        heartbeat_interval_s: float = 0.5,
+        checkpoint_interval_s: float = 1.0,
+    ) -> OperatingPoint:
+        """:meth:`run_simulation` under failure detection and failover.
+
+        A :class:`~repro.faults.FailoverSupervisor` is attached to the
+        Manager for the duration of the run: stateful remote instances
+        are checkpointed every ``checkpoint_interval_s`` virtual
+        seconds, dead hosts are detected by heartbeat or failed call,
+        and crashed instances restart on surviving machines with their
+        checkpointed state — so the run completes even when ``plan``
+        (a :class:`~repro.faults.FaultPlan`, applied by an injector for
+        the duration) kills a component's host mid-transient.
+
+        The supervisor and injector remain available afterwards as
+        ``self.supervisor`` / ``self.injector`` for failure-log and
+        trace inspection.
+        """
+        from ..faults import FailoverSupervisor, FaultInjector
+
+        self.supervisor = FailoverSupervisor(
+            manager=self.manager,
+            heartbeat_interval_s=heartbeat_interval_s,
+            checkpoint_interval_s=checkpoint_interval_s,
+        )
+        self.injector = FaultInjector(env=self.env, plan=plan) if plan is not None else None
+        self.supervisor.attach()
+        if self.injector is not None:
+            self.injector.attach()
+        try:
+            return self.run_simulation()
+        finally:
+            if self.injector is not None:
+                self.injector.detach()
+            self.supervisor.detach()
+
     # --------------------------------------------------- interactive running
     def run_interactive(self, segments) -> "TransientResult":
         """§2.4: "set starting parameters for the engine, and modify

@@ -151,13 +151,13 @@ def build_shaft_executable() -> Executable:
             Procedure(
                 name="setshaft", signature=spec.export_named("setshaft"),
                 impl=setshaft, language=Language.FORTRAN, flops=_SHAFT_FLOPS,
-                stateless=False,
+                stateless=False, idempotent=True,
                 state_spec={"inertia": DOUBLE, "omegad": DOUBLE, "mecheff": DOUBLE},
             ),
             Procedure(
                 name="shaft", signature=spec.export_named("shaft"),
                 impl=shaft, language=Language.FORTRAN, flops=_SHAFT_FLOPS,
-                stateless=False,
+                stateless=False, idempotent=True,
                 state_spec={"inertia": DOUBLE, "omegad": DOUBLE, "mecheff": DOUBLE},
             ),
         ),
@@ -182,12 +182,12 @@ def build_duct_executable() -> Executable:
             Procedure(
                 name="setduct", signature=spec.export_named("setduct"),
                 impl=setduct, language=Language.FORTRAN, flops=_DUCT_FLOPS,
-                stateless=False, state_spec={"dpqp": DOUBLE},
+                stateless=False, idempotent=True, state_spec={"dpqp": DOUBLE},
             ),
             Procedure(
                 name="duct", signature=spec.export_named("duct"),
                 impl=duct, language=Language.FORTRAN, flops=_DUCT_FLOPS,
-                stateless=False, state_spec={"dpqp": DOUBLE},
+                stateless=False, idempotent=True, state_spec={"dpqp": DOUBLE},
             ),
         ),
     )
@@ -215,13 +215,13 @@ def build_combustor_executable() -> Executable:
             Procedure(
                 name="setcomb", signature=spec.export_named("setcomb"),
                 impl=setcomb, language=Language.FORTRAN, flops=_COMB_FLOPS,
-                stateless=False,
+                stateless=False, idempotent=True,
                 state_spec={"eta": DOUBLE, "dpqp": DOUBLE, "tmax": DOUBLE},
             ),
             Procedure(
                 name="comb", signature=spec.export_named("comb"),
                 impl=comb, language=Language.FORTRAN, flops=_COMB_FLOPS,
-                stateless=False,
+                stateless=False, idempotent=True,
                 state_spec={"eta": DOUBLE, "dpqp": DOUBLE, "tmax": DOUBLE},
             ),
         ),
@@ -246,12 +246,12 @@ def build_nozzle_executable() -> Executable:
             Procedure(
                 name="setnozl", signature=spec.export_named("setnozl"),
                 impl=setnozl, language=Language.FORTRAN, flops=_NOZL_FLOPS,
-                stateless=False, state_spec={"cd": DOUBLE, "area": DOUBLE},
+                stateless=False, idempotent=True, state_spec={"cd": DOUBLE, "area": DOUBLE},
             ),
             Procedure(
                 name="nozl", signature=spec.export_named("nozl"),
                 impl=nozl, language=Language.FORTRAN, flops=_NOZL_FLOPS,
-                stateless=False, state_spec={"cd": DOUBLE, "area": DOUBLE},
+                stateless=False, idempotent=True, state_spec={"cd": DOUBLE, "area": DOUBLE},
             ),
         ),
     )

@@ -1,0 +1,153 @@
+"""The fault injector: applies a :class:`~repro.faults.plan.FaultPlan`
+to a running :class:`~repro.schooner.runtime.SchoonerEnvironment`.
+
+The injector is clock-driven: it subscribes to the environment's
+:class:`~repro.network.clock.VirtualClock` and fires each plan event the
+first time global virtual time reaches the event's instant.  Packet-loss
+and latency-spike windows are enforced by a
+:attr:`~repro.network.transport.Transport.fault_filter` hook consulted on
+every message send.
+
+Determinism: the event queue is ordered by ``(at_s, plan index)``; the
+loss PRNG is seeded from the plan and consumed once per message matched
+by an active loss window, in send order.  Nothing reads the wall clock.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..machines.host import Machine
+from ..schooner.runtime import SchoonerEnvironment
+from .plan import (
+    CrashMachine,
+    CrashProcess,
+    DerateHost,
+    FaultEvent,
+    FaultPlan,
+    GatewayOutage,
+    GatewayRestore,
+    HealLink,
+    LatencySpike,
+    PacketLoss,
+    PartitionLink,
+    RestoreMachine,
+)
+
+__all__ = ["FaultInjector"]
+
+
+def _endpoint_match(rule_host, machine: Machine) -> bool:
+    return rule_host is None or rule_host == machine.hostname
+
+
+@dataclass
+class FaultInjector:
+    """Applies a plan's events to the environment as virtual time passes."""
+
+    env: SchoonerEnvironment
+    plan: FaultPlan
+    # (virtual time applied, description) — the injection log tests
+    # compare across replays
+    log: List[Tuple[float, str]] = field(default_factory=list)
+    messages_dropped: int = 0
+    _pending: List[Tuple[float, int, FaultEvent]] = field(default_factory=list)
+    _loss: List[PacketLoss] = field(default_factory=list)
+    _latency: List[LatencySpike] = field(default_factory=list)
+    _rng: random.Random = field(default=None)  # type: ignore[assignment]
+    _attached: bool = False
+
+    def __post_init__(self):
+        self._pending = list(self.plan.scheduled())
+        self._rng = random.Random(self.plan.seed)
+
+    # -- lifecycle -----------------------------------------------------------
+    def attach(self) -> None:
+        """Start injecting: install the transport hook and subscribe to
+        the clock.  Events scheduled at or before the current instant
+        fire immediately."""
+        if self._attached:
+            return
+        if self.env.transport.fault_filter is not None:
+            raise RuntimeError("another fault filter is already installed")
+        self.env.transport.fault_filter = self._filter
+        self.env.clock.subscribe(self._on_tick)
+        self._attached = True
+        self._on_tick(self.env.clock.now)
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        # == not `is`: each `self._filter` access builds a new bound method
+        if self.env.transport.fault_filter == self._filter:
+            self.env.transport.fault_filter = None
+        self.env.clock.unsubscribe(self._on_tick)
+        self._attached = False
+
+    def __enter__(self) -> "FaultInjector":
+        self.attach()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- event application ----------------------------------------------------
+    def _on_tick(self, now: float) -> None:
+        while self._pending and self._pending[0][0] <= now:
+            _, _, ev = self._pending.pop(0)
+            self._apply(ev)
+            self.log.append((ev.at_s, ev.describe()))
+
+    def _apply(self, ev: FaultEvent) -> None:
+        topo = self.env.topology
+        if isinstance(ev, PartitionLink):
+            topo.partition(ev.site_a, ev.site_b)
+        elif isinstance(ev, HealLink):
+            topo.heal(ev.site_a, ev.site_b)
+        elif isinstance(ev, GatewayOutage):
+            topo.gateway_down(ev.site)
+        elif isinstance(ev, GatewayRestore):
+            topo.gateway_restore(ev.site)
+        elif isinstance(ev, PacketLoss):
+            self._loss.append(ev)
+        elif isinstance(ev, LatencySpike):
+            self._latency.append(ev)
+        elif isinstance(ev, CrashProcess):
+            machine = self.env.park[ev.hostname]
+            for proc in machine.running_processes:
+                if ev.path is None or proc.executable_path == ev.path:
+                    machine.crash_process(proc.pid)
+        elif isinstance(ev, CrashMachine):
+            self.env.park[ev.hostname].crash()
+        elif isinstance(ev, RestoreMachine):
+            self.env.park[ev.hostname].boot()
+        elif isinstance(ev, DerateHost):
+            self.env.park[ev.hostname].load = ev.load
+        else:  # pragma: no cover - future event kinds
+            raise TypeError(f"unknown fault event {type(ev).__name__}")
+
+    # -- the transport hook ----------------------------------------------------
+    def _filter(
+        self, src: Machine, dst: Machine, kind: str, nbytes: int, now: float
+    ) -> Tuple[bool, float]:
+        extra = 0.0
+        for rule in self._latency:
+            if (
+                rule.at_s <= now < rule.until_s
+                and _endpoint_match(rule.src_host, src)
+                and _endpoint_match(rule.dst_host, dst)
+            ):
+                extra += rule.extra_s
+        for rule in self._loss:
+            if (
+                rule.at_s <= now < rule.until_s
+                and _endpoint_match(rule.src_host, src)
+                and _endpoint_match(rule.dst_host, dst)
+            ):
+                # one PRNG draw per matched message, in send order
+                if self._rng.random() < rule.rate:
+                    self.messages_dropped += 1
+                    return True, 0.0
+        return False, extra

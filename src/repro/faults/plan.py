@@ -1,0 +1,195 @@
+"""Fault plans: seeded, schedulable failure events.
+
+A :class:`FaultPlan` is a declarative script of failures, each pinned to
+a *virtual* instant — the simulation's clock, never the wall clock.  The
+same plan applied to the same simulation twice produces byte-identical
+behaviour: event application order is the plan order at equal times, and
+the only randomness (per-message packet loss) comes from a PRNG seeded
+with the plan's ``seed`` and consumed in message-send order.
+
+The event vocabulary covers the failure modes the Schooner/NPSS setting
+cares about:
+
+* :class:`PartitionLink` / :class:`HealLink` — cut and restore the
+  Internet path between two sites (the 1993 LeRC ↔ Arizona link);
+* :class:`PacketLoss` — a per-link loss window (probability per message);
+* :class:`LatencySpike` — extra one-way delay on a link for a window;
+* :class:`GatewayOutage` / :class:`GatewayRestore` — a site's campus
+  gateways go down, severing cross-subnet traffic within the site;
+* :class:`CrashProcess` — one machine's remote-procedure processes die;
+* :class:`CrashMachine` / :class:`RestoreMachine` — whole-host failure;
+* :class:`DerateHost` — background load spike slowing a host's compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "FaultEvent",
+    "PartitionLink",
+    "HealLink",
+    "PacketLoss",
+    "LatencySpike",
+    "GatewayOutage",
+    "GatewayRestore",
+    "CrashProcess",
+    "CrashMachine",
+    "RestoreMachine",
+    "DerateHost",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base: something that happens at virtual time ``at_s``."""
+
+    at_s: float
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        return f"{type(self).__name__} @ {self.at_s:g}s"
+
+
+@dataclass(frozen=True)
+class PartitionLink(FaultEvent):
+    site_a: str = ""
+    site_b: str = ""
+
+    def describe(self) -> str:
+        return f"partition {self.site_a} | {self.site_b}"
+
+
+@dataclass(frozen=True)
+class HealLink(FaultEvent):
+    site_a: str = ""
+    site_b: str = ""
+
+    def describe(self) -> str:
+        return f"heal {self.site_a} | {self.site_b}"
+
+
+@dataclass(frozen=True)
+class PacketLoss(FaultEvent):
+    """Messages on the matching link are dropped with probability
+    ``rate`` between ``at_s`` and ``until_s``.  ``src_host``/``dst_host``
+    of ``None`` match any endpoint (loss affects a whole direction or
+    the whole network)."""
+
+    until_s: float = 0.0
+    rate: float = 0.0
+    src_host: Optional[str] = None
+    dst_host: Optional[str] = None
+
+    def describe(self) -> str:
+        src = self.src_host or "*"
+        dst = self.dst_host or "*"
+        return (
+            f"packet loss {self.rate:.0%} on {src} -> {dst} "
+            f"until {self.until_s:g}s"
+        )
+
+
+@dataclass(frozen=True)
+class LatencySpike(FaultEvent):
+    """Extra one-way delay on the matching link for a window."""
+
+    until_s: float = 0.0
+    extra_s: float = 0.0
+    src_host: Optional[str] = None
+    dst_host: Optional[str] = None
+
+    def describe(self) -> str:
+        src = self.src_host or "*"
+        dst = self.dst_host or "*"
+        return (
+            f"latency +{self.extra_s:g}s on {src} -> {dst} "
+            f"until {self.until_s:g}s"
+        )
+
+
+@dataclass(frozen=True)
+class GatewayOutage(FaultEvent):
+    site: str = ""
+
+    def describe(self) -> str:
+        return f"gateway outage at {self.site}"
+
+
+@dataclass(frozen=True)
+class GatewayRestore(FaultEvent):
+    site: str = ""
+
+    def describe(self) -> str:
+        return f"gateways restored at {self.site}"
+
+
+@dataclass(frozen=True)
+class CrashProcess(FaultEvent):
+    """Crash the remote-procedure processes on one host.  ``path`` of
+    ``None`` crashes every process; otherwise only processes spawned
+    from that executable path die."""
+
+    hostname: str = ""
+    path: Optional[str] = None
+
+    def describe(self) -> str:
+        what = self.path or "all processes"
+        return f"crash {what} on {self.hostname}"
+
+
+@dataclass(frozen=True)
+class CrashMachine(FaultEvent):
+    hostname: str = ""
+
+    def describe(self) -> str:
+        return f"crash machine {self.hostname}"
+
+
+@dataclass(frozen=True)
+class RestoreMachine(FaultEvent):
+    hostname: str = ""
+
+    def describe(self) -> str:
+        return f"restore machine {self.hostname}"
+
+
+@dataclass(frozen=True)
+class DerateHost(FaultEvent):
+    hostname: str = ""
+    load: float = 0.0
+
+    def describe(self) -> str:
+        return f"derate {self.hostname} to load {self.load:g}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of fault events.
+
+    ``seed`` drives every probabilistic decision (packet loss); events
+    fire in ``(at_s, plan order)`` order, so two applications of the
+    same plan are indistinguishable.
+    """
+
+    seed: int = 0
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def scheduled(self) -> Tuple[Tuple[float, int, FaultEvent], ...]:
+        """Events as ``(at_s, plan_index, event)`` in firing order."""
+        return tuple(
+            sorted(
+                ((ev.at_s, i, ev) for i, ev in enumerate(self.events)),
+                key=lambda item: (item[0], item[1]),
+            )
+        )
+
+    def describe(self) -> str:
+        lines = [f"fault plan (seed={self.seed}, {len(self.events)} events)"]
+        for at, _, ev in self.scheduled():
+            lines.append(f"  t={at:8.3f}s  {ev.describe()}")
+        return "\n".join(lines)

@@ -18,7 +18,13 @@ from .arch import (
 )
 from .fortran import FortranCase, Language, compiled_name, name_synonyms
 from .host import Machine, MachineError
-from .process import ProcessDead, ProcessState, VirtualProcess
+from .process import (
+    TERMINAL_STATES,
+    ProcessDead,
+    ProcessLifecycleError,
+    ProcessState,
+    VirtualProcess,
+)
 from .registry import SITE_ARIZONA, SITE_LERC, MachinePark, standard_park
 
 __all__ = [
@@ -39,6 +45,8 @@ __all__ = [
     "VirtualProcess",
     "ProcessState",
     "ProcessDead",
+    "ProcessLifecycleError",
+    "TERMINAL_STATES",
     "MachinePark",
     "standard_park",
     "SITE_LERC",

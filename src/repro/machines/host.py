@@ -10,10 +10,10 @@ widget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, List, Tuple
 
 from .arch import Architecture
-from .process import ProcessState, VirtualProcess
+from .process import VirtualProcess
 
 __all__ = ["Machine", "MachineError"]
 
@@ -41,6 +41,10 @@ class Machine:
 
     _executables: Dict[str, Any] = field(default_factory=dict, repr=False)
     _processes: Dict[int, VirtualProcess] = field(default_factory=dict, repr=False)
+    # every process this machine ever spawned, living or dead — the
+    # record that lets shutdown tests assert all of them reached a
+    # terminal state
+    _spawned: List[VirtualProcess] = field(default_factory=list, repr=False)
     _next_pid: int = field(default=1, repr=False)
     up: bool = True
 
@@ -73,8 +77,9 @@ class Machine:
         proc = VirtualProcess(
             pid=pid, machine=self, executable_path=path, payload=executable
         )
-        proc.state = ProcessState.RUNNING
+        proc.mark_running()
         self._processes[pid] = proc
+        self._spawned.append(proc)
         return proc
 
     def process(self, pid: int) -> VirtualProcess:
@@ -85,12 +90,24 @@ class Machine:
 
     def kill(self, pid: int) -> None:
         proc = self.process(pid)
-        proc.state = ProcessState.STOPPED
+        proc.terminate()
+        del self._processes[pid]
+
+    def crash_process(self, pid: int) -> None:
+        """One process dies abnormally (segfault, OOM kill) while the
+        machine stays up — the per-process failure mode fault plans use."""
+        proc = self.process(pid)
+        proc.crash()
         del self._processes[pid]
 
     @property
     def running_processes(self) -> tuple:
         return tuple(self._processes.values())
+
+    @property
+    def spawned_processes(self) -> Tuple[VirtualProcess, ...]:
+        """Every process ever spawned here, including terminated ones."""
+        return tuple(self._spawned)
 
     # -- timing ------------------------------------------------------------
     def compute_seconds(self, flops: float) -> float:
@@ -104,8 +121,14 @@ class Machine:
         die — the scenario that motivates procedure migration."""
         self.up = False
         for proc in list(self._processes.values()):
-            proc.state = ProcessState.FAILED
+            proc.crash()
         self._processes.clear()
+
+    def crash(self) -> None:
+        """The machine dies without warning (power loss, kernel panic):
+        identical effect to :meth:`shutdown` at this layer, named
+        separately so fault plans read correctly."""
+        self.shutdown()
 
     def boot(self) -> None:
         self.up = True

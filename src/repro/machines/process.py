@@ -6,19 +6,38 @@ implemented using a message passing library." (paper, section 3.1)
 A :class:`VirtualProcess` is the simulated OS process.  The payload it
 runs (a Schooner executable, a PVM worker, ...) is opaque at this layer;
 lifecycle and identity are what matter here, because Schooner's startup,
-shutdown, and migration protocols are all about process lifecycle.
+shutdown, migration, and failover protocols are all about process
+lifecycle.
+
+Lifecycle is a strict state machine::
+
+    STARTING --mark_running()--> RUNNING --terminate()--> STOPPED
+        |                           |
+        +--------terminate()--------+----crash()--------> FAILED
+
+``STOPPED`` and ``FAILED`` are *terminal and absorbing*: terminating or
+crashing an already-terminal process is an idempotent no-op that keeps
+the original terminal state (a crash report racing a clean shutdown must
+not rewrite history), while restarting one is an error — a new process
+must be spawned instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import TYPE_CHECKING, Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet
 
 if TYPE_CHECKING:  # pragma: no cover
     from .host import Machine
 
-__all__ = ["ProcessState", "VirtualProcess"]
+__all__ = [
+    "ProcessState",
+    "VirtualProcess",
+    "ProcessDead",
+    "ProcessLifecycleError",
+    "TERMINAL_STATES",
+]
 
 
 class ProcessState(Enum):
@@ -26,6 +45,20 @@ class ProcessState(Enum):
     RUNNING = "running"
     STOPPED = "stopped"  # clean shutdown
     FAILED = "failed"  # machine death or error
+
+
+#: states from which no further transition is possible
+TERMINAL_STATES: FrozenSet[ProcessState] = frozenset(
+    {ProcessState.STOPPED, ProcessState.FAILED}
+)
+
+
+class ProcessDead(Exception):
+    """An operation was attempted on a process that is not running."""
+
+
+class ProcessLifecycleError(Exception):
+    """An illegal lifecycle transition (e.g. restarting a dead process)."""
 
 
 @dataclass
@@ -47,9 +80,41 @@ class VirtualProcess:
         return self.state is ProcessState.RUNNING
 
     @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
     def address(self) -> str:
         """A stable identity string, hostname:pid."""
         return f"{self.machine.hostname}:{self.pid}"
+
+    # -- lifecycle transitions ----------------------------------------------
+    def mark_running(self) -> None:
+        """STARTING -> RUNNING.  Idempotent for an already-running
+        process; raises for a terminal one (dead processes do not rise)."""
+        if self.state is ProcessState.RUNNING:
+            return
+        if self.state is ProcessState.STARTING:
+            self.state = ProcessState.RUNNING
+            return
+        raise ProcessLifecycleError(
+            f"process {self.address} is {self.state.value}; "
+            f"a terminated process cannot be restarted"
+        )
+
+    def terminate(self) -> None:
+        """Clean shutdown.  Idempotent: double-terminate is a no-op, and
+        terminating an already-FAILED process preserves FAILED."""
+        if self.terminal:
+            return
+        self.state = ProcessState.STOPPED
+
+    def crash(self) -> None:
+        """Abnormal death.  Crash-after-terminate is a no-op that keeps
+        the earlier terminal state (no state corruption)."""
+        if self.terminal:
+            return
+        self.state = ProcessState.FAILED
 
     def require_alive(self) -> None:
         if not self.alive:
@@ -57,7 +122,3 @@ class VirtualProcess:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return f"[{self.address} {self.executable_path} {self.state.value}]"
-
-
-class ProcessDead(Exception):
-    """An operation was attempted on a process that is not running."""

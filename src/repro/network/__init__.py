@@ -10,7 +10,7 @@ from .channel import BottleneckChannel, ChannelReport, Strategy
 from .clock import Timeline, VirtualClock
 from .link import CAMPUS_GATEWAYS, ETHERNET, INTERNET_1993, LOOPBACK, LinkModel
 from .topology import NetworkError, Topology
-from .transport import Message, TrafficStats, Transport
+from .transport import Message, MessageDropped, TrafficStats, Transport
 
 __all__ = [
     "VirtualClock",
@@ -24,6 +24,7 @@ __all__ = [
     "NetworkError",
     "Transport",
     "Message",
+    "MessageDropped",
     "TrafficStats",
     "BottleneckChannel",
     "ChannelReport",

@@ -14,7 +14,7 @@ conservative-parallel virtual-time treatment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, List
 
 __all__ = ["VirtualClock", "Timeline"]
 
@@ -50,10 +50,20 @@ class Timeline:
 
 @dataclass
 class VirtualClock:
-    """Global virtual time: the envelope of all timelines."""
+    """Global virtual time: the envelope of all timelines.
+
+    Subscribers (fault injectors, failure supervisors) are notified
+    whenever global time moves forward; a dispatch guard keeps a
+    subscriber that itself advances time (heartbeat messages, checkpoint
+    transfers) from recursing — its advances are folded into the same
+    notification pass.
+    """
 
     _now: float = 0.0
     _timelines: Dict[str, Timeline] = field(default_factory=dict)
+    _subscribers: List[Callable[[float], None]] = field(default_factory=list)
+    _notified_at: float = 0.0
+    _dispatching: bool = False
 
     @property
     def now(self) -> float:
@@ -65,17 +75,44 @@ class VirtualClock:
             self._timelines[name] = Timeline(name=name, clock=self)
         return self._timelines[name]
 
+    def subscribe(self, callback: Callable[[float], None]) -> None:
+        """Call ``callback(now)`` every time global time advances."""
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[float], None]) -> None:
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
     def advance(self, dt: float) -> float:
         """Advance global time directly (for strictly sequential runs)."""
         if dt < 0:
             raise ValueError(f"cannot advance time by {dt}")
         self._now += dt
+        self._notify()
         return self._now
 
     def _observe(self, t: float) -> None:
         if t > self._now:
             self._now = t
+            self._notify()
+
+    def _notify(self) -> None:
+        if self._dispatching or not self._subscribers:
+            return
+        self._dispatching = True
+        try:
+            # subscribers may advance time themselves; loop until the
+            # clock is quiescent so no advance goes unreported
+            while self._notified_at < self._now:
+                t = self._now
+                self._notified_at = t
+                for callback in list(self._subscribers):
+                    callback(t)
+        finally:
+            self._dispatching = False
 
     def reset(self) -> None:
         self._now = 0.0
+        self._notified_at = 0.0
         self._timelines.clear()

@@ -14,6 +14,7 @@ modelled; :meth:`classify` is the fast path used by the transport.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
@@ -41,6 +42,9 @@ class Topology:
     _overrides: Dict[Tuple[str, str], LinkModel] = field(default_factory=dict)
     _graph: nx.Graph = field(default_factory=nx.Graph)
     _partitioned: set = field(default_factory=set)
+    # sites whose campus gateways are down: same-site cross-subnet
+    # traffic fails while the site's Ethernets keep working
+    _dead_gateways: set = field(default_factory=set)
 
     def register(self, machine: Machine) -> None:
         """Add a machine to the explicit graph (optional but lets tests
@@ -63,6 +67,15 @@ class Topology:
     def heal(self, site_a: str, site_b: str) -> None:
         self._partitioned.discard(frozenset((site_a, site_b)))
 
+    def gateway_down(self, site: str) -> None:
+        """Take a site's campus gateways out: machines on different
+        subnets of ``site`` can no longer reach each other (failure
+        injection for the Table-1 'multiple gateways' tier)."""
+        self._dead_gateways.add(site)
+
+    def gateway_restore(self, site: str) -> None:
+        self._dead_gateways.discard(site)
+
     def classify(self, src: Machine, dst: Machine) -> LinkModel:
         """The link model connecting ``src`` to ``dst``."""
         override = self._overrides.get((src.hostname, dst.hostname))
@@ -77,12 +90,48 @@ class Topology:
         if src.site == dst.site:
             if src.subnet == dst.subnet:
                 return self.ethernet
+            if src.site in self._dead_gateways:
+                raise NetworkError(
+                    f"gateway outage at {src.site}: "
+                    f"{src.subnet} cannot reach {dst.subnet}"
+                )
             return self.campus
         return self.internet
 
     def transfer_seconds(self, src: Machine, dst: Machine, nbytes: int) -> float:
         """One-way delivery time for ``nbytes`` from ``src`` to ``dst``."""
         return self.classify(src, dst).transfer_seconds(nbytes)
+
+    def route(self, src: Machine, dst: Machine, seed: int = 0) -> Tuple[LinkModel, ...]:
+        """The sequence of link models a message traverses between two
+        registered hosts, following the explicit graph.
+
+        When several shortest paths exist (multi-gateway campuses), the
+        choice among them is made by a PRNG seeded with ``seed`` over the
+        *sorted* candidate list, so a fixed seed always yields the same
+        route — routing decisions never consult wall-clock randomness.
+        """
+        a, b = ("host", src.hostname), ("host", dst.hostname)
+        if a == b:
+            return (self.loopback,)
+        try:
+            paths = sorted(
+                nx.all_shortest_paths(self._graph, a, b), key=lambda p: [str(n) for n in p]
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise NetworkError(str(exc)) from exc
+        path = paths[random.Random(seed).randrange(len(paths))]
+        return tuple(
+            self._graph.edges[u, v]["link"] for u, v in zip(path, path[1:])
+        )
+
+    def route_transfer_seconds(
+        self, src: Machine, dst: Machine, nbytes: int, seed: int = 0
+    ) -> float:
+        """Store-and-forward delivery over an explicit route: each hop is
+        charged its full :meth:`LinkModel.transfer_seconds`, so the total
+        is *additive* over the hops of the route."""
+        return sum(link.transfer_seconds(nbytes) for link in self.route(src, dst, seed))
 
     def graph_path_hops(self, src: Machine, dst: Machine) -> int:
         """Number of graph edges between two registered hosts (sanity

@@ -13,13 +13,23 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..machines.host import Machine
 from .clock import Timeline, VirtualClock
-from .topology import Topology
+from .topology import NetworkError, Topology
 
-__all__ = ["Message", "Transport", "TrafficStats"]
+__all__ = ["Message", "Transport", "TrafficStats", "MessageDropped", "FaultFilter"]
+
+
+class MessageDropped(NetworkError):
+    """A message was lost in transit: destination host down, or a fault
+    plan's packet-loss rule fired.  The sender only learns of the loss
+    by timing out."""
+
+
+#: hook signature: (src, dst, kind, total_bytes, now) -> (drop, extra_latency_s)
+FaultFilter = Callable[[Machine, Machine, str, int, float], Tuple[bool, float]]
 
 
 @dataclass(frozen=True)
@@ -94,6 +104,10 @@ class Transport:
     clock: VirtualClock
     stats: TrafficStats = field(default_factory=TrafficStats)
     contention: bool = False
+    # fault-injection hook (see repro.faults): consulted per message for
+    # seeded packet loss and latency spikes.  None = perfect network.
+    fault_filter: Optional[FaultFilter] = None
+    dropped: int = 0
     _ids: "itertools.count" = field(default_factory=itertools.count)
     # per-trunk busy-until times; a trunk is the (site, site) pair so all
     # machines at two sites share the same WAN capacity
@@ -123,12 +137,25 @@ class Transport:
         """
         total = nbytes + header_bytes
         dt = self.topology.transfer_seconds(src, dst, total)
+        now = timeline.now if timeline is not None else self.clock.now
+        if not dst.up:
+            self.dropped += 1
+            raise MessageDropped(
+                f"{kind}: host {dst.hostname} is down; message lost"
+            )
+        if self.fault_filter is not None:
+            drop, extra_s = self.fault_filter(src, dst, kind, total, now)
+            if drop:
+                self.dropped += 1
+                raise MessageDropped(
+                    f"{kind}: message {src.hostname} -> {dst.hostname} lost in transit"
+                )
+            dt += extra_s
         queue_wait = 0.0
         if self.contention:
             link = self.topology.classify(src, dst)
             serialization = total / link.bandwidth_Bps
             key = self._trunk_key(src, dst)
-            now = timeline.now if timeline is not None else self.clock.now
             free_at = self._trunk_free.get(key, 0.0)
             queue_wait = max(0.0, free_at - now)
             self._trunk_free[key] = now + queue_wait + serialization

@@ -10,20 +10,24 @@ lines, procedure migration, and shared procedures.
 from .api import ModuleContext
 from .errors import (
     CallFailed,
+    CallTimeout,
     DuplicateName,
+    HostDown,
+    InstanceGone,
     LineTerminated,
     ManagerError,
     MigrationError,
     NameNotFound,
     SchoonerError,
     StaleBinding,
+    StaleRebind,
     TypeCheckError,
 )
 from .lines import InstanceRecord, Line, LineState
 from .manager import Manager, ManagerMode, SharedRegistry
 from .procedure import STATE_ARG, Executable, Procedure
 from .program import SchoonerProgram
-from .runtime import CallTrace, CostModel, SchoonerEnvironment, execute_call
+from .runtime import CallTrace, CostModel, RetryPolicy, SchoonerEnvironment, execute_call
 from .server import SchoonerServer
 from .stubgen import compile_stubs, load_stub_module, render_c_header, render_fortran_interface
 from .tracing import ProcedureSummary, render_summary, summarize
@@ -32,6 +36,7 @@ from .stubs import ClientStub
 __all__ = [
     "SchoonerEnvironment",
     "CostModel",
+    "RetryPolicy",
     "CallTrace",
     "execute_call",
     "Manager",
@@ -60,8 +65,12 @@ __all__ = [
     "DuplicateName",
     "TypeCheckError",
     "CallFailed",
+    "CallTimeout",
     "StaleBinding",
+    "StaleRebind",
     "LineTerminated",
     "ManagerError",
+    "HostDown",
     "MigrationError",
+    "InstanceGone",
 ]

@@ -77,6 +77,39 @@ class ModuleContext:
             cur_machine, cur_path, records = current
             if cur_machine is machine and all(r.alive for r in records):
                 return records
+            supervisor = getattr(self.manager, "supervisor", None)
+            if (
+                cur_machine is machine
+                and supervisor is not None
+                and any(not r.alive for r in records)
+            ):
+                # unchanged placement but the process died: this is a
+                # failover, not a re-placement — let the supervisor
+                # restart it (possibly elsewhere) with checkpointed
+                # state rather than cold-starting on the dead machine.
+                # A stub's retry path may have recovered the instance
+                # already, so consult the line's current bindings first.
+                try:
+                    refreshed = tuple(
+                        line.lookup(r.procedure.name) for r in records
+                    )
+                except SchoonerError:
+                    refreshed = records
+                if all(r.alive for r in refreshed):
+                    new_records = refreshed
+                else:
+                    new_records = supervisor.recover(
+                        line, refreshed[0], timeline=line.timeline
+                    )
+                if new_records:
+                    for stub in self._stubs.values():
+                        stub.invalidate()
+                    # keep the *requested* machine as the placement key:
+                    # idempotence still compares against the widget value,
+                    # while the line database knows where the instance
+                    # actually runs now
+                    self._placements[path] = (machine, path, tuple(new_records))
+                    return self._placements[path][2]
             # placement changed (or process died): stop the old instance
             for r in records:
                 if r.process.alive:

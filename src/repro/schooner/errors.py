@@ -14,10 +14,14 @@ __all__ = [
     "DuplicateName",
     "TypeCheckError",
     "CallFailed",
+    "CallTimeout",
     "StaleBinding",
     "LineTerminated",
     "ManagerError",
+    "HostDown",
     "MigrationError",
+    "InstanceGone",
+    "StaleRebind",
 ]
 
 
@@ -47,6 +51,22 @@ class CallFailed(SchoonerError):
     """A remote procedure call could not complete."""
 
 
+class CallTimeout(CallFailed):
+    """The call's request or reply never arrived within the per-call
+    timeout — a lost message, a partitioned link, or a dead host; the
+    caller cannot tell which.
+
+    ``retry_safe`` records whether the failure happened before the remote
+    procedure could have executed (lost request: safe to retry even for
+    stateful procedures) or after (lost reply: only *stateless*
+    procedures may be retried without risking double execution).
+    """
+
+    def __init__(self, message: str, retry_safe: bool = True):
+        super().__init__(message)
+        self.retry_safe = retry_safe
+
+
 class StaleBinding(CallFailed):
     """The call reached a location where the procedure no longer lives
     (it was moved or its process died).  Client stubs catch this and
@@ -62,6 +82,25 @@ class ManagerError(SchoonerError):
     """The Manager could not satisfy a protocol request."""
 
 
+class HostDown(ManagerError):
+    """A Manager/Server protocol message could not be delivered because
+    the target machine is down (detected by heartbeat or a lost
+    control message)."""
+
+
 class MigrationError(SchoonerError):
     """A procedure move failed (e.g. stateful procedure without a
     state-transfer specification, or target machine down)."""
+
+
+class InstanceGone(MigrationError):
+    """A move was requested for an instance whose hosting process is no
+    longer running — there is nothing left to shut down or transfer
+    state from.  Recovery of dead instances is the failover path
+    (:mod:`repro.faults`), not :meth:`Manager.move`."""
+
+
+class StaleRebind(SchoonerError):
+    """A rebind carried a generation older than the mapping it would
+    replace — a late, superseded update that must not clobber the
+    current binding."""

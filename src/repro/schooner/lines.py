@@ -21,7 +21,7 @@ from typing import Dict, Tuple
 from ..machines.host import Machine
 from ..machines.process import VirtualProcess
 from ..network.clock import Timeline
-from .errors import DuplicateName, LineTerminated, NameNotFound
+from .errors import DuplicateName, LineTerminated, NameNotFound, StaleRebind
 from .procedure import Procedure
 
 __all__ = ["Line", "LineState", "InstanceRecord"]
@@ -111,9 +111,24 @@ class Line:
         return name in self._names
 
     def rebind(self, record: InstanceRecord) -> None:
-        """Point all of a procedure's synonyms at a new record (migration)."""
+        """Point all of a procedure's synonyms at a new record (migration
+        or failover).
+
+        Every migration/failover bumps the record's ``generation``; a
+        rebind carrying a generation *older* than the current mapping is
+        a late, superseded update and raises :class:`StaleRebind` rather
+        than silently clobbering the newer binding."""
         self.require_active()
-        for name in record.procedure.synonyms():
+        synonyms = record.procedure.synonyms()
+        for name in synonyms:
+            cur = self._names.get(name)
+            if cur is not None and cur.generation > record.generation:
+                raise StaleRebind(
+                    f"line {self.line_id}: rebind of {name!r} at generation "
+                    f"{record.generation} would clobber generation "
+                    f"{cur.generation}"
+                )
+        for name in synonyms:
             self._names[name] = record
         self._processes[record.process.address] = record.process
 

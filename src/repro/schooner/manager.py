@@ -30,6 +30,7 @@ from ..uts.errors import UTSCompatibilityError
 from ..uts.types import Signature
 from .errors import (
     DuplicateName,
+    InstanceGone,
     ManagerError,
     MigrationError,
     NameNotFound,
@@ -66,7 +67,18 @@ class SharedRegistry:
         return self._names.get(name)
 
     def rebind(self, record: InstanceRecord) -> None:
-        for name in record.procedure.synonyms():
+        from .errors import StaleRebind
+
+        synonyms = record.procedure.synonyms()
+        for name in synonyms:
+            cur = self._names.get(name)
+            if cur is not None and cur.generation > record.generation:
+                raise StaleRebind(
+                    f"shared rebind of {name!r} at generation "
+                    f"{record.generation} would clobber generation "
+                    f"{cur.generation}"
+                )
+        for name in synonyms:
             self._names[name] = record
 
     def unbind(self, record: InstanceRecord) -> None:
@@ -94,6 +106,10 @@ class Manager:
     _line_counter: "itertools.count" = field(default_factory=lambda: itertools.count(1))
     running: bool = True
     runs_handled: int = 0
+    # failure-detection/recovery sidecar (repro.faults.FailoverSupervisor):
+    # consulted by client stubs and sch_contact_schx when a binding
+    # resolves to a dead instance.  None = no automatic recovery.
+    supervisor: Optional[object] = None
 
     # -- infrastructure -----------------------------------------------------
     def require_running(self) -> None:
@@ -319,6 +335,11 @@ class Manager:
         self.require_running()
         line.require_active()
         old = self.lookup(line, name)
+        if not old.process.alive:
+            raise InstanceGone(
+                f"cannot move {name!r}: its hosting process on "
+                f"{old.machine.hostname} is no longer running"
+            )
         proc_def = old.procedure
         path = target_path or old.path
 

@@ -59,6 +59,11 @@ class Procedure:
     flops: FlopsModel = 1.0e4
     stateless: bool = True
     state_spec: Optional[Dict[str, UTSType]] = None
+    # a stateful procedure may still declare that re-executing a call is
+    # harmless (it only reads its state, or writes values derived solely
+    # from its arguments); the retry machinery may then re-issue a call
+    # whose *reply* was lost.  None = infer from ``stateless``.
+    idempotent: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.name != self.signature.name:
@@ -69,6 +74,14 @@ class Procedure:
         if not self.stateless and self.state_spec is None:
             # allowed: such a procedure simply cannot be migrated
             pass
+
+    @property
+    def retry_ok(self) -> bool:
+        """May a call be re-executed when the caller cannot tell whether
+        the first execution happened (lost reply)?"""
+        if self.idempotent is not None:
+            return self.idempotent
+        return self.stateless
 
     @property
     def wants_state(self) -> bool:

@@ -18,16 +18,22 @@ from typing import Any, Dict, List
 from ..machines.host import Machine
 from ..machines.registry import MachinePark, standard_park
 from ..network.clock import Timeline, VirtualClock
-from ..network.topology import Topology
+from ..network.topology import NetworkError, Topology
 from ..network.transport import Transport
 from ..uts.compiled import native_roundtrip_for, signature_codec
 from ..uts.native import OutOfRangePolicy
 from ..uts.types import Signature
 from ..uts.values import conform_args
-from .errors import CallFailed, StaleBinding
+from .errors import CallFailed, CallTimeout, StaleBinding
 from .lines import InstanceRecord
 
-__all__ = ["CostModel", "CallTrace", "SchoonerEnvironment", "execute_call"]
+__all__ = [
+    "CostModel",
+    "RetryPolicy",
+    "CallTrace",
+    "SchoonerEnvironment",
+    "execute_call",
+]
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,29 @@ class CostModel:
     header_bytes: int = 64
     spawn_seconds: float = 0.25
     control_message_bytes: int = 128  # startup/shutdown protocol messages
+    # how long a caller waits for a request/reply before declaring the
+    # call lost — generous next to the 1993 WAN round trip (~80 ms) so
+    # only genuine failures trip it
+    call_timeout_s: float = 2.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry-with-exponential-backoff for timed-out calls.
+
+    Only *stateless* procedures are retried unconditionally; stateful
+    procedures are retried only when the timeout is known to have struck
+    before the remote could have executed (``CallTimeout.retry_safe``).
+    ``max_attempts`` counts the initial try.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.25
+    multiplier: float = 2.0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff charged before retry number ``attempt`` (1-based)."""
+        return self.base_backoff_s * self.multiplier ** (attempt - 1)
 
 
 @dataclass
@@ -61,6 +90,12 @@ class CallTrace:
     server_cpu_s: float = 0.0
     compute_s: float = 0.0
     network_s: float = 0.0
+    # resilience bookkeeping (repro.faults): how this attempt ended,
+    # how many timed-out attempts preceded it, and whether the binding
+    # was refreshed from the Manager after a failure first
+    outcome: str = "ok"  # "ok" | "timeout"
+    retries: int = 0
+    failed_over: bool = False
 
     @property
     def total_s(self) -> float:
@@ -81,6 +116,7 @@ class SchoonerEnvironment:
     clock: VirtualClock
     transport: Transport
     costs: CostModel = field(default_factory=CostModel)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     range_policy: OutOfRangePolicy = OutOfRangePolicy.ERROR
     traces: List[CallTrace] = field(default_factory=list)
     keep_traces: bool = True
@@ -115,12 +151,17 @@ def execute_call(
     record: InstanceRecord,
     import_sig: Signature,
     args: Dict[str, Any],
+    retries: int = 0,
+    failed_over: bool = False,
 ) -> Dict[str, Any]:
     """Execute one remote procedure call.
 
     Raises :class:`StaleBinding` when the target process is gone (the
-    stub's cue to refresh its name cache from the Manager) and
-    :class:`CallFailed` for argument conversion failures.
+    stub's cue to refresh its name cache from the Manager),
+    :class:`CallTimeout` when a request or reply is lost on the simulated
+    network (the caller waits out ``costs.call_timeout_s`` of virtual
+    time first), and :class:`CallFailed` for argument conversion
+    failures.  ``retries``/``failed_over`` annotate the recorded trace.
     """
     if not record.process.alive:
         raise StaleBinding(
@@ -149,7 +190,21 @@ def execute_call(
         caller=caller_machine.hostname,
         callee=callee_machine.hostname,
         started_at=timeline.now,
+        retries=retries,
+        failed_over=failed_over,
     )
+
+    def _lost(exc: Exception, retry_safe: bool) -> CallTimeout:
+        # the caller waits out the timeout in virtual time, then gives up
+        timeline.advance(env.costs.call_timeout_s)
+        trace.outcome = "timeout"
+        trace.finished_at = timeline.now
+        env.record_trace(trace)
+        return CallTimeout(
+            f"{import_sig.name}: no reply from {callee_machine.hostname} "
+            f"within {env.costs.call_timeout_s}s ({exc})",
+            retry_safe=retry_safe,
+        )
 
     # Compiled UTS plans: one walk of each parameter type, cached per
     # (signature, direction) and per (format, type, policy) — the RPC
@@ -171,15 +226,20 @@ def execute_call(
     timeline.advance(dt)
 
     # --- network: request ---------------------------------------------------
-    msg = env.transport.send(
-        caller_machine,
-        callee_machine,
-        f"call:{import_sig.name}",
-        None,
-        len(request),
-        timeline=timeline,
-        header_bytes=env.costs.header_bytes,
-    )
+    try:
+        msg = env.transport.send(
+            caller_machine,
+            callee_machine,
+            f"call:{import_sig.name}",
+            None,
+            len(request),
+            timeline=timeline,
+            header_bytes=env.costs.header_bytes,
+        )
+    except NetworkError as exc:
+        # request lost: the remote never saw the call, any procedure may
+        # be safely retried
+        raise _lost(exc, retry_safe=True) from exc
     trace.network_s += msg.transfer_seconds
     trace.request_bytes = msg.nbytes
 
@@ -232,15 +292,21 @@ def execute_call(
     timeline.advance(dt)
 
     # --- network: reply ------------------------------------------------------
-    msg = env.transport.send(
-        callee_machine,
-        caller_machine,
-        f"reply:{import_sig.name}",
-        None,
-        len(reply),
-        timeline=timeline,
-        header_bytes=env.costs.header_bytes,
-    )
+    try:
+        msg = env.transport.send(
+            callee_machine,
+            caller_machine,
+            f"reply:{import_sig.name}",
+            None,
+            len(reply),
+            timeline=timeline,
+            header_bytes=env.costs.header_bytes,
+        )
+    except NetworkError as exc:
+        # reply lost: the remote *did* execute, so only procedures whose
+        # re-execution is harmless (stateless, or explicitly idempotent)
+        # may be retried without double-execution risk
+        raise _lost(exc, retry_safe=record.procedure.retry_ok) from exc
     trace.network_s += msg.transfer_seconds
     trace.reply_bytes = msg.nbytes
 

@@ -13,7 +13,8 @@ from typing import Optional
 from ..machines.host import Machine, MachineError
 from ..machines.process import VirtualProcess
 from ..network.clock import Timeline
-from .errors import ManagerError
+from ..network.transport import MessageDropped
+from .errors import HostDown, ManagerError
 from .procedure import Executable
 from .runtime import SchoonerEnvironment
 
@@ -36,14 +37,19 @@ class SchoonerServer:
         fork/exec time on this machine, and the acknowledgement back.
         """
         costs = self.env.costs
-        self.env.transport.send(
-            requester,
-            self.machine,
-            "start-request",
-            path,
-            costs.control_message_bytes,
-            timeline=timeline,
-        )
+        try:
+            self.env.transport.send(
+                requester,
+                self.machine,
+                "start-request",
+                path,
+                costs.control_message_bytes,
+                timeline=timeline,
+            )
+        except MessageDropped as exc:
+            raise HostDown(
+                f"server on {self.machine.hostname} unreachable: {exc}"
+            ) from exc
         try:
             proc = self.machine.spawn(path)
         except MachineError as exc:
@@ -57,27 +63,42 @@ class SchoonerServer:
             self.env.clock.advance(costs.spawn_seconds)
         else:
             timeline.advance(costs.spawn_seconds)
-        self.env.transport.send(
-            self.machine,
-            requester,
-            "start-ack",
-            proc.address,
-            costs.control_message_bytes,
-            timeline=timeline,
-        )
+        try:
+            self.env.transport.send(
+                self.machine,
+                requester,
+                "start-ack",
+                proc.address,
+                costs.control_message_bytes,
+                timeline=timeline,
+            )
+        except MessageDropped as exc:
+            # the Manager never learns the address; reap the orphan
+            self.machine.kill(proc.pid)
+            raise HostDown(
+                f"start-ack from {self.machine.hostname} lost: {exc}"
+            ) from exc
         return proc
 
     def stop_process(
         self, proc: VirtualProcess, requester: Machine, timeline: Optional[Timeline] = None
     ) -> None:
-        """Deliver a shutdown message to a process (idempotent)."""
-        self.env.transport.send(
-            requester,
-            self.machine,
-            "shutdown",
-            proc.address,
-            self.env.costs.control_message_bytes,
-            timeline=timeline,
-        )
-        if proc.alive:
+        """Deliver a shutdown message to a process (idempotent).
+
+        An unreachable host is tolerated: a process that cannot hear the
+        shutdown is either already gone with its machine or will be
+        reaped when the machine is, so losing the message changes
+        nothing the Manager cares about."""
+        try:
+            self.env.transport.send(
+                requester,
+                self.machine,
+                "shutdown",
+                proc.address,
+                self.env.costs.control_message_bytes,
+                timeline=timeline,
+            )
+        except MessageDropped:
+            pass
+        if proc.alive and self.machine.up:
             self.machine.kill(proc.pid)

@@ -16,12 +16,13 @@ Manager for the new information" after a migration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from ..machines.host import Machine
+from ..network.topology import NetworkError
 from ..uts.compiled import precompile_signature
 from ..uts.types import Signature
-from .errors import StaleBinding
+from .errors import CallFailed, CallTimeout, StaleBinding
 from .lines import InstanceRecord, Line
 from .runtime import execute_call
 
@@ -54,58 +55,119 @@ class ClientStub:
 
     def _resolve(self) -> InstanceRecord:
         """Ask the Manager for the procedure's location (one control
-        round trip), type-checking the import against the export."""
+        round trip), type-checking the import against the export.
+
+        The lookup exchange itself rides the faulty network, so it is
+        retried under the environment's :class:`RetryPolicy`; a dead
+        binding is handed to the attached failover supervisor (if any)
+        for recovery before being returned.
+        """
         env = self.manager.env
-        env.transport.round_trip(
-            self.caller_machine,
-            self.manager.host,
-            "lookup",
-            self.name,
-            env.costs.control_message_bytes,
-            None,
-            env.costs.control_message_bytes,
-            timeline=self.line.timeline,
-        )
+        policy = env.retry
+        attempt = 1
+        while True:
+            try:
+                env.transport.round_trip(
+                    self.caller_machine,
+                    self.manager.host,
+                    "lookup",
+                    self.name,
+                    env.costs.control_message_bytes,
+                    None,
+                    env.costs.control_message_bytes,
+                    timeline=self.line.timeline,
+                )
+                break
+            except NetworkError as exc:
+                self.line.timeline.advance(env.costs.call_timeout_s)
+                if attempt >= policy.max_attempts:
+                    raise CallTimeout(
+                        f"{self.name}: cannot reach the Manager on "
+                        f"{self.manager.host.hostname} ({exc})"
+                    ) from exc
+                self.line.timeline.advance(policy.backoff_s(attempt))
+                attempt += 1
         self.lookups += 1
-        self._cache = self.manager.lookup(self.line, self.name, self.import_sig)
-        return self._cache
+        record = self.manager.lookup(self.line, self.name, self.import_sig)
+        supervisor = getattr(self.manager, "supervisor", None)
+        if not record.alive and supervisor is not None:
+            supervisor.recover(self.line, record, timeline=self.line.timeline)
+            record = self.manager.lookup(self.line, self.name, self.import_sig)
+        self._cache = record
+        return record
 
     def invalidate(self) -> None:
         self._cache = None
+
+    def _refresh(self, record: InstanceRecord) -> Tuple[InstanceRecord, bool]:
+        """Re-resolve after a failure; reports whether the binding moved."""
+        fresh = self._resolve()
+        moved = (
+            fresh.machine is not record.machine
+            or fresh.generation != record.generation
+        )
+        return fresh, moved
 
     def __call__(self, **args: Any) -> Dict[str, Any]:
         """Invoke the remote procedure; returns the result parameters.
 
         On a stale cache (process moved or died) the stub automatically
-        refreshes its binding from the Manager and retries once.
+        refreshes its binding from the Manager and retries once.  A
+        timed-out call (lost request or reply on the simulated network)
+        is retried with exponential backoff under the environment's
+        :class:`~repro.schooner.runtime.RetryPolicy` — unconditionally
+        for stateless procedures, and only when the timeout struck
+        before the remote executed (``retry_safe``) for stateful ones.
         """
-        from .errors import CallFailed
-
         record = self._cache
         if record is None:
             record = self._resolve()
+        retries = 0
+        failed_over = False
+        policy = self.manager.env.retry
         try:
-            try:
-                return execute_call(
-                    self.manager.env,
-                    self.caller_machine,
-                    self.line.timeline,
-                    record,
-                    self.import_sig,
-                    args,
-                )
-            except StaleBinding:
-                # cache-refresh-on-failed-call: fetch the new location
-                self.failovers += 1
-                record = self._resolve()
-                return execute_call(
-                    self.manager.env,
-                    self.caller_machine,
-                    self.line.timeline,
-                    record,
-                    self.import_sig,
-                    args,
-                )
+            attempt = 1
+            while True:
+                try:
+                    try:
+                        return execute_call(
+                            self.manager.env,
+                            self.caller_machine,
+                            self.line.timeline,
+                            record,
+                            self.import_sig,
+                            args,
+                            retries=retries,
+                            failed_over=failed_over,
+                        )
+                    except StaleBinding:
+                        # cache-refresh-on-failed-call: fetch the new
+                        # location and retry once at the new binding
+                        self.failovers += 1
+                        record, moved = self._refresh(record)
+                        failed_over = failed_over or moved
+                        return execute_call(
+                            self.manager.env,
+                            self.caller_machine,
+                            self.line.timeline,
+                            record,
+                            self.import_sig,
+                            args,
+                            retries=retries,
+                            failed_over=failed_over,
+                        )
+                except CallTimeout as exc:
+                    # retry_safe already folds in the procedure's
+                    # stateless/idempotent contract for lost replies
+                    if not exc.retry_safe or attempt >= policy.max_attempts:
+                        raise
+                    self.line.timeline.advance(policy.backoff_s(attempt))
+                    attempt += 1
+                    retries += 1
+                    # the silence may mean a dead host, not just a lost
+                    # packet: refresh the binding before trying again
+                    record, moved = self._refresh(record)
+                    failed_over = failed_over or moved
         except CallFailed:
             # the paper's error semantics: "when ... an error occurs,
             # the Manager terminates only the remote procedures within

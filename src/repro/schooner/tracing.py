@@ -34,6 +34,11 @@ class ProcedureSummary:
     request_bytes: int = 0
     reply_bytes: int = 0
     routes: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    # resilience: attempts that timed out, total retries behind the
+    # successful calls, and calls completed only after a failover
+    timeouts: int = 0
+    retries: int = 0
+    failovers: int = 0
 
     def add(self, t: CallTrace) -> None:
         self.calls += 1
@@ -46,6 +51,14 @@ class ProcedureSummary:
         self.reply_bytes += t.reply_bytes
         route = (t.caller, t.callee)
         self.routes[route] = self.routes.get(route, 0) + 1
+        if t.outcome == "timeout":
+            self.timeouts += 1
+        else:
+            # the completing attempt carries the whole call's counters,
+            # so summing only successful traces avoids double counting
+            self.retries += t.retries
+            if t.failed_over:
+                self.failovers += 1
 
     @property
     def mean_ms(self) -> float:
@@ -78,15 +91,18 @@ def render_summary(traces: Iterable[CallTrace]) -> str:
     summaries = sorted(summarize(traces).values(), key=lambda s: -s.total_s)
     if not summaries:
         return "(no RPC traces)"
+    faulty = any(s.timeouts or s.retries or s.failovers for s in summaries)
     lines = [
         f"{'procedure':<12} {'calls':>6} {'mean ms':>9} {'net %':>6} "
         f"{'ovh %':>6} {'req B':>8} {'rep B':>8}"
+        + (f" {'t/o':>4} {'rty':>4} {'f/o':>4}" if faulty else "")
     ]
     for s in summaries:
         lines.append(
             f"{s.procedure:<12} {s.calls:>6} {s.mean_ms:>9.2f} "
             f"{100*s.network_share:>6.1f} {100*s.overhead_share:>6.1f} "
             f"{s.request_bytes:>8} {s.reply_bytes:>8}"
+            + (f" {s.timeouts:>4} {s.retries:>4} {s.failovers:>4}" if faulty else "")
         )
     total = sum(s.total_s for s in summaries)
     calls = sum(s.calls for s in summaries)

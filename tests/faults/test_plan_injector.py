@@ -1,0 +1,177 @@
+"""Unit tests for fault plans and the clock-driven injector."""
+
+import pytest
+
+from repro.faults import (
+    CrashMachine,
+    DerateHost,
+    FaultInjector,
+    FaultPlan,
+    GatewayOutage,
+    LatencySpike,
+    PacketLoss,
+    PartitionLink,
+    RestoreMachine,
+)
+from repro.network import NetworkError
+from repro.network.transport import MessageDropped
+from repro.schooner import SchoonerEnvironment
+
+
+@pytest.fixture
+def env():
+    return SchoonerEnvironment.standard()
+
+
+def hosts(env):
+    # two same-subnet lerc machines: cheap, contention-free link
+    return env.park["sparc10.lerc.nasa.gov"], env.park["rs6000.lerc.nasa.gov"]
+
+
+class TestFaultPlan:
+    def test_scheduled_sorted_by_time_then_plan_order(self):
+        plan = FaultPlan(
+            seed=7,
+            events=(
+                CrashMachine(at_s=5.0, hostname="b"),
+                DerateHost(at_s=1.0, hostname="a", load=0.5),
+                RestoreMachine(at_s=5.0, hostname="b"),
+            ),
+        )
+        assert [(at, i) for at, i, _ in plan.scheduled()] == [
+            (1.0, 1), (5.0, 0), (5.0, 2)
+        ]
+
+    def test_describe_mentions_seed_and_events(self):
+        plan = FaultPlan(seed=42, events=(PartitionLink(at_s=2.0, site_a="lerc", site_b="arizona"),))
+        text = plan.describe()
+        assert "seed=42" in text
+        assert "partition" in text
+
+    def test_plans_are_immutable(self):
+        plan = FaultPlan(seed=0, events=())
+        with pytest.raises(Exception):
+            plan.seed = 1
+
+
+class TestInjectorEvents:
+    def test_event_fires_when_clock_reaches_instant(self, env):
+        plan = FaultPlan(events=(CrashMachine(at_s=1.0, hostname="sparc10.lerc.nasa.gov"),))
+        inj = FaultInjector(env, plan)
+        with inj:
+            assert env.park["sparc10.lerc.nasa.gov"].up
+            env.clock.timeline("t").advance(2.0)
+            assert not env.park["sparc10.lerc.nasa.gov"].up
+        assert inj.log == [(1.0, "crash machine sparc10.lerc.nasa.gov")]
+
+    def test_event_at_zero_fires_on_attach(self, env):
+        plan = FaultPlan(events=(DerateHost(at_s=0.0, hostname="rs6000.lerc.nasa.gov", load=0.9),))
+        with FaultInjector(env, plan):
+            assert env.park["rs6000.lerc.nasa.gov"].load == 0.9
+
+    def test_restore_machine_reboots(self, env):
+        plan = FaultPlan(events=(
+            CrashMachine(at_s=1.0, hostname="rs6000.lerc.nasa.gov"),
+            RestoreMachine(at_s=2.0, hostname="rs6000.lerc.nasa.gov"),
+        ))
+        with FaultInjector(env, plan):
+            env.clock.timeline("t").advance(1.5)
+            assert not env.park["rs6000.lerc.nasa.gov"].up
+            env.clock.timeline("t").advance(1.0)
+            assert env.park["rs6000.lerc.nasa.gov"].up
+
+    def test_partition_blocks_cross_site_traffic(self, env):
+        plan = FaultPlan(events=(PartitionLink(at_s=0.0, site_a="lerc", site_b="arizona"),))
+        src = env.park["sparc10.lerc.nasa.gov"]
+        dst = env.park["sparc10.cs.arizona.edu"]
+        with FaultInjector(env, plan):
+            with pytest.raises(NetworkError):
+                env.transport.send(src, dst, "call", None, 64)
+
+    def test_gateway_outage_blocks_cross_subnet_only(self, env):
+        plan = FaultPlan(events=(GatewayOutage(at_s=0.0, site="lerc"),))
+        a, b = hosts(env)  # same subnet
+        cray = env.park["cray-ymp.lerc.nasa.gov"]  # other lerc subnet
+        with FaultInjector(env, plan):
+            env.transport.send(a, b, "call", None, 64)  # still fine
+            with pytest.raises(NetworkError):
+                env.transport.send(a, cray, "call", None, 64)
+
+    def test_detach_removes_hook_and_subscription(self, env):
+        inj = FaultInjector(env, FaultPlan(events=()))
+        inj.attach()
+        inj.detach()
+        assert env.transport.fault_filter is None
+
+    def test_second_filter_rejected(self, env):
+        first = FaultInjector(env, FaultPlan(events=()))
+        first.attach()
+        second = FaultInjector(env, FaultPlan(events=()))
+        with pytest.raises(RuntimeError):
+            second.attach()
+        first.detach()
+
+
+class TestLossAndLatency:
+    def test_certain_loss_drops_messages_in_window(self, env):
+        plan = FaultPlan(events=(PacketLoss(at_s=0.0, until_s=10.0, rate=1.0),))
+        src, dst = hosts(env)
+        inj = FaultInjector(env, plan)
+        with inj:
+            with pytest.raises(MessageDropped):
+                env.transport.send(src, dst, "call", None, 64, timeline=env.clock.timeline("t"))
+        assert inj.messages_dropped == 1
+        assert env.transport.dropped == 1
+
+    def test_loss_window_closes(self, env):
+        plan = FaultPlan(events=(PacketLoss(at_s=0.0, until_s=1.0, rate=1.0),))
+        src, dst = hosts(env)
+        tl = env.clock.timeline("t")
+        with FaultInjector(env, plan):
+            tl.advance(2.0)  # past the window
+            env.transport.send(src, dst, "call", None, 64, timeline=tl)
+
+    def test_loss_respects_endpoints(self, env):
+        src, dst = hosts(env)
+        plan = FaultPlan(events=(
+            PacketLoss(at_s=0.0, until_s=10.0, rate=1.0, src_host="nomatch.example"),
+        ))
+        with FaultInjector(env, plan):
+            env.transport.send(src, dst, "call", None, 64)  # rule does not match
+
+    def test_latency_spike_adds_exactly_extra(self, env):
+        src, dst = hosts(env)
+        tl = env.clock.timeline("t")
+        t0 = tl.now
+        env.transport.send(src, dst, "call", None, 64, timeline=tl)
+        base = tl.now - t0
+
+        env2 = SchoonerEnvironment.standard()
+        src2, dst2 = hosts(env2)
+        plan = FaultPlan(events=(LatencySpike(at_s=0.0, until_s=10.0, extra_s=0.25),))
+        tl2 = env2.clock.timeline("t")
+        with FaultInjector(env2, plan):
+            t0 = tl2.now
+            env2.transport.send(src2, dst2, "call", None, 64, timeline=tl2)
+            assert tl2.now - t0 == pytest.approx(base + 0.25)
+
+    def test_loss_draws_replay_identically(self, env):
+        def drop_pattern(seed):
+            e = SchoonerEnvironment.standard()
+            src, dst = hosts(e)
+            plan = FaultPlan(
+                seed=seed,
+                events=(PacketLoss(at_s=0.0, until_s=100.0, rate=0.5),),
+            )
+            pattern = []
+            with FaultInjector(e, plan):
+                for _ in range(32):
+                    try:
+                        e.transport.send(src, dst, "call", None, 64)
+                        pattern.append(False)
+                    except MessageDropped:
+                        pattern.append(True)
+            return pattern
+
+        assert drop_pattern(3) == drop_pattern(3)
+        assert any(drop_pattern(3)) and not all(drop_pattern(3))

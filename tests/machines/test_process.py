@@ -4,8 +4,10 @@ import pytest
 
 from repro.machines import (
     SPARC,
+    TERMINAL_STATES,
     Machine,
     ProcessDead,
+    ProcessLifecycleError,
     ProcessState,
     VirtualProcess,
 )
@@ -46,3 +48,49 @@ class TestVirtualProcess:
     def test_str_forms(self, proc):
         assert "h:" in str(proc)
         assert proc.executable_path in str(proc)
+
+
+class TestLifecycleStateMachine:
+    """The strict transition table: STARTING -> RUNNING -> STOPPED/FAILED,
+    with terminal states absorbing and restarts forbidden."""
+
+    def test_spawn_then_mark_running_is_idempotent(self, proc):
+        assert proc.state is ProcessState.RUNNING
+        proc.mark_running()  # no-op, not an error
+        assert proc.state is ProcessState.RUNNING
+
+    def test_terminate_is_idempotent(self, proc):
+        proc.terminate()
+        assert proc.state is ProcessState.STOPPED
+        proc.terminate()
+        assert proc.state is ProcessState.STOPPED
+
+    def test_crash_is_idempotent(self, proc):
+        proc.crash()
+        assert proc.state is ProcessState.FAILED
+        proc.crash()
+        assert proc.state is ProcessState.FAILED
+
+    def test_crash_after_terminate_keeps_stopped(self, proc):
+        # a crash report racing a clean shutdown must not rewrite history
+        proc.terminate()
+        proc.crash()
+        assert proc.state is ProcessState.STOPPED
+
+    def test_terminate_after_crash_keeps_failed(self, proc):
+        proc.crash()
+        proc.terminate()
+        assert proc.state is ProcessState.FAILED
+
+    @pytest.mark.parametrize("die", ["terminate", "crash"])
+    def test_dead_processes_do_not_rise(self, proc, die):
+        getattr(proc, die)()
+        with pytest.raises(ProcessLifecycleError):
+            proc.mark_running()
+
+    def test_terminal_states_enumerated(self, proc):
+        assert proc.state not in TERMINAL_STATES
+        assert not proc.terminal
+        proc.crash()
+        assert proc.state in TERMINAL_STATES
+        assert proc.terminal

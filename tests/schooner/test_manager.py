@@ -3,7 +3,7 @@ type checking, lines semantics, shared procedures."""
 
 import pytest
 
-from repro.machines import Language
+from repro.machines import Language, ProcessState
 from repro.schooner import (
     DuplicateName,
     Executable,
@@ -163,6 +163,27 @@ class TestLinesShutdown:
             manager.quit_line(line)
         assert manager.running
         assert manager.runs_handled == 3
+
+    def test_shutdown_all_leaves_every_process_terminal(self, manager, env):
+        la = manager.contact("a", env.park["ua-sparc10"])
+        lb = manager.contact("b", env.park["ua-sparc10"])
+        ra = manager.start_remote(la, env.park["lerc-rs6000"], SHAFT_PATH)
+        rb = manager.start_remote(lb, env.park["lerc-cray"], SHAFT_PATH)
+        # one host dies before shutdown: its processes are already FAILED
+        env.park["lerc-cray"].crash()
+        manager.shutdown_all()
+        for r in (*ra, *rb):
+            assert r.process.terminal, r.process
+        # crashed processes keep FAILED; cleanly stopped ones are STOPPED
+        assert all(r.process.state is ProcessState.FAILED for r in rb)
+        assert all(r.process.state is ProcessState.STOPPED for r in ra)
+
+    def test_terminate_leaves_every_process_terminal(self, manager, env):
+        line = manager.contact("a", env.park["ua-sparc10"])
+        records = manager.start_remote(line, env.park["lerc-rs6000"], SHAFT_PATH)
+        manager.terminate()
+        assert not manager.running
+        assert all(r.process.terminal for r in records)
 
 
 class TestTypeChecking:

@@ -1,0 +1,87 @@
+"""Typed migration errors: dead-source moves and stale rebinds.
+
+Regression tests for the failure-handling edges of §4.2 migration:
+moving a procedure whose hosting process has already died raises
+:class:`InstanceGone` (not a silent restart), and a late rebind carrying
+a superseded generation raises :class:`StaleRebind` instead of
+clobbering the newer binding.
+"""
+
+import pytest
+
+from repro.schooner import (
+    InstanceGone,
+    MigrationError,
+    ModuleContext,
+    StaleRebind,
+)
+from repro.schooner.lines import new_instance_record
+
+from .conftest import SHAFT_PATH
+
+
+@pytest.fixture
+def ctx(manager, env):
+    return ModuleContext(
+        manager=manager, module_name="mv", machine=env.park["ua-sparc10"]
+    )
+
+
+class TestInstanceGone:
+    def test_move_with_dead_source_raises(self, ctx, env):
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        rec = ctx.manager.lookup(ctx.line, "shaft")
+        rec.machine.crash_process(rec.process.pid)
+        with pytest.raises(InstanceGone):
+            ctx.sch_move("shaft", "lerc-cray")
+
+    def test_is_a_migration_error(self):
+        # callers with pre-existing `except MigrationError` handlers
+        # still catch the new, more specific type
+        assert issubclass(InstanceGone, MigrationError)
+
+    def test_mapping_untouched_after_failed_move(self, ctx, env):
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        rec = ctx.manager.lookup(ctx.line, "shaft")
+        rec.machine.crash_process(rec.process.pid)
+        with pytest.raises(InstanceGone):
+            ctx.sch_move("shaft", "lerc-cray")
+        # the (dead) record is still the line's binding: recovery is the
+        # supervisor's job, not a side effect of a failed move
+        assert ctx.manager.lookup(ctx.line, "shaft") is rec
+
+
+class TestStaleRebind:
+    def test_generation_bumped_by_move(self, ctx, env):
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        old = ctx.line.lookup("shaft")
+        new = ctx.sch_move("shaft", "lerc-cray")
+        assert new.generation == old.generation + 1
+
+    def test_stale_rebind_rejected(self, ctx, env):
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        line = ctx.line
+        old = line.lookup("shaft")
+        current = ctx.sch_move("shaft", "lerc-cray")
+        # a late, superseded update (e.g. from a slow migration racing a
+        # failover) must not clobber the newer binding
+        stale = new_instance_record(
+            old.procedure, old.process, old.machine, SHAFT_PATH,
+            generation=old.generation,
+        )
+        with pytest.raises(StaleRebind):
+            line.rebind(stale)
+        assert line.lookup("shaft") is current
+        assert line.lookup("shaft").generation == current.generation
+
+    def test_equal_generation_rebind_allowed(self, ctx, env):
+        # same-generation rebind is an idempotent replay, not a clobber
+        ctx.sch_contact_schx("lerc-rs6000", SHAFT_PATH)
+        line = ctx.line
+        cur = line.lookup("shaft")
+        replay = new_instance_record(
+            cur.procedure, cur.process, cur.machine, SHAFT_PATH,
+            generation=cur.generation,
+        )
+        line.rebind(replay)
+        assert line.lookup("shaft") is replay
