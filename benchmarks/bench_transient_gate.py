@@ -1,0 +1,109 @@
+"""The transient perf smoke + regression gate: ``python benchmarks/bench_transient_gate.py``.
+
+Runs the all-remote 1 s transient on the sequential and on the
+overlapped+reused path (the same measurement
+:func:`bench_figure2_f100_network.transient_comparison` makes), writes
+the numbers as JSON, and — given a committed baseline — fails when the
+fast path regressed by more than the gate margin.
+
+What is gated, and how:
+
+* **modelled virtual time** and **RPC count** are deterministic
+  properties of the run, so they are compared absolutely against the
+  baseline (>20 % worse fails);
+* **wall time** depends on the machine, so the gate compares the
+  measured *speedup ratio* (sequential wall / overlapped wall, both
+  sides measured interleaved on the same machine) instead of absolute
+  seconds — and additionally enforces the acceptance floor of 3x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: tolerated relative regression against the committed baseline
+GATE_MARGIN = 0.20
+#: the acceptance floor from the issue: overlap+reuse must stay >=3x
+#: better than the sequential path in both virtual and wall time
+SPEEDUP_FLOOR = 3.0
+
+
+def measure() -> dict:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from bench_figure2_f100_network import transient_comparison
+
+    cmp = transient_comparison()
+    return {
+        "transient_s": 1.0,
+        "sync_virtual_s": round(cmp["sync_virtual_s"], 4),
+        "overlap_virtual_s": round(cmp["overlap_virtual_s"], 4),
+        "sync_rpcs": cmp["sync_rpcs"],
+        "overlap_rpcs": cmp["overlap_rpcs"],
+        "virtual_speedup": round(cmp["virtual_speedup"], 3),
+        "wall_speedup": round(cmp["wall_speedup"], 3),
+        # recorded for the artifact; not gated (machine-dependent)
+        "sync_wall_s": round(cmp["sync_wall_s"], 4),
+        "overlap_wall_s": round(cmp["overlap_wall_s"], 4),
+    }
+
+
+def check(current: dict, baseline: dict) -> list:
+    failures = []
+
+    def worse_by(key: str) -> float:
+        """Relative regression of a lower-is-better metric."""
+        return current[key] / baseline[key] - 1.0
+
+    for key in ("overlap_virtual_s", "overlap_rpcs"):
+        reg = worse_by(key)
+        if reg > GATE_MARGIN:
+            failures.append(
+                f"{key}: {current[key]} is {reg:+.1%} vs baseline "
+                f"{baseline[key]} (gate {GATE_MARGIN:.0%})"
+            )
+    for key in ("virtual_speedup", "wall_speedup"):
+        floor = max(SPEEDUP_FLOOR, baseline[key] * (1.0 - GATE_MARGIN))
+        if current[key] < floor:
+            failures.append(
+                f"{key}: {current[key]:.2f}x under the gate of {floor:.2f}x "
+                f"(baseline {baseline[key]:.2f}x, floor {SPEEDUP_FLOOR}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", metavar="BASELINE", type=Path, default=None,
+        help="baseline JSON to gate against (e.g. benchmarks/BENCH_transient.json)",
+    )
+    parser.add_argument(
+        "--write", metavar="OUT", type=Path, default=None,
+        help="where to write this run's numbers (the CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    current = measure()
+    print(json.dumps(current, indent=2))
+    if args.write is not None:
+        args.write.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"wrote {args.write}")
+    if args.check is None:
+        return 0
+
+    baseline = json.loads(args.check.read_text())
+    failures = check(current, baseline)
+    if failures:
+        print(f"\nPERF GATE FAILED vs {args.check}:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate OK vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,8 @@ import pytest
 from repro.core import NPSSExecutive
 
 
-def make_executive(avs_machine: str = "ua-sparc10") -> NPSSExecutive:
-    ex = NPSSExecutive(avs_machine=avs_machine)
+def make_executive(avs_machine: str = "ua-sparc10", **executive_kwargs) -> NPSSExecutive:
+    ex = NPSSExecutive(avs_machine=avs_machine, **executive_kwargs)
     ex.modules = ex.build_f100_network()
     # a modest throttle transient, as in the paper's combined test
     ex.modules["combustor"].set_param("fuel flow", 1.35)

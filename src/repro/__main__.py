@@ -5,7 +5,9 @@ all-local and then distributed per the paper's Table 2, with the
 correctness check and the modelled 1993 cost.
 
 ``python -m repro faults [...]`` runs the fault-injection/failover demo
-instead (see :mod:`repro.faults.demo` for its options).
+instead (see :mod:`repro.faults.demo` for its options), and
+``python -m repro perf [...]`` profiles the distributed transient hot
+loop (see :mod:`repro.core.perf`).
 """
 
 from __future__ import annotations
@@ -20,6 +22,10 @@ def main(argv=None) -> int:
         from repro.faults.demo import main as faults_main
 
         return faults_main(argv[1:])
+    if argv and argv[0] == "perf":
+        from repro.core.perf import main as perf_main
+
+        return perf_main(argv[1:])
 
     from repro.avs import render_network
     from repro.core import NPSSExecutive

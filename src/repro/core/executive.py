@@ -57,16 +57,24 @@ class NPSSExecutive:
         env: Optional[SchoonerEnvironment] = None,
         avs_machine: str = "ua-sparc10",
         base_spec: Optional[EngineSpec] = None,
+        dispatch: str = "overlap",
+        jac_reuse: bool = True,
     ):
         """``base_spec`` selects the engine design the network models
         (defaults to the F100); module widgets still override the
-        parameters they own."""
+        parameters they own.  ``dispatch`` and ``jac_reuse`` select the
+        execution strategy: the defaults overlap independent RPCs and
+        reuse Jacobians across solves; ``dispatch="sync"`` with
+        ``jac_reuse=False`` is the strictly sequential reference path."""
         self.base_spec = base_spec or F100_SPEC
         self.env = env or SchoonerEnvironment.standard()
         install_tess_executables(self.env.park)
         self.avs_machine: Machine = self.env.park[avs_machine]
         self.manager = Manager(env=self.env, host=self.avs_machine, mode=ManagerMode.LINES)
-        self.host = SchoonerHost(manager=self.manager, avs_machine=self.avs_machine)
+        self.jac_reuse = jac_reuse
+        self.host = SchoonerHost(
+            manager=self.manager, avs_machine=self.avs_machine, dispatch=dispatch
+        )
         self.editor = NetworkEditor()
         self.scheduler = DataflowScheduler(self.editor)
         self.solution: Optional[OperatingPoint] = None
@@ -193,7 +201,9 @@ class NPSSExecutive:
         spec = self._engine_spec_from_widgets()
         key = spec
         if self._engine is None or self._engine_key != key:
-            self._engine = TwinSpoolTurbofan(spec=spec, host=self.host)
+            self._engine = TwinSpoolTurbofan(
+                spec=spec, host=self.host, jac_reuse=self.jac_reuse
+            )
             self._engine_key = key
         return self._engine
 
@@ -358,6 +368,12 @@ class NPSSExecutive:
         for duration, updates in segments:
             for (module_name, widget), value in (updates or {}).items():
                 self.editor.module(module_name).set_param(widget, value)
+            # a widget update may have moved a module to another machine
+            # (or pulled it local), or changed a spec-owning widget —
+            # re-read the placement table and the engine before the next
+            # segment runs
+            self._sync_placements()
+            engine = self.engine()
             schedule = self.fuel_schedule()
             # the schedule restarts per segment: ramps replay from the
             # segment boundary, which is when the user moved the widget

@@ -1,0 +1,238 @@
+"""``python -m repro perf`` — profile the distributed transient hot loop.
+
+Runs the all-remote F100 1 s transient (the perf acceptance scenario)
+with two instruments attached:
+
+* a **phase timer** that splits the run's wall *and* modelled virtual
+  time between the hot loop's phases — steady balance, per-step
+  gas-path solves, FD-Jacobian sweeps, and time spent waiting on RPCs —
+  using exclusive (innermost-phase) attribution;
+* optionally **cProfile**, reporting the hottest functions by
+  cumulative time.
+
+The same switches the executive exposes are available here, so the
+sequential baseline can be profiled for comparison:
+``--dispatch sync --no-reuse`` reproduces the pre-optimization path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["PhaseTimer", "instrumented", "run_perf", "main"]
+
+#: Table 2's placement: all four adapted executables remote
+ALL_REMOTE_PLACEMENT = {
+    "combustor": "sgi4d340.cs.arizona.edu",
+    "duct-bypass": "cray-ymp.lerc.nasa.gov",
+    "duct-core": "cray-ymp.lerc.nasa.gov",
+    "nozzle": "sgi4d420.lerc.nasa.gov",
+    "shaft-low": "rs6000.lerc.nasa.gov",
+    "shaft-high": "rs6000.lerc.nasa.gov",
+}
+
+
+class PhaseTimer:
+    """Exclusive wall/virtual time accounting over a phase stack.
+
+    Time is charged to the innermost open phase: a Jacobian sweep inside
+    the balance shows up under ``jacobian``, not ``balance``, and RPC
+    waits inside either show up under ``rpc wait``.
+    """
+
+    def __init__(self, clock) -> None:
+        self.clock = clock
+        self.stack: List[str] = ["(elsewhere)"]
+        self.acc: Dict[str, Dict[str, float]] = defaultdict(
+            lambda: {"wall_s": 0.0, "virtual_s": 0.0, "calls": 0}
+        )
+        self._last_wall = time.perf_counter()
+        self._last_virtual = clock.now
+
+    def _charge(self) -> None:
+        now_w, now_v = time.perf_counter(), self.clock.now
+        cur = self.acc[self.stack[-1]]
+        cur["wall_s"] += now_w - self._last_wall
+        cur["virtual_s"] += now_v - self._last_virtual
+        self._last_wall, self._last_virtual = now_w, now_v
+
+    @contextmanager
+    def phase(self, name: str):
+        self._charge()
+        self.stack.append(name)
+        self.acc[name]["calls"] += 1
+        try:
+            yield
+        finally:
+            self._charge()
+            self.stack.pop()
+
+    def wrap(self, name: str) -> Callable:
+        """Decorate a method so each call opens the named phase."""
+
+        def decorate(fn: Callable) -> Callable:
+            def wrapper(*args, **kwargs):
+                with self.phase(name):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def render(self) -> str:
+        total_w = sum(p["wall_s"] for p in self.acc.values())
+        total_v = sum(p["virtual_s"] for p in self.acc.values())
+        lines = [
+            f"{'phase':<16} {'calls':>6} {'wall s':>9} {'wall %':>7}"
+            f" {'virtual s':>10} {'virt %':>7}"
+        ]
+        order = sorted(self.acc, key=lambda k: -self.acc[k]["wall_s"])
+        for name in order:
+            p = self.acc[name]
+            lines.append(
+                f"{name:<16} {p['calls']:>6d} {p['wall_s']:>9.3f} "
+                f"{100 * p['wall_s'] / max(total_w, 1e-12):>6.1f}% "
+                f"{p['virtual_s']:>10.2f} "
+                f"{100 * p['virtual_s'] / max(total_v, 1e-12):>6.1f}%"
+            )
+        lines.append(
+            f"{'total':<16} {'':>6} {total_w:>9.3f} {'':>7} {total_v:>10.2f}"
+        )
+        return "\n".join(lines)
+
+
+@contextmanager
+def instrumented(timer: PhaseTimer):
+    """Attach the phase timer to the hot loop's seams (balance,
+    per-step gas-path solves, Jacobian sweeps, RPC waits), restoring
+    the original methods on exit."""
+    from ..schooner.runtime import CallBatch
+    from ..schooner.stubs import ClientStub
+    from ..tess.engine import TwinSpoolTurbofan
+    from .schooner_host import SchoonerHost
+
+    saved = [
+        (TwinSpoolTurbofan, "balance"),
+        (TwinSpoolTurbofan, "_solve_gas_path"),
+        (SchoonerHost, "jacobian"),
+        (ClientStub, "_invoke"),
+        (CallBatch, "wait"),
+    ]
+    originals = [(cls, attr, getattr(cls, attr)) for cls, attr in saved]
+    names = {
+        "balance": "balance",
+        "_solve_gas_path": "gas-path step",
+        "jacobian": "jacobian",
+        "_invoke": "rpc wait",
+        "wait": "rpc wait",
+    }
+    try:
+        for cls, attr, fn in originals:
+            setattr(cls, attr, timer.wrap(names[attr])(fn))
+        yield timer
+    finally:
+        for cls, attr, fn in originals:
+            setattr(cls, attr, fn)
+
+
+def run_perf(
+    transient_s: float = 1.0,
+    dispatch: str = "overlap",
+    jac_reuse: bool = True,
+    profile: bool = True,
+    top: int = 15,
+    out=print,
+) -> dict:
+    """Build the all-remote executive, run it instrumented, report."""
+    from . import NPSSExecutive
+
+    ex = NPSSExecutive(
+        avs_machine="ua-sparc10", dispatch=dispatch, jac_reuse=jac_reuse
+    )
+    modules = ex.build_f100_network()
+    modules["combustor"].set_param("fuel flow", 1.35)
+    modules["combustor"].set_param("fuel flow-op", 1.45)
+    modules["combustor"].set_param("ramp seconds", 0.3)
+    modules["system"].set_param("transient seconds", transient_s)
+    for key, machine in ALL_REMOTE_PLACEMENT.items():
+        modules[key].set_param("remote machine", machine)
+
+    timer = PhaseTimer(ex.env.clock)
+    profiler = cProfile.Profile() if profile else None
+    t0 = time.perf_counter()
+    with instrumented(timer):
+        if profiler is not None:
+            profiler.enable()
+        ex.execute()
+        if profiler is not None:
+            profiler.disable()
+    wall = time.perf_counter() - t0
+
+    rpcs = len(ex.env.traces)
+    overlapped = sum(1 for t in ex.env.traces if t.dispatch == "overlap")
+    out(
+        f"{transient_s:g} s transient, dispatch={dispatch}, "
+        f"jac_reuse={jac_reuse}: wall {wall:.3f} s, "
+        f"modelled {ex.env.clock.now:.2f} s, {rpcs} RPCs "
+        f"({overlapped} overlapped)"
+    )
+    out("")
+    out(timer.render())
+
+    if profiler is not None:
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(r"repro", top)
+        out("")
+        out(f"cProfile: top {top} repro functions by cumulative time")
+        # drop the pstats preamble noise, keep the table
+        table = stream.getvalue().splitlines()
+        start = next(
+            (i for i, l in enumerate(table) if l.lstrip().startswith("ncalls")),
+            0,
+        )
+        out("\n".join(table[start:]).rstrip())
+
+    return {
+        "wall_s": wall,
+        "virtual_s": ex.env.clock.now,
+        "rpcs": rpcs,
+        "overlapped": overlapped,
+        "phases": {k: dict(v) for k, v in timer.acc.items()},
+        "executive": ex,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description="profile the distributed transient hot loop",
+    )
+    parser.add_argument("--transient", type=float, default=1.0, metavar="S")
+    parser.add_argument(
+        "--dispatch", choices=("overlap", "sync"), default="overlap"
+    )
+    parser.add_argument(
+        "--no-reuse", action="store_true",
+        help="disable quasi-Newton Jacobian reuse (the baseline solver)",
+    )
+    parser.add_argument(
+        "--no-profile", action="store_true", help="skip cProfile"
+    )
+    parser.add_argument("--top", type=int, default=15, metavar="N")
+    args = parser.parse_args(argv)
+    run_perf(
+        transient_s=args.transient,
+        dispatch=args.dispatch,
+        jac_reuse=not args.no_reuse,
+        profile=not args.no_profile,
+        top=args.top,
+    )
+    return 0

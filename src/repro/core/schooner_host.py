@@ -11,11 +11,15 @@ compute procedure is then called repeatedly through the line's stubs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..machines.host import Machine
 from ..schooner.api import ModuleContext
 from ..schooner.manager import Manager
+from ..schooner.runtime import CallBatch, CallerContext
+from ..solvers.steady import fd_jacobian
 from ..tess.gas import GasState
 from ..tess.hosts import ComponentHost, LocalHost
 from ..uts.spec import SpecFile
@@ -53,20 +57,53 @@ class SchoonerHost(ComponentHost):
     Instances without a placement compute locally, so any subset of the
     four adapted modules can be remote — the paper tested one, two,
     three, and all four.
+
+    ``dispatch`` selects the call model.  Both serialize dependent
+    calls on the calling program's own timeline (the AVS process can
+    only issue one thing at a time):
+
+    * ``"overlap"`` (default): independent computations — the
+      bypass/core duct branch, the two shaft accelerations, FD-Jacobian
+      column probes — go out as overlapped batches and cost the caller
+      the max of the concurrent round trips;
+    * ``"sync"``: every call blocks the caller for its full round trip
+      (the honest sequential baseline, kept as the differential oracle).
     """
 
     manager: Manager
     avs_machine: Machine  # where AVS (and the unadapted code) runs
     placements: Dict[str, Placement] = field(default_factory=dict)
+    dispatch: str = "overlap"  # "overlap" | "sync"
     _contexts: Dict[str, ModuleContext] = field(default_factory=dict)
     _initialized: Dict[str, tuple] = field(default_factory=dict)
     _local: LocalHost = field(default_factory=LocalHost)
     calls: Dict[str, int] = field(default_factory=dict)
+    _caller: Optional[CallerContext] = field(default=None, repr=False)
 
     def _machine(self, placement: Placement) -> Machine:
         if isinstance(placement, Machine):
             return placement
         return self.manager.env.park[placement]
+
+    def caller_context(self) -> CallerContext:
+        """The AVS process's own thread of virtual time, shared by every
+        module context so dependent calls serialize honestly."""
+        if self._caller is None:
+            tl = self.manager.env.clock.timeline(
+                f"caller:{self.avs_machine.hostname}"
+            )
+            self._caller = CallerContext(timeline=tl)
+        return self._caller
+
+    def _open_batch(self, label: str) -> CallBatch:
+        env = self.manager.env
+        return CallBatch(env, self.caller_context(), label=label,
+                         pool=env.overlap_pool())
+
+    def _in_overlap_region(self) -> bool:
+        ctx = self._caller
+        return (ctx is not None and ctx.batch is not None
+                and ctx.batch.active_branch is not None)
 
     def _context(self, key: str) -> Optional[ModuleContext]:
         """The ModuleContext for an instance key, or None if local."""
@@ -74,7 +111,8 @@ class SchoonerHost(ComponentHost):
             return None
         if key not in self._contexts:
             self._contexts[key] = ModuleContext(
-                manager=self.manager, module_name=key, machine=self.avs_machine
+                manager=self.manager, module_name=key, machine=self.avs_machine,
+                caller=self.caller_context(),
             )
         ctx = self._contexts[key]
         kind = key.split(":")[0]
@@ -182,6 +220,113 @@ class SchoonerHost(ComponentHost):
             ecorr=ecorr, xspool=xspool, xmyi=shaft.inertia,
         )
         return out["dxspl"]
+
+    # ------------------------------------------------------------- overlapped
+    def _overlappable(self, keys: Sequence[str]) -> bool:
+        return (
+            self.dispatch == "overlap"
+            and not self._in_overlap_region()
+            and any(k in self.placements for k in keys)
+        )
+
+    def duct_pair(self, jobs):
+        """Independent duct computations as one overlapped batch: the
+        bypass/core branch costs the caller max(round trips), with only
+        same-line/server work serialized."""
+        keys = [f"duct:{name}" for name, _, _ in jobs]
+        if not self._overlappable(keys):
+            return ComponentHost.duct_pair(self, jobs)
+        out: list = [None] * len(jobs)
+        prepared = []
+        for i, (name, duct, state) in enumerate(jobs):
+            ctx = self._context(keys[i])
+            if ctx is None:
+                out[i] = self._local.duct(name, duct, state)
+                continue
+            self._count(keys[i])
+            self._ensure_init(keys[i], ctx, (duct.dpqp,))
+            stub = ctx.import_proc(_IMPORTS["duct"].import_named("duct"))
+            prepared.append((i, stub, dict(
+                w=state.W, tt=state.Tt, pt=state.Pt, far=state.far
+            )))
+        batch = self._open_batch("duct-pair")
+        futures = [(i, stub.begin(batch, **args)) for i, stub, args in prepared]
+        for i, fut in futures:
+            r = fut.wait()
+            out[i] = GasState(W=r["wo"], Tt=r["tto"], Pt=r["pto"], far=r["faro"])
+        return tuple(out)
+
+    def shaft_accel_pair(self, jobs):
+        """The low/high spool accelerations as one overlapped batch."""
+        keys = [f"shaft:{job[0]}" for job in jobs]
+        if not self._overlappable(keys):
+            return ComponentHost.shaft_accel_pair(self, jobs)
+        out: list = [None] * len(jobs)
+        prepared = []
+        for i, job in enumerate(jobs):
+            name, shaft, ecom, etur, ecorr, xspool = job
+            ctx = self._context(keys[i])
+            if ctx is None:
+                out[i] = self._local.shaft_accel(*job)
+                continue
+            self._count(keys[i])
+            self._ensure_init(
+                keys[i], ctx, (shaft.inertia, shaft.omega_design, shaft.mech_eff)
+            )
+            stub = ctx.import_proc(_IMPORTS["shaft"].import_named("shaft"))
+
+            def pad4(seq):
+                vals = list(seq)[:4]
+                return vals + [0.0] * (4 - len(vals))
+
+            prepared.append((i, stub, dict(
+                ecom=pad4(ecom), incom=len(ecom),
+                etur=pad4(etur), intur=len(etur),
+                ecorr=ecorr, xspool=xspool, xmyi=shaft.inertia,
+            )))
+        batch = self._open_batch("shaft-pair")
+        futures = [(i, stub.begin(batch, **args)) for i, stub, args in prepared]
+        for i, fut in futures:
+            out[i] = fut.wait()["dxspl"]
+        return tuple(out)
+
+    def jacobian(
+        self,
+        f: Callable[[np.ndarray], np.ndarray],
+        x: np.ndarray,
+        fx: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Forward-difference Jacobian with overlapped column probes.
+
+        Each column is one probe region: its gas-path RPCs keep their
+        data-dependent order *within* the column, while the n columns
+        (independent by construction) overlap with each other, queuing
+        only for the shared per-line server occupancy.  The arithmetic
+        is exactly :func:`~repro.solvers.steady.fd_jacobian`'s, so the
+        result is bit-identical to the sequential sweep.
+        """
+        caller = self.caller_context()
+        if (self.dispatch != "overlap" or not self.placements
+                or caller.batch is not None):
+            return fd_jacobian(f, x, fx)
+        x = np.asarray(x, dtype=float)
+        if fx is None:
+            fx = np.asarray(f(x), dtype=float)
+        n = x.size
+        J = np.empty((fx.size, n))
+        batch = self._open_batch("fd-jacobian")
+        caller.batch = batch
+        try:
+            for j in range(n):
+                with batch.region(f"probe:{j}"):
+                    h = 1e-7 * max(1.0, abs(x[j]))
+                    xp = x.copy()
+                    xp[j] += h
+                    J[:, j] = (np.asarray(f(xp), dtype=float) - fx) / h
+        finally:
+            caller.batch = None
+            batch.wait()
+        return J
 
     # -------------------------------------------------------------- reporting
     @property

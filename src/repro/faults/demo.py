@@ -52,11 +52,14 @@ def named_plan(name: str, seed: int, horizon_s: float) -> FaultPlan:
             ),
         )
     elif name == "packet-loss":
+        # the rate is sized for the overlapped+reused call pattern: the
+        # executive issues a few hundred messages per second of
+        # transient, and the demo wants a handful of deterministic drops
         events = (
             PacketLoss(
                 at_s=0.25 * horizon_s,
                 until_s=0.75 * horizon_s,
-                rate=0.02,
+                rate=0.05,
             ),
         )
     else:
@@ -71,6 +74,12 @@ def _build_executive(transient_s: float, dt: float):
     modules = ex.build_f100_network()
     modules["system"].set_param("transient seconds", transient_s)
     modules["system"].set_param("time step", dt)
+    # throttle ramp: without it the transient sits at the steady point
+    # and the solver's reuse path collapses the run to a handful of
+    # RPCs, leaving the fault plans nothing to act on
+    modules["combustor"].set_param("fuel flow", 1.35)
+    modules["combustor"].set_param("fuel flow-op", 1.45)
+    modules["combustor"].set_param("ramp seconds", 0.3)
     modules[COMPONENT].set_param("remote machine", DOOMED_HOST)
     return ex
 
@@ -87,7 +96,8 @@ def trace_digest(traces) -> str:
                 f"{t.procedure}|{t.caller}|{t.callee}|{t.request_bytes}|"
                 f"{t.reply_bytes}|{t.started_at!r}|{t.finished_at!r}|"
                 f"{t.client_cpu_s!r}|{t.server_cpu_s!r}|{t.compute_s!r}|"
-                f"{t.network_s!r}|{t.outcome}|{t.retries}|{int(t.failed_over)}\n"
+                f"{t.network_s!r}|{t.outcome}|{t.retries}|{int(t.failed_over)}|"
+                f"{t.dispatch}\n"
             ).encode()
         )
     return h.hexdigest()

@@ -101,6 +101,18 @@ class FailoverSupervisor:
         while self._last_checkpoint_at + self.checkpoint_interval_s <= now:
             self._last_checkpoint_at += self.checkpoint_interval_s
             self._checkpoint_sweep(self._last_checkpoint_at)
+        # baseline checkpoints: a stateful instance is snapshotted as
+        # soon as its set* initialization has produced state, not only
+        # at the first grid point — a fast run can crash before the
+        # first grid sweep, and restarting without the initialization
+        # state would fail
+        for line in sorted(self.manager.active_lines, key=lambda l: l.line_id):
+            if any(
+                r.procedure.state_spec
+                and self.store.latest(line.line_id, r.path) is None
+                for r in line.records
+            ):
+                self.store.take(line, now=now)
 
     def _monitored_machines(self):
         seen = {}

@@ -13,6 +13,7 @@ conservative-parallel virtual-time treatment.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
@@ -39,6 +40,14 @@ class Timeline:
         self.clock._observe(self._elapsed)
         return self._elapsed
 
+    def branch(self, name: str) -> "Timeline":
+        """A scratch timeline starting at this timeline's current
+        instant — one concurrent branch of execution (an overlapped
+        call batch, an FD-probe column).  The branch is not registered
+        with the clock's named timelines; its advances still push the
+        global envelope."""
+        return Timeline(name=name, clock=self.clock, _elapsed=self._elapsed)
+
     def sync_to(self, t: float) -> None:
         """Move this timeline forward to absolute virtual time ``t``
         (used when a message from another timeline arrives: the receiver
@@ -64,6 +73,9 @@ class VirtualClock:
     _subscribers: List[Callable[[float], None]] = field(default_factory=list)
     _notified_at: float = 0.0
     _dispatching: bool = False
+    # timelines may advance from LinePool worker threads; the envelope
+    # update and subscriber dispatch must stay consistent under that
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     @property
     def now(self) -> float:
@@ -88,14 +100,16 @@ class VirtualClock:
         """Advance global time directly (for strictly sequential runs)."""
         if dt < 0:
             raise ValueError(f"cannot advance time by {dt}")
-        self._now += dt
-        self._notify()
-        return self._now
+        with self._lock:
+            self._now += dt
+            self._notify()
+            return self._now
 
     def _observe(self, t: float) -> None:
-        if t > self._now:
-            self._now = t
-            self._notify()
+        with self._lock:
+            if t > self._now:
+                self._now = t
+                self._notify()
 
     def _notify(self) -> None:
         if self._dispatching or not self._subscribers:
@@ -112,7 +126,15 @@ class VirtualClock:
         finally:
             self._dispatching = False
 
-    def reset(self) -> None:
+    def reset(self, keep_subscribers: bool = False) -> None:
+        """Return the clock to t = 0 with no timelines.
+
+        Subscribers are cleared too: a reused clock must not keep firing
+        the previous run's injector/supervisor callbacks.  Pass
+        ``keep_subscribers=True`` to retain them (e.g. a long-lived
+        monitor that spans runs)."""
         self._now = 0.0
         self._notified_at = 0.0
         self._timelines.clear()
+        if not keep_subscribers:
+            self._subscribers.clear()

@@ -12,6 +12,7 @@ delivery instant.  Counters record traffic for the benchmark reports.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -112,6 +113,10 @@ class Transport:
     # per-trunk busy-until times; a trunk is the (site, site) pair so all
     # machines at two sites share the same WAN capacity
     _trunk_free: Dict[Any, float] = field(default_factory=dict)
+    # overlapped batches may send from LinePool worker threads; the
+    # shared counters need a lock to stay exact (contention bookkeeping
+    # is order-sensitive and instead disables the pool entirely)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def _trunk_key(self, src: Machine, dst: Machine):
         if src.site == dst.site:
@@ -139,14 +144,16 @@ class Transport:
         dt = self.topology.transfer_seconds(src, dst, total)
         now = timeline.now if timeline is not None else self.clock.now
         if not dst.up:
-            self.dropped += 1
+            with self._lock:
+                self.dropped += 1
             raise MessageDropped(
                 f"{kind}: host {dst.hostname} is down; message lost"
             )
         if self.fault_filter is not None:
             drop, extra_s = self.fault_filter(src, dst, kind, total, now)
             if drop:
-                self.dropped += 1
+                with self._lock:
+                    self.dropped += 1
                 raise MessageDropped(
                     f"{kind}: message {src.hostname} -> {dst.hostname} lost in transit"
                 )
@@ -176,7 +183,8 @@ class Transport:
             sent_at=sent_at,
             delivered_at=delivered_at,
         )
-        self.stats.record(msg)
+        with self._lock:
+            self.stats.record(msg)
         return msg
 
     def round_trip(

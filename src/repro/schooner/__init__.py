@@ -23,11 +23,20 @@ from .errors import (
     StaleRebind,
     TypeCheckError,
 )
-from .lines import InstanceRecord, Line, LineState
+from .lines import InstanceRecord, Line, LinePool, LineState
 from .manager import Manager, ManagerMode, SharedRegistry
 from .procedure import STATE_ARG, Executable, Procedure
 from .program import SchoonerProgram
-from .runtime import CallTrace, CostModel, RetryPolicy, SchoonerEnvironment, execute_call
+from .runtime import (
+    CallBatch,
+    CallerContext,
+    CallFuture,
+    CallTrace,
+    CostModel,
+    RetryPolicy,
+    SchoonerEnvironment,
+    execute_call,
+)
 from .server import SchoonerServer
 from .stubgen import compile_stubs, load_stub_module, render_c_header, render_fortran_interface
 from .tracing import ProcedureSummary, render_summary, summarize
@@ -38,6 +47,10 @@ __all__ = [
     "CostModel",
     "RetryPolicy",
     "CallTrace",
+    "CallerContext",
+    "CallFuture",
+    "CallBatch",
+    "LinePool",
     "execute_call",
     "Manager",
     "ManagerMode",

@@ -23,6 +23,7 @@ from ..uts.types import Signature
 from .errors import SchoonerError
 from .lines import InstanceRecord, Line, LineState
 from .manager import Manager
+from .runtime import CallBatch, CallerContext
 from .stubs import ClientStub
 
 __all__ = ["ModuleContext"]
@@ -39,6 +40,10 @@ class ModuleContext:
     manager: Manager
     module_name: str
     machine: Machine  # where the module itself runs (the AVS host)
+    # caller-side serialization/overlap state, usually shared by every
+    # module of one calling program (see SchoonerHost); None keeps the
+    # historical free-running per-line accounting
+    caller: Optional[CallerContext] = None
     _line: Optional[Line] = None
     # placement per executable path alias: (machine, path, records)
     _placements: Dict[str, Tuple[Machine, str, Tuple[InstanceRecord, ...]]] = field(
@@ -101,6 +106,11 @@ class ModuleContext:
                     new_records = supervisor.recover(
                         line, refreshed[0], timeline=line.timeline
                     )
+                    # annotate each stub's next call as failed over: the
+                    # trace log keeps its witness of the re-routing even
+                    # though no call had to fail first
+                    for stub in self._stubs.values():
+                        stub.note_failover()
                 if new_records:
                     for stub in self._stubs.values():
                         stub.invalidate()
@@ -155,8 +165,21 @@ class ModuleContext:
                 line=self.line,
                 caller_machine=self.machine,
                 import_sig=sig,
+                caller=self.caller,
             )
         return self._stubs[sig.name]
+
+    def open_batch(self, label: str = "overlap") -> CallBatch:
+        """Open an overlap batch at the caller's current instant.
+
+        Requires a :class:`CallerContext` (the batch's dispatch time and
+        join target is the caller's own timeline)."""
+        if self.caller is None:
+            raise SchoonerError(
+                f"{self.module_name}: overlapped dispatch needs a CallerContext"
+            )
+        env = self.manager.env
+        return CallBatch(env, self.caller, label=label, pool=env.overlap_pool())
 
     def sch_i_quit(self) -> None:
         """Notify the Manager that this module is being destroyed; the

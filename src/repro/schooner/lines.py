@@ -14,9 +14,11 @@ A :class:`Line` owns a per-line name database and a virtual timeline
 from __future__ import annotations
 
 import itertools
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Tuple
+from typing import Callable, Dict, Tuple
 
 from ..machines.host import Machine
 from ..machines.process import VirtualProcess
@@ -24,7 +26,7 @@ from ..network.clock import Timeline
 from .errors import DuplicateName, LineTerminated, NameNotFound, StaleRebind
 from .procedure import Procedure
 
-__all__ = ["Line", "LineState", "InstanceRecord"]
+__all__ = ["Line", "LineState", "InstanceRecord", "LinePool"]
 
 _instance_ids = itertools.count(1)
 
@@ -142,6 +144,42 @@ class Line:
     @property
     def processes(self) -> Tuple[VirtualProcess, ...]:
         return tuple(self._processes.values())
+
+
+class LinePool:
+    """One worker thread per line, for wall-clock overlap of batched
+    calls.
+
+    The per-line worker is what keeps overlapped execution faithful to
+    the lines model: a line is "a sequential execution of procedures",
+    so two in-flight calls on the same line must run in submission
+    order (they pipeline on the wire but queue at the server), while
+    calls on different lines genuinely proceed concurrently.  Workers
+    are created lazily and live until :meth:`shutdown`.
+    """
+
+    def __init__(self) -> None:
+        self._executors: Dict[str, ThreadPoolExecutor] = {}
+        self._lock = threading.Lock()
+
+    def submit(self, line_id: str, fn: Callable[[], None]) -> "Future":
+        with self._lock:
+            ex = self._executors.get(line_id)
+            if ex is None:
+                ex = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"line-{line_id}"
+                )
+                self._executors[line_id] = ex
+        return ex.submit(fn)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            executors, self._executors = list(self._executors.values()), {}
+        for ex in executors:
+            ex.shutdown(wait=True)
+
+    def __len__(self) -> int:
+        return len(self._executors)
 
 
 def new_instance_record(

@@ -32,6 +32,27 @@ TIMELINE_ARG = "_timeline"
 FlopsModel = Union[float, Callable[[Dict[str, Any]], float]]
 
 
+def _param_names(impl: Callable[..., Any]) -> frozenset:
+    """The implementation's parameter names, cached per function object —
+    ``inspect.signature`` is far too slow to re-run on every call."""
+    try:
+        return _PARAM_CACHE[impl]
+    except (KeyError, TypeError):
+        pass
+    try:
+        names = frozenset(inspect.signature(impl).parameters)
+    except (TypeError, ValueError):  # builtins etc.
+        names = frozenset()
+    try:
+        _PARAM_CACHE[impl] = names
+    except TypeError:  # unhashable callable
+        pass
+    return names
+
+
+_PARAM_CACHE: Dict[Callable[..., Any], frozenset] = {}
+
+
 @dataclass(frozen=True)
 class Procedure:
     """One remotely callable procedure.
@@ -94,10 +115,7 @@ class Procedure:
         return self._has_param(TIMELINE_ARG)
 
     def _has_param(self, name: str) -> bool:
-        try:
-            return name in inspect.signature(self.impl).parameters
-        except (TypeError, ValueError):  # builtins etc.
-            return False
+        return name in _param_names(self.impl)
 
     def cost_flops(self, args: Dict[str, Any]) -> float:
         if callable(self.flops):

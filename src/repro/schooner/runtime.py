@@ -12,8 +12,9 @@ breakdown for the benchmark harness.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from ..machines.host import Machine
 from ..machines.registry import MachinePark, standard_park
@@ -25,12 +26,18 @@ from ..uts.native import OutOfRangePolicy
 from ..uts.types import Signature
 from ..uts.values import conform_args
 from .errors import CallFailed, CallTimeout, StaleBinding
-from .lines import InstanceRecord
+from .lines import InstanceRecord, LinePool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .stubs import ClientStub
 
 __all__ = [
     "CostModel",
     "RetryPolicy",
     "CallTrace",
+    "CallerContext",
+    "CallFuture",
+    "CallBatch",
     "SchoonerEnvironment",
     "execute_call",
 ]
@@ -96,6 +103,10 @@ class CallTrace:
     outcome: str = "ok"  # "ok" | "timeout"
     retries: int = 0
     failed_over: bool = False
+    # how the call was issued: "sync" (the caller blocked for the whole
+    # round trip) or "overlap" (in flight concurrently with other calls
+    # of one CallBatch)
+    dispatch: str = "sync"
 
     @property
     def total_s(self) -> float:
@@ -120,6 +131,12 @@ class SchoonerEnvironment:
     range_policy: OutOfRangePolicy = OutOfRangePolicy.ERROR
     traces: List[CallTrace] = field(default_factory=list)
     keep_traces: bool = True
+    # wall-clock execution of overlapped batches on the lines thread
+    # pool (one worker per line, so per-line ordering is preserved).
+    # Off by default: the virtual-time accounting is identical either
+    # way, and the sequential path is the replay-determinism baseline.
+    wall_parallel: bool = False
+    pool: Optional[LinePool] = field(default=None, repr=False)
 
     @classmethod
     def standard(cls, **kw) -> "SchoonerEnvironment":
@@ -143,6 +160,23 @@ class SchoonerEnvironment:
     def reset_traces(self) -> None:
         self.traces.clear()
 
+    def overlap_pool(self) -> Optional[LinePool]:
+        """The lines thread pool, when wall-parallel execution is both
+        requested and safe.  Stateful per-message hooks (a fault plan's
+        counters), trunk contention bookkeeping, and clock subscribers
+        are all order-sensitive across lines, so their presence forces
+        the sequential fallback — which charges *identical* virtual
+        time, keeping replays byte-for-byte reproducible either way."""
+        if not self.wall_parallel:
+            return None
+        if self.transport.fault_filter is not None or self.transport.contention:
+            return None
+        if self.clock._subscribers:
+            return None
+        if self.pool is None:
+            self.pool = LinePool()
+        return self.pool
+
 
 def execute_call(
     env: SchoonerEnvironment,
@@ -153,6 +187,8 @@ def execute_call(
     args: Dict[str, Any],
     retries: int = 0,
     failed_over: bool = False,
+    dispatch: str = "sync",
+    trace_sink: Optional[List[CallTrace]] = None,
 ) -> Dict[str, Any]:
     """Execute one remote procedure call.
 
@@ -162,6 +198,11 @@ def execute_call(
     network (the caller waits out ``costs.call_timeout_s`` of virtual
     time first), and :class:`CallFailed` for argument conversion
     failures.  ``retries``/``failed_over`` annotate the recorded trace.
+
+    ``trace_sink`` redirects trace recording (an overlapped batch
+    collects its members' traces privately and flushes them to the
+    environment in submission order, so the trace log stays
+    deterministic under the thread pool).
     """
     if not record.process.alive:
         raise StaleBinding(
@@ -192,14 +233,16 @@ def execute_call(
         started_at=timeline.now,
         retries=retries,
         failed_over=failed_over,
+        dispatch=dispatch,
     )
+    sink_trace = env.record_trace if trace_sink is None else trace_sink.append
 
     def _lost(exc: Exception, retry_safe: bool) -> CallTimeout:
         # the caller waits out the timeout in virtual time, then gives up
         timeline.advance(env.costs.call_timeout_s)
         trace.outcome = "timeout"
         trace.finished_at = timeline.now
-        env.record_trace(trace)
+        sink_trace(trace)
         return CallTimeout(
             f"{import_sig.name}: no reply from {callee_machine.hostname} "
             f"within {env.costs.call_timeout_s}s ({exc})",
@@ -321,7 +364,7 @@ def execute_call(
     }
 
     trace.finished_at = timeline.now
-    env.record_trace(trace)
+    sink_trace(trace)
     return out
 
 
@@ -356,3 +399,209 @@ def _shape_results(sig: Signature, raw: Any, sent_args: Dict[str, Any]) -> Dict[
         if p.name not in results and p.mode.sends and p.name in sent_args:
             results[p.name] = sent_args[p.name]
     return results
+
+
+# --------------------------------------------------------------------------
+# Overlapped dispatch: CallerContext / CallFuture / CallBatch
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CallerContext:
+    """The calling program's own thread of virtual time.
+
+    Stubs that share a context serialize their *synchronous* calls on
+    it: each blocking RPC starts no earlier than the caller's current
+    instant and moves the caller to its completion, so a sequence of
+    dependent calls to different lines costs the caller the **sum** of
+    the round trips — the honest sequential baseline.  Without a
+    context (the default) a stub charges only its own line, reproducing
+    the lines model's free-running semantics for genuinely independent
+    lines.
+
+    ``batch`` is the currently open :class:`CallBatch`, if any; while
+    one is active, stub calls issued inside a probe region ride that
+    batch instead of blocking the caller.
+    """
+
+    timeline: Timeline
+    batch: Optional["CallBatch"] = None
+
+    @property
+    def now(self) -> float:
+        return self.timeline.now
+
+
+class CallFuture:
+    """One overlapped, in-flight RPC.
+
+    Created by :meth:`CallBatch.begin` (or internally for probe-region
+    calls).  ``wait()`` completes the whole batch — the overlap model
+    is fork/join, not fire-and-forget — then returns this call's result
+    parameters or re-raises its failure.
+    """
+
+    __slots__ = (
+        "procedure", "line_id", "issued_at", "finished_at",
+        "traces", "done", "_results", "_error", "_batch", "_line",
+    )
+
+    def __init__(self, procedure: str, line, issued_at: float, batch: "CallBatch"):
+        self.procedure = procedure
+        self._line = line
+        self.line_id = line.line_id
+        self.issued_at = issued_at
+        self.finished_at = issued_at
+        self.traces: List[CallTrace] = []
+        self.done = False
+        self._results: Optional[Dict[str, Any]] = None
+        self._error: Optional[BaseException] = None
+        self._batch = batch
+
+    def wait(self) -> Dict[str, Any]:
+        self._batch.wait()
+        if self._error is not None:
+            raise self._error
+        assert self._results is not None
+        return self._results
+
+
+class CallBatch:
+    """A group of RPCs overlapped from one caller instant.
+
+    Virtual-time semantics: every member starts at the batch's dispatch
+    instant ``t0`` (the caller's time when the batch opened).  Members
+    bound for the **same line** additionally queue behind that line's
+    earlier members for the server-side occupancy (server marshal CPU +
+    compute) — pipelined requests, serialized server — while members on
+    different lines overlap their full round trips.  Shared trunks are
+    serialized separately by the transport's contention model when that
+    is enabled.  ``wait()`` joins everything, flushes traces in
+    submission order, moves each line's timeline to its members' latest
+    finish, and moves the caller to the latest finish overall: the
+    batch costs the caller the **max**, not the sum, of its members.
+
+    A *probe region* (:meth:`region`) is a branch of the caller that
+    starts at ``t0`` and serializes the calls made inside it — one
+    finite-difference Jacobian column, say — so independent regions
+    overlap with each other while each region's internal data
+    dependencies stay honest.
+
+    Wall-clock execution: members go to the environment's
+    :class:`~repro.schooner.lines.LinePool` (one worker per line) when
+    ``env.overlap_pool()`` allows it; otherwise they run inline, in
+    submission order, with identical virtual-time accounting.
+    """
+
+    def __init__(self, env: SchoonerEnvironment, caller: CallerContext,
+                 label: str = "overlap", pool: Optional[LinePool] = None):
+        self.env = env
+        self.caller = caller
+        self.label = label
+        self.t0 = caller.timeline.now
+        self.pool = pool
+        self._avail: Dict[str, float] = {}  # line_id -> server free-at
+        self._entries: List[CallFuture] = []  # submission order
+        self._pending: List[Any] = []  # LinePool futures
+        self._active_branch: Optional[Timeline] = None
+        self._done = False
+
+    # -- issuing ----------------------------------------------------------
+    def begin(self, stub: "ClientStub", args: Dict[str, Any]) -> CallFuture:
+        """Dispatch one overlapped call; returns its future."""
+        if self._done:
+            raise RuntimeError("CallBatch already waited on")
+        fut = CallFuture(stub.name, stub.line, self.t0, self)
+        self._entries.append(fut)
+        if self.pool is not None:
+            self._pending.append(
+                self.pool.submit(stub.line.line_id,
+                                 lambda: self._run(stub, args, fut, None))
+            )
+        else:
+            self._run(stub, args, fut, None)
+        return fut
+
+    @contextmanager
+    def region(self, label: str):
+        """A probe region: a caller branch starting at ``t0``.  Calls
+        made inside (through stubs sharing this batch's caller context)
+        serialize on the branch; the region as a whole overlaps with
+        the batch's other members and regions."""
+        prev = self._active_branch
+        self._active_branch = Timeline(
+            name=f"{self.label}:{label}",
+            clock=self.caller.timeline.clock,
+            _elapsed=self.t0,
+        )
+        try:
+            yield self._active_branch
+        finally:
+            self._active_branch = prev
+
+    @property
+    def active_branch(self) -> Optional[Timeline]:
+        return self._active_branch
+
+    def call_on_branch(self, stub: "ClientStub", args: Dict[str, Any],
+                       branch: Timeline) -> Dict[str, Any]:
+        """A blocking call issued inside a probe region: it runs now, on
+        the region's branch, and moves the branch to its completion."""
+        fut = CallFuture(stub.name, stub.line, branch.now, self)
+        self._entries.append(fut)
+        self._run(stub, args, fut, branch)
+        if fut._error is not None:
+            # raised here, synchronously — cleared so wait() (typically
+            # reached from a finally block) does not raise it again
+            err, fut._error = fut._error, None
+            raise err
+        assert fut._results is not None
+        return fut._results
+
+    # -- execution --------------------------------------------------------
+    def _run(self, stub: "ClientStub", args: Dict[str, Any],
+             fut: CallFuture, branch: Optional[Timeline]) -> None:
+        line = stub.line
+        # the call leaves the caller at the batch instant (or its probe
+        # region's current instant) but cannot occupy the server before
+        # the line's earlier members finish their server-side work (or
+        # earlier sync traffic completes)
+        issue_at = self.t0 if branch is None else branch.now
+        start = max(issue_at, self._avail.get(line.line_id, line.timeline.now))
+        tl = line.timeline.branch(f"{line.line_id}:{self.label}")
+        tl.sync_to(start)
+        sink: List[CallTrace] = []
+        try:
+            fut._results = stub._invoke(args, tl, "overlap", sink)
+        except BaseException as exc:  # re-raised at wait(), in order
+            fut._error = exc
+        occupancy = sum(t.server_cpu_s + t.compute_s for t in sink)
+        self._avail[line.line_id] = start + occupancy
+        fut.finished_at = tl.now
+        fut.traces = sink
+        fut.done = True
+        if branch is not None:
+            branch.sync_to(tl.now)
+
+    # -- joining ----------------------------------------------------------
+    def wait(self) -> None:
+        """Join all members: flush traces (submission order), advance
+        the member lines and the caller, re-raise the first failure."""
+        if self._done:
+            return
+        self._done = True
+        for pf in self._pending:
+            pf.result()
+        self._pending.clear()
+        for fut in self._entries:
+            for t in fut.traces:
+                self.env.record_trace(t)
+            fut._line.timeline.sync_to(fut.finished_at)
+            self.caller.timeline.sync_to(fut.finished_at)
+        for fut in self._entries:
+            if fut._error is not None:
+                raise fut._error
+
+    @property
+    def finished_at(self) -> float:
+        return max((f.finished_at for f in self._entries), default=self.t0)

@@ -16,15 +16,16 @@ Manager for the new information" after a migration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..machines.host import Machine
+from ..network.clock import Timeline
 from ..network.topology import NetworkError
 from ..uts.compiled import precompile_signature
 from ..uts.types import Signature
 from .errors import CallFailed, CallTimeout, StaleBinding
 from .lines import InstanceRecord, Line
-from .runtime import execute_call
+from .runtime import CallBatch, CallerContext, CallFuture, CallTrace, execute_call
 
 if TYPE_CHECKING:  # pragma: no cover
     from .manager import Manager
@@ -40,9 +41,17 @@ class ClientStub:
     line: Line
     caller_machine: Machine
     import_sig: Signature
+    # shared caller context: serializes synchronous calls on the
+    # caller's own timeline and carries the active overlap batch.
+    # None preserves the free-running per-line semantics.
+    caller: Optional[CallerContext] = None
     _cache: Optional[InstanceRecord] = field(default=None, repr=False)
     lookups: int = 0  # Manager round trips, for the migration benchmark
     failovers: int = 0
+    # set when a resolution path (here or sch_contact_schx) recovered a
+    # dead binding before any call failed: the next call's trace still
+    # records the failover
+    _recovered: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         # stub generation time, not call time, is when the UTS plans are
@@ -53,7 +62,7 @@ class ClientStub:
     def name(self) -> str:
         return self.import_sig.name
 
-    def _resolve(self) -> InstanceRecord:
+    def _resolve(self, timeline: Optional[Timeline] = None) -> InstanceRecord:
         """Ask the Manager for the procedure's location (one control
         round trip), type-checking the import against the export.
 
@@ -64,6 +73,7 @@ class ClientStub:
         """
         env = self.manager.env
         policy = env.retry
+        timeline = timeline if timeline is not None else self.line.timeline
         attempt = 1
         while True:
             try:
@@ -75,36 +85,49 @@ class ClientStub:
                     env.costs.control_message_bytes,
                     None,
                     env.costs.control_message_bytes,
-                    timeline=self.line.timeline,
+                    timeline=timeline,
                 )
                 break
             except NetworkError as exc:
-                self.line.timeline.advance(env.costs.call_timeout_s)
+                timeline.advance(env.costs.call_timeout_s)
                 if attempt >= policy.max_attempts:
                     raise CallTimeout(
                         f"{self.name}: cannot reach the Manager on "
                         f"{self.manager.host.hostname} ({exc})"
                     ) from exc
-                self.line.timeline.advance(policy.backoff_s(attempt))
+                timeline.advance(policy.backoff_s(attempt))
                 attempt += 1
         self.lookups += 1
         record = self.manager.lookup(self.line, self.name, self.import_sig)
         supervisor = getattr(self.manager, "supervisor", None)
         if not record.alive and supervisor is not None:
-            supervisor.recover(self.line, record, timeline=self.line.timeline)
+            supervisor.recover(self.line, record, timeline=timeline)
             record = self.manager.lookup(self.line, self.name, self.import_sig)
+            self._recovered = True
         self._cache = record
         return record
 
     def invalidate(self) -> None:
         self._cache = None
 
-    def _refresh(self, record: InstanceRecord) -> Tuple[InstanceRecord, bool]:
+    def note_failover(self) -> None:
+        """Mark that this stub's binding was recovered out-of-band (by
+        ``sch_contact_schx``); the next call is annotated ``failed_over``."""
+        self._recovered = True
+
+    def _consume_recovered(self) -> bool:
+        recovered, self._recovered = self._recovered, False
+        return recovered
+
+    def _refresh(
+        self, record: InstanceRecord, timeline: Optional[Timeline] = None
+    ) -> Tuple[InstanceRecord, bool]:
         """Re-resolve after a failure; reports whether the binding moved."""
-        fresh = self._resolve()
+        fresh = self._resolve(timeline)
         moved = (
             fresh.machine is not record.machine
             or fresh.generation != record.generation
+            or self._consume_recovered()
         )
         return fresh, moved
 
@@ -118,12 +141,48 @@ class ClientStub:
         :class:`~repro.schooner.runtime.RetryPolicy` — unconditionally
         for stateless procedures, and only when the timeout struck
         before the remote executed (``retry_safe``) for stateful ones.
+
+        With a :class:`~repro.schooner.runtime.CallerContext` attached,
+        the blocking call also serializes on the caller's timeline
+        (dependent calls to different lines sum); inside an open
+        overlap batch's probe region it rides the region's branch
+        instead.  Use :meth:`begin` for genuinely concurrent calls.
         """
+        ctx = self.caller
+        if ctx is None:
+            return self._invoke(args, self.line.timeline, "sync", None)
+        batch = ctx.batch
+        if batch is not None and batch.active_branch is not None:
+            return batch.call_on_branch(self, args, batch.active_branch)
+        # honest sequential semantics: the caller blocks for the whole
+        # round trip, so back-to-back calls on different lines sum
+        tl = self.line.timeline
+        tl.sync_to(ctx.timeline.now)
+        out = self._invoke(args, tl, "sync", None)
+        ctx.timeline.sync_to(tl.now)
+        return out
+
+    def begin(self, batch: CallBatch, /, **args: Any) -> CallFuture:
+        """Dispatch this call into an overlap ``batch``; the returned
+        future's ``wait()`` joins the batch and yields the results."""
+        return batch.begin(self, args)
+
+    def _invoke(
+        self,
+        args: Dict[str, Any],
+        timeline: Timeline,
+        dispatch: str,
+        trace_sink: Optional[List[CallTrace]],
+    ) -> Dict[str, Any]:
+        """The retry/refresh engine behind both dispatch modes, charging
+        all virtual time (calls, backoffs, re-lookups) to ``timeline``."""
         record = self._cache
         if record is None:
-            record = self._resolve()
+            record = self._resolve(timeline)
         retries = 0
-        failed_over = False
+        failed_over = self._consume_recovered()
+        if failed_over:
+            self.failovers += 1
         policy = self.manager.env.retry
         try:
             attempt = 1
@@ -133,40 +192,44 @@ class ClientStub:
                         return execute_call(
                             self.manager.env,
                             self.caller_machine,
-                            self.line.timeline,
+                            timeline,
                             record,
                             self.import_sig,
                             args,
                             retries=retries,
                             failed_over=failed_over,
+                            dispatch=dispatch,
+                            trace_sink=trace_sink,
                         )
                     except StaleBinding:
                         # cache-refresh-on-failed-call: fetch the new
                         # location and retry once at the new binding
                         self.failovers += 1
-                        record, moved = self._refresh(record)
+                        record, moved = self._refresh(record, timeline)
                         failed_over = failed_over or moved
                         return execute_call(
                             self.manager.env,
                             self.caller_machine,
-                            self.line.timeline,
+                            timeline,
                             record,
                             self.import_sig,
                             args,
                             retries=retries,
                             failed_over=failed_over,
+                            dispatch=dispatch,
+                            trace_sink=trace_sink,
                         )
                 except CallTimeout as exc:
                     # retry_safe already folds in the procedure's
                     # stateless/idempotent contract for lost replies
                     if not exc.retry_safe or attempt >= policy.max_attempts:
                         raise
-                    self.line.timeline.advance(policy.backoff_s(attempt))
+                    timeline.advance(policy.backoff_s(attempt))
                     attempt += 1
                     retries += 1
                     # the silence may mean a dead host, not just a lost
                     # packet: refresh the binding before trying again
-                    record, moved = self._refresh(record)
+                    record, moved = self._refresh(record, timeline)
                     failed_over = failed_over or moved
         except CallFailed:
             # the paper's error semantics: "when ... an error occurs,

@@ -39,9 +39,13 @@ class ProcedureSummary:
     timeouts: int = 0
     retries: int = 0
     failovers: int = 0
+    #: calls issued through a CallBatch rather than serialized sync
+    overlapped: int = 0
 
     def add(self, t: CallTrace) -> None:
         self.calls += 1
+        if t.dispatch == "overlap":
+            self.overlapped += 1
         self.total_s += t.total_s
         self.network_s += t.network_s
         self.client_cpu_s += t.client_cpu_s
@@ -92,9 +96,11 @@ def render_summary(traces: Iterable[CallTrace]) -> str:
     if not summaries:
         return "(no RPC traces)"
     faulty = any(s.timeouts or s.retries or s.failovers for s in summaries)
+    overlapping = any(s.overlapped for s in summaries)
     lines = [
         f"{'procedure':<12} {'calls':>6} {'mean ms':>9} {'net %':>6} "
         f"{'ovh %':>6} {'req B':>8} {'rep B':>8}"
+        + (f" {'ovl':>6}" if overlapping else "")
         + (f" {'t/o':>4} {'rty':>4} {'f/o':>4}" if faulty else "")
     ]
     for s in summaries:
@@ -102,6 +108,7 @@ def render_summary(traces: Iterable[CallTrace]) -> str:
             f"{s.procedure:<12} {s.calls:>6} {s.mean_ms:>9.2f} "
             f"{100*s.network_share:>6.1f} {100*s.overhead_share:>6.1f} "
             f"{s.request_bytes:>8} {s.reply_bytes:>8}"
+            + (f" {s.overlapped:>6}" if overlapping else "")
             + (f" {s.timeouts:>4} {s.retries:>4} {s.failovers:>4}" if faulty else "")
         )
     total = sum(s.total_s for s in summaries)

@@ -21,12 +21,39 @@ __all__ = [
     "ODEResult",
     "ResidualFn",
     "RHSFn",
+    "CountedResidual",
 ]
 
 # A residual function for steady balancing: F(x) = 0 at the solution.
 ResidualFn = Callable[[np.ndarray], np.ndarray]
 # An ODE right-hand side: dy/dt = f(t, y).
 RHSFn = Callable[[float, np.ndarray], np.ndarray]
+
+
+class CountedResidual:
+    """The one residual-evaluation counter every solver routes through.
+
+    Solvers wrap their residual (or RHS slice) once at entry; every
+    evaluation — plain iterations, line-search probes, and
+    finite-difference Jacobian columns alike — then increments the same
+    counter, so ``fevals`` means the same thing in every report and the
+    Jacobian-reuse policies can compare like with like.
+    """
+
+    __slots__ = ("f", "count")
+
+    def __init__(self, f: Callable[..., np.ndarray]):
+        # unwrap so nested solvers (Newton flow inside relaxation, an
+        # engine residual handed back to fd_jacobian) share one counter
+        if isinstance(f, CountedResidual):
+            self.f = f.f
+        else:
+            self.f = f
+        self.count = 0
+
+    def __call__(self, *args) -> np.ndarray:
+        self.count += 1
+        return np.asarray(self.f(*args), dtype=float)
 
 
 class SolverError(Exception):
@@ -51,6 +78,11 @@ class SteadyReport:
     residual_norm: float
     fevals: int
     history: List[float] = field(default_factory=list)  # residual norms
+    # Jacobian-reuse bookkeeping (Newton-family methods): the final
+    # Jacobian estimate, for warm-starting the next solve, and how many
+    # full finite-difference rebuilds the solve needed
+    jacobian: "np.ndarray | None" = None
+    jac_rebuilds: int = 0
 
 
 @dataclass

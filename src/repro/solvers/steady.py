@@ -14,19 +14,35 @@ on the menu:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 import scipy.linalg
 
-from .base import ConvergenceFailure, ResidualFn, SteadyReport
+from .base import ConvergenceFailure, CountedResidual, ResidualFn, SteadyReport
 
-__all__ = ["newton_raphson", "rk4_relaxation", "newton_flow_rk4", "fd_jacobian", "STEADY_METHODS"]
+__all__ = [
+    "newton_raphson",
+    "rk4_relaxation",
+    "newton_flow_rk4",
+    "fd_jacobian",
+    "broyden_update",
+    "STEADY_METHODS",
+]
+
+#: an alternative Jacobian builder: (f, x, fx) -> J.  The engine passes
+#: one that runs the FD column probes through overlapped RPC dispatch.
+JacobianFn = Callable[[ResidualFn, np.ndarray, np.ndarray], np.ndarray]
 
 
 def fd_jacobian(f: ResidualFn, x: np.ndarray, fx: Optional[np.ndarray] = None,
                 eps: float = 1e-7) -> np.ndarray:
-    """Forward-difference Jacobian of ``f`` at ``x``."""
+    """Forward-difference Jacobian of ``f`` at ``x``.
+
+    Every column probe is an ordinary evaluation of ``f``; when ``f`` is
+    a :class:`~repro.solvers.base.CountedResidual` the probes land in
+    the same counter as the solver's own evaluations.
+    """
     x = np.asarray(x, dtype=float)
     if fx is None:
         fx = np.asarray(f(x), dtype=float)
@@ -41,6 +57,15 @@ def fd_jacobian(f: ResidualFn, x: np.ndarray, fx: Optional[np.ndarray] = None,
     return J
 
 
+def broyden_update(J: np.ndarray, dx: np.ndarray, df: np.ndarray) -> np.ndarray:
+    """Broyden's good rank-1 secant update: the cheapest Jacobian
+    estimate consistent with the step just taken (J' dx = df)."""
+    denom = float(dx @ dx)
+    if denom <= 0.0:
+        return J
+    return J + np.outer(df - J @ dx, dx) / denom
+
+
 def newton_raphson(
     f: ResidualFn,
     x0: np.ndarray,
@@ -48,44 +73,118 @@ def newton_raphson(
     max_iter: int = 50,
     damping: float = 1.0,
     raise_on_failure: bool = True,
+    jac_reuse: bool = False,
+    jac0: Optional[np.ndarray] = None,
+    jac_refresh_ratio: float = 0.5,
+    jac_max_age: int = 25,
+    jacobian_fn: Optional[JacobianFn] = None,
+    xtol: Optional[float] = None,
 ) -> SteadyReport:
     """Damped Newton-Raphson with finite-difference Jacobian.
 
     ``damping`` scales the Newton step; a backtracking halving line
     search engages automatically when a full step increases the
     residual.
+
+    ``xtol`` (off by default) adds a step-size termination: once the
+    residual is already small (below ``sqrt(tol)``) and the computed
+    Newton correction has norm below ``xtol``, the current iterate is
+    accepted as the root without paying the confirming residual
+    evaluation — the standard MINPACK-style x-resolution criterion.
+    When every residual evaluation is a remote sweep, this saves one
+    full sweep per solve.
+
+    With ``jac_reuse`` the full finite-difference Jacobian (one complete
+    residual sweep per state variable) is built only when stale:
+    between rebuilds the Jacobian is maintained by Broyden rank-1
+    updates, and a rebuild is triggered by slow convergence (residual
+    reduction worse than ``jac_refresh_ratio`` per iteration), a damped
+    line-search step, age beyond ``jac_max_age`` updates, or a singular
+    iteration matrix.  ``jac0`` seeds the estimate (e.g. the previous
+    transient step's Jacobian); the final estimate is returned in
+    ``SteadyReport.jacobian`` for exactly that reuse.
     """
+    f = CountedResidual(f)
     x = np.asarray(x0, dtype=float).copy()
-    fevals = 0
     history = []
-    fx = np.asarray(f(x), dtype=float)
-    fevals += 1
+    fx = f(x)
     norm = float(np.linalg.norm(fx))
     history.append(norm)
+    jacobian_fn = jacobian_fn or fd_jacobian
+    J: Optional[np.ndarray] = None
+    jac_age = 0
+    jac_rebuilds = 0
+    if jac_reuse and jac0 is not None and jac0.shape == (fx.size, x.size):
+        J = np.array(jac0, dtype=float)
+
+    def rebuild(at_x, at_fx):
+        nonlocal J, jac_age, jac_rebuilds
+        J = jacobian_fn(f, at_x, at_fx)
+        jac_age = 0
+        jac_rebuilds += 1
+
+    def report_at(it, converged=None):
+        return SteadyReport(
+            x=x, converged=(norm <= tol) if converged is None else converged,
+            iterations=it, residual_norm=norm,
+            fevals=f.count, history=history, jacobian=J, jac_rebuilds=jac_rebuilds,
+        )
+
+    step_guard = np.sqrt(tol)
     for it in range(1, max_iter + 1):
         if norm <= tol:
-            return SteadyReport(x=x, converged=True, iterations=it - 1,
-                                residual_norm=norm, fevals=fevals, history=history)
-        J = fd_jacobian(f, x, fx)
-        fevals += x.size
+            return report_at(it - 1)
+        fresh = J is None or not jac_reuse
+        if fresh:
+            rebuild(x, fx)
         try:
             step = scipy.linalg.solve(J, -fx)
         except scipy.linalg.LinAlgError as exc:
-            raise ConvergenceFailure(f"singular Jacobian at iteration {it}: {exc}")
+            if jac_reuse and not fresh:
+                # a carried estimate (seed or worn Broyden update) went
+                # singular: rebuild once at the current iterate
+                rebuild(x, fx)
+                try:
+                    step = scipy.linalg.solve(J, -fx)
+                except scipy.linalg.LinAlgError as exc2:
+                    raise ConvergenceFailure(
+                        f"singular Jacobian at iteration {it}: {exc2}")
+            else:
+                raise ConvergenceFailure(f"singular Jacobian at iteration {it}: {exc}")
+        if (
+            xtol is not None
+            and norm <= step_guard
+            and float(np.linalg.norm(step)) < xtol
+        ):
+            # the correction is below the requested x-resolution and the
+            # residual is already small: the iterate is the root to
+            # within xtol — accept it without a confirming evaluation
+            return report_at(it - 1, converged=True)
         # backtracking line search
         alpha = damping
         for _ in range(8):
             x_new = x + alpha * step
-            fx_new = np.asarray(f(x_new), dtype=float)
-            fevals += 1
+            fx_new = f(x_new)
             norm_new = float(np.linalg.norm(fx_new))
             if norm_new < norm or norm_new <= tol:
                 break
             alpha *= 0.5
+        if jac_reuse:
+            dx = x_new - x
+            df = fx_new - fx
+            stale = (
+                alpha < damping  # the line search had to back off
+                or norm_new > jac_refresh_ratio * norm  # slow contraction
+                or jac_age >= jac_max_age
+            )
+            if stale and norm_new > tol:
+                rebuild(x_new, fx_new)
+            else:
+                J = broyden_update(J, dx, df)
+                jac_age += 1
         x, fx, norm = x_new, fx_new, norm_new
         history.append(norm)
-    report = SteadyReport(x=x, converged=norm <= tol, iterations=max_iter,
-                          residual_norm=norm, fevals=fevals, history=history)
+    report = report_at(max_iter)
     if not report.converged and raise_on_failure:
         raise ConvergenceFailure(
             f"Newton-Raphson failed to converge: |F| = {norm:.3e} after "
@@ -107,15 +206,10 @@ def rk4_relaxation(
     reduces the residual when ``dtau`` is within the stability bound.
     The step shrinks automatically when the residual grows.
     """
+    F = CountedResidual(f)
     x = np.asarray(x0, dtype=float).copy()
-    fevals = 0
     history = []
     h = dtau
-
-    def F(v):
-        nonlocal fevals
-        fevals += 1
-        return np.asarray(f(v), dtype=float)
 
     fx = F(x)
     norm = float(np.linalg.norm(fx))
@@ -123,7 +217,7 @@ def rk4_relaxation(
     for it in range(1, max_iter + 1):
         if norm <= tol:
             return SteadyReport(x=x, converged=True, iterations=it - 1,
-                                residual_norm=norm, fevals=fevals, history=history)
+                                residual_norm=norm, fevals=F.count, history=history)
         k1 = fx
         k2 = F(x + 0.5 * h * k1)
         k3 = F(x + 0.5 * h * k2)
@@ -139,7 +233,7 @@ def rk4_relaxation(
         x, fx, norm = x_new, fx_new, norm_new
         history.append(norm)
     report = SteadyReport(x=x, converged=norm <= tol, iterations=max_iter,
-                          residual_norm=norm, fevals=fevals, history=history)
+                          residual_norm=norm, fevals=F.count, history=history)
     if not report.converged and raise_on_failure:
         raise ConvergenceFailure(
             f"RK4 relaxation failed to converge: |F| = {norm:.3e} after "
@@ -163,37 +257,32 @@ def newton_flow_rk4(
     systems (like a coupled engine balance) where dx/dτ = F(x) itself
     is not a stable dynamical system.
     """
+    F = CountedResidual(f)
     x = np.asarray(x0, dtype=float).copy()
-    fevals = 0
     history = []
     h = min(dtau, 1.0)
 
     def direction(v: np.ndarray) -> np.ndarray:
-        nonlocal fevals
-        fv = np.asarray(f(v), dtype=float)
-        fevals += 1
-        J = fd_jacobian(f, v, fv)
-        fevals += v.size
+        fv = F(v)
+        J = fd_jacobian(F, v, fv)
         try:
             return scipy.linalg.solve(J, -fv)
         except scipy.linalg.LinAlgError as exc:
             raise ConvergenceFailure(f"singular Jacobian in Newton flow: {exc}")
 
-    fx = np.asarray(f(x), dtype=float)
-    fevals += 1
+    fx = F(x)
     norm = float(np.linalg.norm(fx))
     history.append(norm)
     for it in range(1, max_iter + 1):
         if norm <= tol:
             return SteadyReport(x=x, converged=True, iterations=it - 1,
-                                residual_norm=norm, fevals=fevals, history=history)
+                                residual_norm=norm, fevals=F.count, history=history)
         k1 = direction(x)
         k2 = direction(x + 0.5 * h * k1)
         k3 = direction(x + 0.5 * h * k2)
         k4 = direction(x + h * k3)
         x_new = x + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
-        fx_new = np.asarray(f(x_new), dtype=float)
-        fevals += 1
+        fx_new = F(x_new)
         norm_new = float(np.linalg.norm(fx_new))
         if norm_new > norm:
             h = max(h * 0.5, 1e-3)
@@ -202,7 +291,7 @@ def newton_flow_rk4(
         x, norm = x_new, norm_new
         history.append(norm)
     report = SteadyReport(x=x, converged=norm <= tol, iterations=max_iter,
-                          residual_norm=norm, fevals=fevals, history=history)
+                          residual_norm=norm, fevals=F.count, history=history)
     if not report.converged and raise_on_failure:
         raise ConvergenceFailure(
             f"Newton-flow RK4 failed to converge: |F| = {norm:.3e} after "

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg
 
-from .base import ConvergenceFailure, ODEResult, RHSFn
+from .base import ConvergenceFailure, CountedResidual, ODEResult, RHSFn
 from .steady import fd_jacobian
 
 __all__ = ["modified_euler", "rk4", "adams", "gear", "TRANSIENT_METHODS", "integrate"]
@@ -37,14 +37,13 @@ def modified_euler(f: RHSFn, t0: float, y0: np.ndarray, t_end: float, dt: float)
     t = _grid(t0, t_end, dt)
     y = np.empty((t.size, np.asarray(y0).size))
     y[0] = np.asarray(y0, dtype=float)
-    fevals = 0
+    F = CountedResidual(f)
     for i in range(t.size - 1):
-        k1 = np.asarray(f(t[i], y[i]), dtype=float)
+        k1 = F(t[i], y[i])
         predictor = y[i] + dt * k1
-        k2 = np.asarray(f(t[i + 1], predictor), dtype=float)
+        k2 = F(t[i + 1], predictor)
         y[i + 1] = y[i] + 0.5 * dt * (k1 + k2)
-        fevals += 2
-    return ODEResult(method="Modified Euler", t=t, y=y, fevals=fevals, steps=t.size - 1)
+    return ODEResult(method="Modified Euler", t=t, y=y, fevals=F.count, steps=t.size - 1)
 
 
 def rk4(f: RHSFn, t0: float, y0: np.ndarray, t_end: float, dt: float) -> ODEResult:
@@ -112,33 +111,46 @@ def gear(
     dt: float,
     newton_tol: float = 1e-10,
     newton_max: int = 20,
+    jac_reuse: bool = True,
 ) -> ODEResult:
     """Gear's method: BDF2 with BDF1 (backward Euler) start-up.
 
     Each step solves the implicit equation with a damped Newton
-    iteration on G(y) = y - c - beta*dt*f(t, y), using a
-    finite-difference Jacobian.  A-stable, so it tolerates the stiff
-    rotor/volume dynamics that blow up the explicit methods.
+    iteration on G(y) = y - c - beta*dt*f(t, y).  A-stable, so it
+    tolerates the stiff rotor/volume dynamics that blow up the explicit
+    methods.
+
+    With ``jac_reuse`` (the default) this is *modified* Newton: the
+    finite-difference Jacobian of ``f`` is frozen and carried across
+    Newton iterations and time steps — each step refactors the (cheap)
+    iteration matrix I - beta*dt*Jf but re-probes ``f`` only when the
+    iteration converges slowly, which for the smooth rotor dynamics
+    almost never happens.  ``jac_reuse=False`` restores the classic
+    rebuild-every-iteration behaviour (the differential oracle).
     """
     t = _grid(t0, t_end, dt)
     n = t.size
     y = np.empty((n, np.asarray(y0).size))
     y[0] = np.asarray(y0, dtype=float)
-    fevals = 0
+    F = CountedResidual(f)
     newton_total = 0
+    Jf = None  # frozen df/dy estimate (jac_reuse mode)
 
     def implicit_step(tn, guess, c, beta):
-        nonlocal fevals, newton_total
+        nonlocal newton_total, Jf
         yk = guess.copy()
+        prev_gnorm = np.inf
         for _ in range(newton_max):
-            fy = np.asarray(f(tn, yk), dtype=float)
-            fevals += 1
+            fy = F(tn, yk)
             G = yk - c - beta * dt * fy
-            if float(np.linalg.norm(G)) <= newton_tol:
+            gnorm = float(np.linalg.norm(G))
+            if gnorm <= newton_tol:
                 return yk
+            # refresh the frozen Jacobian only when stale: missing, or
+            # the iteration stopped contracting (slow convergence)
+            if Jf is None or not jac_reuse or gnorm > 0.5 * prev_gnorm:
+                Jf = fd_jacobian(lambda v: F(tn, v), yk, fy)
             # Jacobian of G: I - beta*dt*df/dy
-            Jf = fd_jacobian(lambda v: np.asarray(f(tn, v), dtype=float), yk, fy)
-            fevals += yk.size
             J = np.eye(yk.size) - beta * dt * Jf
             try:
                 step = scipy.linalg.solve(J, -G)
@@ -146,6 +158,7 @@ def gear(
                 raise ConvergenceFailure(f"Gear: singular iteration matrix: {exc}")
             yk = yk + step
             newton_total += 1
+            prev_gnorm = gnorm
         raise ConvergenceFailure(
             f"Gear: Newton iteration did not converge at t={tn:g}"
         )
@@ -158,7 +171,7 @@ def gear(
         c = (4.0 * y[i] - y[i - 1]) / 3.0
         y[i + 1] = implicit_step(t[i + 1], y[i], c, 2.0 / 3.0)
     return ODEResult(
-        method="Gear", t=t, y=y, fevals=fevals, steps=n - 1,
+        method="Gear", t=t, y=y, fevals=F.count, steps=n - 1,
         newton_iterations=newton_total,
     )
 

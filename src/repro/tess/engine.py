@@ -46,7 +46,7 @@ from .components import (
 )
 from .gas import GasState
 from .hosts import ComponentHost, LocalHost
-from .maps import load_map
+from .maps import MapError, load_map
 from .schedules import Schedule
 
 __all__ = ["EngineSpec", "TwinSpoolTurbofan", "OperatingPoint", "TransientResult"]
@@ -137,9 +137,19 @@ class TwinSpoolTurbofan:
     # indices into the algebraic unknown vector
     IDX_BETA_FAN, IDX_BETA_HPC, IDX_BPR, IDX_PR_HPT, IDX_PR_LPT = range(5)
 
-    def __init__(self, spec: EngineSpec = EngineSpec(), host: Optional[ComponentHost] = None):
+    def __init__(
+        self,
+        spec: EngineSpec = EngineSpec(),
+        host: Optional[ComponentHost] = None,
+        jac_reuse: bool = True,
+    ):
         self.spec = spec
         self.host = host or LocalHost()
+        # quasi-Newton reuse for the transient gas-path solves: keep the
+        # previous step's Jacobian and let Broyden updates maintain it,
+        # re-probing only when the iteration degrades.  False restores
+        # the rebuild-every-iteration oracle.
+        self.jac_reuse = jac_reuse
         self.inlet = Inlet(recovery=spec.inlet_recovery)
         self.fan = Compressor(map=load_map(spec.fan_map))
         self.splitter = Splitter()
@@ -169,8 +179,15 @@ class TwinSpoolTurbofan:
         self._design_x: np.ndarray
         self._design_core_flow: float
         self._run_design_closure()
-        # warm-start cache for the transient algebraic solves
+        # warm-start cache for the transient algebraic solves; _prev_x
+        # enables the secant extrapolation predictor under jac_reuse
         self._last_x = self._design_x.copy()
+        self._prev_x: Optional[np.ndarray] = None
+        self._x_hist: list = []
+        # carried gas-path Jacobian (jac_reuse) and the per-transient
+        # operating-point memo for the trajectory sampling pass
+        self._jac: Optional[np.ndarray] = None
+        self._op_memo: Optional[Dict[tuple, OperatingPoint]] = None
 
     # ------------------------------------------------------------------ design
     def _run_design_closure(self) -> None:
@@ -253,8 +270,12 @@ class TwinSpoolTurbofan:
         face = face.with_(W=w_fan)
         fan_op = self.fan.operate(face, n1, beta_fan, fan_stator)
         core, bypass = self.splitter.split(fan_op.state_out, bpr)
-        bypass = host.duct("bypass", self.duct_bypass, bypass)
-        core = host.duct("core", self.duct_core, core)
+        # the two branch ducts are data-independent: a host with
+        # concurrent resources overlaps their round trips
+        bypass, core = host.duct_pair((
+            ("bypass", self.duct_bypass, bypass),
+            ("core", self.duct_core, core),
+        ))
         core, _bleed_flow = self.bleed.run(core)
         hpc_op = self.hpc.operate(core, n2, beta_hpc, hpc_stator)
         r_core_flow = (core.W - hpc_op.map_flow_kgs) / self._design_core_flow
@@ -339,7 +360,11 @@ class TwinSpoolTurbofan:
             return np.concatenate([op.residuals, [r_low, r_high]])
 
         if method == "Newton-Raphson":
-            report = newton_raphson(residuals, z0, tol=tol, max_iter=60)
+            report = newton_raphson(
+                residuals, z0, tol=tol, max_iter=60,
+                jac_reuse=self.jac_reuse,
+                jacobian_fn=self.host.jacobian,
+            )
         elif method == "Runge-Kutta":
             report = newton_flow_rk4(residuals, z0, tol=max(tol, 1e-9), dtau=0.5)
         else:
@@ -348,6 +373,7 @@ class TwinSpoolTurbofan:
         op = self.evaluate(flight, wf, z[5], z[6], z[:5], **schedule_values)
         op.converged = report.converged
         self._last_x = z[:5].copy()
+        self._x_hist.clear()
         return op
 
     # --------------------------------------------------------------- transient
@@ -355,14 +381,74 @@ class TwinSpoolTurbofan:
         self, flight: FlightCondition, wf: float, n1: float, n2: float,
         **schedule_values,
     ) -> OperatingPoint:
-        """Re-balance the 5 algebraic unknowns at fixed spool speeds."""
+        """Re-balance the 5 algebraic unknowns at fixed spool speeds.
+
+        Warm-started from the previous solve's solution; with
+        ``jac_reuse`` the previous solve's Jacobian seeds this one.
+        During a transient, solved points are memoized so the
+        trajectory-sampling pass after integration re-reads the
+        integrator's own evaluations instead of re-solving them.
+        """
+        key = None
+        if self._op_memo is not None:
+            key = (wf, n1, n2, tuple(sorted(schedule_values.items())))
+            cached = self._op_memo.get(key)
+            if cached is not None:
+                return cached
+
+        last_eval: dict = {}
 
         def residuals(x: np.ndarray) -> np.ndarray:
-            return self.evaluate(flight, wf, n1, n2, x, **schedule_values).residuals
+            op = self.evaluate(flight, wf, n1, n2, x, **schedule_values)
+            last_eval["x"], last_eval["op"] = np.array(x, copy=True), op
+            return op.residuals
 
-        report = newton_raphson(residuals, self._last_x, tol=1e-10, max_iter=40)
+        # secant extrapolation predictor: transient solves alternate
+        # between the integrator's stage points (k1, k2, k1, ...), so
+        # same-parity solutions two solves apart drift smoothly along
+        # the trajectory — extrapolating them lands much closer than
+        # the last solution alone
+        x0 = self._last_x
+        hist = self._x_hist
+        if self.jac_reuse and len(hist) >= 6 and all(
+            h.shape == self._last_x.shape for h in hist[-6::2]
+        ):
+            x0 = 3.0 * hist[-2] - 3.0 * hist[-4] + hist[-6]
+        elif self.jac_reuse and len(hist) >= 4 and all(
+            h.shape == self._last_x.shape for h in hist[-4::2]
+        ):
+            x0 = 2.0 * hist[-2] - hist[-4]
+        try:
+            report = newton_raphson(
+                residuals, x0, tol=1e-10, max_iter=40,
+                jac_reuse=self.jac_reuse, jac0=self._jac,
+                jacobian_fn=self.host.jacobian,
+                xtol=1e-7 if self.jac_reuse else None,
+            )
+        except MapError:
+            # an over-eager predictor can leave the map envelope; redo
+            # the solve from the plain warm start
+            report = newton_raphson(
+                residuals, self._last_x, tol=1e-10, max_iter=40,
+                jac_reuse=self.jac_reuse, jac0=self._jac,
+                jacobian_fn=self.host.jacobian,
+                xtol=1e-7 if self.jac_reuse else None,
+            )
+        self._prev_x = self._last_x
         self._last_x = report.x.copy()
-        return self.evaluate(flight, wf, n1, n2, report.x, **schedule_values)
+        hist.append(self._last_x)
+        del hist[:-6]
+        if self.jac_reuse:
+            self._jac = report.jacobian
+        # the solver's final residual evaluation was at the accepted
+        # root: reuse that operating point instead of re-evaluating
+        if last_eval and np.array_equal(last_eval["x"], report.x):
+            op = last_eval["op"]
+        else:
+            op = self.evaluate(flight, wf, n1, n2, report.x, **schedule_values)
+        if key is not None:
+            self._op_memo[key] = op
+        return op
 
     def transient(
         self,
@@ -388,6 +474,7 @@ class TwinSpoolTurbofan:
             start = self.balance(flight, fuel_schedule.value(0.0))
         y0 = np.array([start.n1, start.n2])
         self._last_x = start.x.copy()
+        self._x_hist.clear()
 
         def sched(s: Optional[Schedule], t: float, default: float) -> float:
             return s.value(t) if s is not None else default
@@ -404,33 +491,37 @@ class TwinSpoolTurbofan:
                 nozzle_area_factor=sched(nozzle_area_schedule, t, 1.0),
                 ab_fuel=sched(ab_fuel_schedule, t, 0.0),
             )
-            dn1 = self.host.shaft_accel(
-                "low", self.low_shaft, (op.powers["fan"],), (op.powers["lpt"],),
-                0.0, n1,
-            )
-            dn2 = self.host.shaft_accel(
-                "high", self.high_shaft, (op.powers["hpc"],), (op.powers["hpt"],),
-                0.0, n2,
-            )
+            # the two spool accelerations are data-independent: overlap
+            dn1, dn2 = self.host.shaft_accel_pair((
+                ("low", self.low_shaft, (op.powers["fan"],),
+                 (op.powers["lpt"],), 0.0, n1),
+                ("high", self.high_shaft, (op.powers["hpc"],),
+                 (op.powers["hpt"],), 0.0, n2),
+            ))
             return np.array([dn1, dn2])
 
-        ode = integrate(method, rhs, 0.0, y0, t_end, dt)
+        self._op_memo = {}
+        try:
+            ode = integrate(method, rhs, 0.0, y0, t_end, dt)
 
-        # sample the recorded trajectory for the reported histories
-        thrust = np.empty(ode.t.size)
-        t4 = np.empty(ode.t.size)
-        wf_hist = np.empty(ode.t.size)
-        for i, (ti, yi) in enumerate(zip(ode.t, ode.y)):
-            op = self._solve_gas_path(
-                flight, fuel_schedule.value(float(ti)), float(yi[0]), float(yi[1]),
-                fan_stator=sched(fan_stator_schedule, float(ti), 0.0),
-                hpc_stator=sched(hpc_stator_schedule, float(ti), 0.0),
-                nozzle_area_factor=sched(nozzle_area_schedule, float(ti), 1.0),
-                ab_fuel=sched(ab_fuel_schedule, float(ti), 0.0),
-            )
-            thrust[i] = op.thrust_N
-            t4[i] = op.t4
-            wf_hist[i] = op.wf
+            # sample the recorded trajectory for the reported histories;
+            # the memo makes points the integrator already solved free
+            thrust = np.empty(ode.t.size)
+            t4 = np.empty(ode.t.size)
+            wf_hist = np.empty(ode.t.size)
+            for i, (ti, yi) in enumerate(zip(ode.t, ode.y)):
+                op = self._solve_gas_path(
+                    flight, fuel_schedule.value(float(ti)), float(yi[0]), float(yi[1]),
+                    fan_stator=sched(fan_stator_schedule, float(ti), 0.0),
+                    hpc_stator=sched(hpc_stator_schedule, float(ti), 0.0),
+                    nozzle_area_factor=sched(nozzle_area_schedule, float(ti), 1.0),
+                    ab_fuel=sched(ab_fuel_schedule, float(ti), 0.0),
+                )
+                thrust[i] = op.thrust_N
+                t4[i] = op.t4
+                wf_hist[i] = op.wf
+        finally:
+            self._op_memo = None
         self.host.teardown()
         return TransientResult(
             t=ode.t, n1=ode.y[:, 0], n2=ode.y[:, 1],

@@ -13,8 +13,11 @@ scalars in, scalars out — exactly what crosses the wire.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..solvers.steady import fd_jacobian
 from .components import Combustor, ConvergentNozzle, Duct, Shaft
 from .gas import GasState
 
@@ -54,6 +57,34 @@ class ComponentHost:
         xspool: float,
     ) -> float:
         raise NotImplementedError
+
+    # -- overlapped execution (optional; defaults are sequential) --------
+    def duct_pair(
+        self, jobs: Sequence[Tuple[str, Duct, GasState]]
+    ) -> Tuple[GasState, ...]:
+        """Run several independent duct computations.  The base
+        implementation is sequential; hosts with concurrent resources
+        (``SchoonerHost``) overlap the calls."""
+        return tuple(self.duct(name, duct, state) for name, duct, state in jobs)
+
+    def shaft_accel_pair(
+        self, jobs: Sequence[Tuple[str, Shaft, Tuple[float, ...],
+                                   Tuple[float, ...], float, float]]
+    ) -> Tuple[float, ...]:
+        """Run several independent shaft-acceleration computations."""
+        return tuple(self.shaft_accel(*job) for job in jobs)
+
+    def jacobian(
+        self,
+        f: Callable[[np.ndarray], np.ndarray],
+        x: np.ndarray,
+        fx: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Finite-difference Jacobian of a residual whose evaluations
+        route through this host.  The default is the plain sequential
+        forward-difference sweep; overlapping hosts run the column
+        probes concurrently (identical numerics, cheaper virtual time)."""
+        return fd_jacobian(f, x, fx)
 
     def teardown(self) -> None:
         """Called when the simulation ends."""

@@ -84,6 +84,8 @@ def _flat_fragment(t: UTSType) -> Optional[Tuple[str, int]]:
         if sub is None:
             return None
         frag, n = sub
+        if not frag:  # zero-length element (e.g. empty nested array)
+            return "", 0
         if len(frag) == 1:  # homogeneous scalar array: one repeat-counted code
             return f"{t.length}{frag}", n * t.length
         head, code = frag[:-1], frag[-1]

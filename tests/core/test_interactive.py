@@ -66,3 +66,75 @@ class TestRunInteractive:
         )
         executive.run_interactive([(0.2, {}), (0.2, {})])
         assert executive.host.calls.get("shaft:low", 0) > 0
+
+
+class TestEngineCache:
+    """NPSSExecutive.engine() is cached on the widget-derived spec and
+    must invalidate exactly when a spec-owning widget changes."""
+
+    def test_unchanged_widgets_reuse_the_engine(self, executive):
+        assert executive.engine() is executive.engine()
+
+    def test_spec_widget_change_rebuilds_the_engine(self, executive):
+        before = executive.engine()
+        inertia = executive.modules["shaft-low"].param("moment inertia")
+        executive.modules["shaft-low"].set_param("moment inertia", inertia * 1.25)
+        after = executive.engine()
+        assert after is not before
+        assert after.spec.low_inertia == pytest.approx(inertia * 1.25)
+        # stable again at the new spec
+        assert executive.engine() is after
+
+    def test_rewriting_the_same_value_keeps_the_cache(self, executive):
+        before = executive.engine()
+        inertia = executive.modules["shaft-low"].param("moment inertia")
+        executive.modules["shaft-low"].set_param("moment inertia", inertia)
+        assert executive.engine() is before
+
+
+class TestMidRunReconfiguration:
+    """run_interactive re-reads placements and the engine spec at every
+    segment boundary: the user can move a module to another machine or
+    retune a spec widget while the engine runs."""
+
+    def test_mid_run_move_to_remote_is_honoured(self, executive):
+        executive.run_interactive(
+            [
+                (0.2, {}),
+                (0.2, {("nozzle", "remote machine"):
+                       "sgi4d420.lerc.nasa.gov"}),
+            ]
+        )
+        assert executive.host.placements.get("nozzle") == "sgi4d420.lerc.nasa.gov"
+        assert any(
+            t.procedure == "nozl" and t.callee == "sgi4d420.lerc.nasa.gov"
+            for t in executive.env.traces
+        )
+
+    def test_mid_run_pull_local_releases_the_placement(self, executive):
+        from repro.core import LOCAL_CHOICE
+
+        executive.modules["nozzle"].set_param(
+            "remote machine", "sgi4d420.lerc.nasa.gov"
+        )
+        executive.run_interactive(
+            [
+                (0.2, {}),
+                (0.2, {("nozzle", "remote machine"): LOCAL_CHOICE}),
+            ]
+        )
+        assert "nozzle" not in executive.host.placements
+
+    def test_mid_run_spec_change_is_picked_up(self, executive):
+        """A spec-owning widget update between segments reaches the
+        engine used for the following segment."""
+        inertia = executive.modules["shaft-low"].param("moment inertia")
+        executive.run_interactive(
+            [
+                (0.2, {}),
+                (0.2, {("low speed shaft", "moment inertia"): inertia * 2.0}),
+            ]
+        )
+        assert executive.engine().spec.low_inertia == pytest.approx(
+            inertia * 2.0
+        )

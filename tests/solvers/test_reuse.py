@@ -1,0 +1,140 @@
+"""Quasi-Newton reuse: Broyden updates, staleness-triggered rebuilds,
+step-size termination, and the frozen-Jacobian Gear integrator.
+
+These are the solver-level halves of the transient hot-loop
+optimisation: the claim under test is always *same answer, fewer
+residual evaluations* — every eval is a full remote sweep when the
+engine is distributed, so fevals is the virtual-time currency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.solvers import ConvergenceFailure, newton_raphson
+from repro.solvers.base import CountedResidual
+from repro.solvers.steady import broyden_update, fd_jacobian
+from repro.solvers.transient import gear
+
+
+def linear(x):
+    A = np.array([[3.0, 1.0], [1.0, 2.0]])
+    b = np.array([5.0, 5.0])
+    return A @ x - b
+
+
+def mildly_nonlinear(x):
+    return np.array(
+        [
+            x[0] + 0.5 * x[1] + 0.05 * x[0] ** 2 - 1.0,
+            0.3 * x[0] + x[1] + 0.05 * np.sin(x[1]) - 2.0,
+        ]
+    )
+
+
+class TestBroydenUpdate:
+    def test_secant_condition(self):
+        """The updated Jacobian maps the step onto the residual change."""
+        J = np.array([[2.0, 0.3], [0.1, 1.5]])
+        dx = np.array([0.4, -0.2])
+        df = np.array([0.9, 0.1])
+        J2 = broyden_update(J, dx, df)
+        assert np.allclose(J2 @ dx, df, atol=1e-12)
+
+    def test_rank_one(self):
+        J = np.eye(3)
+        dx = np.array([1.0, 2.0, 0.0])
+        df = np.array([0.5, 0.0, 1.0])
+        assert np.linalg.matrix_rank(broyden_update(J, dx, df) - J) == 1
+
+    def test_zero_step_is_identity(self):
+        J = np.array([[2.0, 0.0], [0.0, 2.0]])
+        assert broyden_update(J, np.zeros(2), np.ones(2)) is J
+
+    def test_exact_for_linear_systems(self):
+        """For F = Ax - b any consistent update keeps J = A."""
+        A = np.array([[3.0, 1.0], [1.0, 2.0]])
+        dx = np.array([0.2, 0.7])
+        assert np.allclose(broyden_update(A.copy(), dx, A @ dx), A)
+
+
+class TestCountedResidual:
+    def test_single_counter_through_fd_jacobian(self):
+        """fevals counts probes and iterations through one counter."""
+        f = CountedResidual(linear)
+        fx = f(np.zeros(2))
+        fd_jacobian(f, np.zeros(2), fx)
+        assert f.count == 3  # 1 eval + 2 column probes
+
+    def test_nesting_does_not_double_wrap(self):
+        inner = CountedResidual(linear)
+        outer = CountedResidual(inner)
+        assert outer.f is linear
+
+
+class TestJacobianReuse:
+    def solve(self, **kw):
+        return newton_raphson(
+            mildly_nonlinear, np.zeros(2), tol=1e-12, **kw
+        )
+
+    def test_same_root_fewer_fevals(self):
+        base = self.solve()
+        reused = self.solve(jac_reuse=True)
+        assert np.allclose(reused.x, base.x, atol=1e-10)
+        assert reused.fevals < base.fevals
+        assert reused.jac_rebuilds <= 1
+
+    def test_jac0_seed_skips_the_first_rebuild(self):
+        first = self.solve(jac_reuse=True)
+        assert first.jacobian is not None
+        seeded = self.solve(jac_reuse=True, jac0=first.jacobian)
+        assert seeded.jac_rebuilds == 0
+        assert np.allclose(seeded.x, first.x, atol=1e-10)
+
+    def test_wrong_seed_triggers_a_rebuild(self):
+        """A garbage seed must not poison the solve: the staleness
+        triggers rebuild the estimate and the root still comes out."""
+        bad = np.array([[1.0, 50.0], [-40.0, 1.0]])
+        report = self.solve(jac_reuse=True, jac0=bad, max_iter=60)
+        assert report.converged
+        assert report.jac_rebuilds >= 1
+        assert np.allclose(report.x, self.solve().x, atol=1e-9)
+
+    def test_singular_seed_recovers(self):
+        report = self.solve(jac_reuse=True, jac0=np.zeros((2, 2)))
+        assert report.converged
+
+    def test_xtol_saves_the_confirming_eval(self):
+        base = self.solve(jac_reuse=True)
+        fast = self.solve(jac_reuse=True, xtol=1e-8)
+        assert fast.converged
+        assert fast.fevals < base.fevals
+        assert np.allclose(fast.x, base.x, atol=1e-7)
+
+    def test_xtol_inactive_above_the_residual_guard(self):
+        """The step-size criterion may only engage once the residual is
+        already below sqrt(tol) — far from the root it must not fire."""
+        report = newton_raphson(
+            mildly_nonlinear, np.array([50.0, -30.0]),
+            tol=1e-12, xtol=1e3, max_iter=60,
+        )
+        # an absurdly loose xtol still may not accept a far-away iterate
+        assert float(np.linalg.norm(mildly_nonlinear(report.x))) <= 1e-6
+
+
+class TestGearFrozenJacobian:
+    def stiff(self, t, y):
+        # a stiff linear relaxation plus a slow forcing: gear's home turf
+        return np.array([-50.0 * (y[0] - np.cos(t)), -0.5 * y[1]])
+
+    def test_frozen_matches_rebuilt(self):
+        y0 = np.array([1.0, 1.0])
+        frozen = gear(self.stiff, 0.0, y0, 1.0, 0.02, jac_reuse=True)
+        rebuilt = gear(self.stiff, 0.0, y0, 1.0, 0.02, jac_reuse=False)
+        np.testing.assert_allclose(frozen.y, rebuilt.y, rtol=1e-6, atol=1e-9)
+
+    def test_frozen_needs_fewer_fevals(self):
+        y0 = np.array([1.0, 1.0])
+        frozen = gear(self.stiff, 0.0, y0, 1.0, 0.02, jac_reuse=True)
+        rebuilt = gear(self.stiff, 0.0, y0, 1.0, 0.02, jac_reuse=False)
+        assert frozen.fevals < 0.6 * rebuilt.fevals
