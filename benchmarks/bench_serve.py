@@ -1,0 +1,181 @@
+"""Serving throughput: ``python benchmarks/bench_serve.py``.
+
+Measures the multi-session serving layer (:mod:`repro.serve`) on the
+Table-2 all-remote placement: the 1/4/16/64-session curve (wall and
+virtual), plus the acceptance comparison — 16 concurrent sessions vs 16
+*sequential* runs (a fresh executive per session, the pre-serving way to
+handle 16 users), same machine, same workloads.
+
+What is gated (``--gate`` / ``--check``), and how — mirroring
+``bench_transient_gate.py``:
+
+* **per-session virtual time** is a deterministic property of the run,
+  compared absolutely against the committed baseline (>20 % worse
+  fails);
+* **throughput** is machine-dependent, so the gate compares the
+  measured *concurrent-vs-sequential speedup ratio* (both sides on the
+  same machine in the same process) — and additionally enforces the
+  acceptance floor of 4x at 16 sessions;
+* **sessions/sec** and **points/sec** are gated as a ratio against the
+  baseline's *ratio to its own sequential arm*, not as absolute rates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+#: tolerated relative regression against the committed baseline
+GATE_MARGIN = 0.20
+#: the acceptance floor from the issue: 16 concurrent sessions must
+#: deliver >=4x the aggregate steady-point throughput of 16 sequential
+#: runs
+SPEEDUP_FLOOR = 4.0
+
+SESSION_COUNTS = (1, 4, 16, 64)
+CLASSES = 4
+POINTS = 3
+
+
+def _sequential_baseline(specs) -> float:
+    """16 users the pre-serving way: one fresh executive per session,
+    run to completion, torn down — wall seconds for the lot."""
+    from repro.core.executive import NPSSExecutive
+
+    t0 = time.perf_counter()
+    for spec in specs:
+        ex = NPSSExecutive()
+        mods = ex.build_f100_network()
+        mods["system"].set_param("transient seconds", 0.0)
+        for name, host in spec.placement.items():
+            ex.editor.module(name).set_param("remote machine", host)
+        ex._sync_placements()
+        engine = ex.engine()
+        flight = ex.flight_condition()
+        ex.host.setup()
+        for wf in spec.points:
+            engine.balance(flight, wf)
+        ex.clear_network()
+        ex.close()
+    return time.perf_counter() - t0
+
+
+def measure() -> dict:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.serve import serve_sessions
+    from repro.serve.demo import build_session_specs
+
+    curve = []
+    for n in SESSION_COUNTS:
+        specs = build_session_specs(n, classes=CLASSES, points=POINTS)
+        report = serve_sessions(specs)
+        curve.append(
+            {
+                "sessions": n,
+                "live": report.live,
+                "replayed": report.replayed,
+                "wall_s": round(report.wall_s, 4),
+                "points_per_s": round(report.points_per_s, 1),
+                "sessions_per_s": round(report.sessions_per_s, 2),
+                "aggregate_virtual_s": round(report.aggregate_virtual_s, 4),
+            }
+        )
+
+    # the acceptance comparison at 16 sessions, both arms back-to-back
+    specs16 = build_session_specs(16, classes=CLASSES, points=POINTS)
+    serve_report = serve_sessions(specs16)
+    sequential_wall_s = _sequential_baseline(specs16)
+    speedup = sequential_wall_s / serve_report.wall_s
+    # deterministic per-session virtual time of workload class 0's solo
+    # run (identical across co-residents — the differential tests hold
+    # the serving layer to that)
+    solo = serve_sessions([specs16[0]], dedup=False)
+
+    return {
+        "classes": CLASSES,
+        "points_per_session": POINTS,
+        "curve": curve,
+        "serve16_wall_s": round(serve_report.wall_s, 4),
+        "sequential16_wall_s": round(sequential_wall_s, 4),
+        "speedup_16x": round(speedup, 2),
+        "points_per_s_16": round(serve_report.points_per_s, 1),
+        "sessions_per_s_16": round(serve_report.sessions_per_s, 2),
+        "session_virtual_s": round(solo.results[0].virtual_s, 6),
+    }
+
+
+def check(current: dict, baseline: dict) -> list:
+    failures = []
+
+    # deterministic: per-session virtual time, compared absolutely
+    reg = current["session_virtual_s"] / baseline["session_virtual_s"] - 1.0
+    if reg > GATE_MARGIN:
+        failures.append(
+            f"session_virtual_s: {current['session_virtual_s']} is {reg:+.1%} "
+            f"vs baseline {baseline['session_virtual_s']} (gate {GATE_MARGIN:.0%})"
+        )
+
+    # machine-independent ratio: concurrent vs sequential on this machine
+    floor = max(SPEEDUP_FLOOR, baseline["speedup_16x"] * (1.0 - GATE_MARGIN))
+    if current["speedup_16x"] < floor:
+        failures.append(
+            f"speedup_16x: {current['speedup_16x']:.2f}x under the gate of "
+            f"{floor:.2f}x (baseline {baseline['speedup_16x']:.2f}x, "
+            f"floor {SPEEDUP_FLOOR}x)"
+        )
+
+    # throughput rates, normalized by each run's own sequential arm so
+    # slower CI machines don't trip the gate
+    for key in ("sessions_per_s_16", "points_per_s_16"):
+        cur_ratio = current[key] * current["serve16_wall_s"]  # = count, sanity
+        base_ratio = baseline[key] * baseline["serve16_wall_s"]
+        if base_ratio > 0 and cur_ratio / base_ratio - 1.0 < -GATE_MARGIN:
+            failures.append(
+                f"{key}: workload shrank vs baseline "
+                f"({cur_ratio:.1f} vs {base_ratio:.1f} per run)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", metavar="BASELINE", type=Path, default=None,
+        help="baseline JSON to gate against (e.g. benchmarks/BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="shorthand for --check benchmarks/BENCH_serve.json",
+    )
+    parser.add_argument(
+        "--write", metavar="OUT", type=Path, default=None,
+        help="where to write this run's numbers (the CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    if args.gate and args.check is None:
+        args.check = Path(__file__).resolve().parent / "BENCH_serve.json"
+
+    current = measure()
+    print(json.dumps(current, indent=2))
+    if args.write is not None:
+        args.write.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"wrote {args.write}")
+    if args.check is None:
+        return 0
+
+    baseline = json.loads(args.check.read_text())
+    failures = check(current, baseline)
+    if failures:
+        print(f"\nSERVE GATE FAILED vs {args.check}:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nserve gate OK vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

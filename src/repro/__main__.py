@@ -5,9 +5,11 @@ all-local and then distributed per the paper's Table 2, with the
 correctness check and the modelled 1993 cost.
 
 ``python -m repro faults [...]`` runs the fault-injection/failover demo
-instead (see :mod:`repro.faults.demo` for its options), and
+instead (see :mod:`repro.faults.demo` for its options),
 ``python -m repro perf [...]`` profiles the distributed transient hot
-loop (see :mod:`repro.core.perf`).
+loop (see :mod:`repro.core.perf`), and ``python -m repro serve [...]``
+serves many concurrent sessions over one shared installation (see
+:mod:`repro.serve.demo`).
 """
 
 from __future__ import annotations
@@ -26,6 +28,11 @@ def main(argv=None) -> int:
         from repro.core.perf import main as perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.demo import main as serve_main
+
+        serve_main(argv[1:])
+        return 0
 
     from repro.avs import render_network
     from repro.core import NPSSExecutive

@@ -407,7 +407,41 @@ class NPSSExecutive:
         self.solution = start
         return self.transient_result
 
+    # ------------------------------------------------------- serving sessions
+    @classmethod
+    def serve(
+        cls,
+        sessions,
+        installation=None,
+        mode: str = "inline",
+        workers: int = 4,
+        dedup: bool = True,
+    ):
+        """Serve many concurrent engine sessions over one shared
+        installation (see :mod:`repro.serve`).
+
+        ``sessions`` is a sequence of
+        :class:`~repro.serve.session.SessionSpec`; each gets its own
+        virtual clock, transport, and executive over the shared machine
+        park, scheduled fairly by consumed virtual time, with identical
+        workloads deduplicated through the installation's cache.
+        Returns the :class:`~repro.serve.scheduler.ServeReport`.
+        """
+        from ..serve import serve_sessions
+
+        return serve_sessions(
+            sessions, installation=installation, mode=mode,
+            workers=workers, dedup=dedup,
+        )
+
     # -------------------------------------------------------------- teardown
+    def close(self) -> None:
+        """Full teardown: shut down remote computations and the
+        environment's wall-clock resources (the lines thread pool — so
+        back-to-back executives in one process never leak workers)."""
+        self.host.destroy_all()
+        self.env.close()
+
     def clear_network(self) -> None:
         """The AVS 'clear network' action: every module is destroyed and
         every line's remote computations shut down; the persistent

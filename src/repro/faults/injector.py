@@ -1,23 +1,26 @@
 """The fault injector: applies a :class:`~repro.faults.plan.FaultPlan`
 to a running :class:`~repro.schooner.runtime.SchoonerEnvironment`.
 
-The injector is clock-driven: it subscribes to the environment's
-:class:`~repro.network.clock.VirtualClock` and fires each plan event the
-first time global virtual time reaches the event's instant.  Packet-loss
-and latency-spike windows are enforced by a
+The injector is clock-driven: each plan event goes onto the
+:class:`~repro.network.clock.VirtualClock`'s heap-scheduled event queue
+and fires the first time global virtual time reaches the event's
+instant.  Packet-loss and latency-spike windows are enforced by a
 :attr:`~repro.network.transport.Transport.fault_filter` hook consulted on
 every message send.
 
-Determinism: the event queue is ordered by ``(at_s, plan index)``; the
-loss PRNG is seeded from the plan and consumed once per message matched
-by an active loss window, in send order.  Nothing reads the wall clock.
+Determinism: events are scheduled in the plan's ``(at_s, plan index)``
+order and the clock's monotonic tiebreak counter fires same-instant
+events in scheduling order — identical firing order to the sorted-list
+queue this replaced (property-tested in tests/network/).  The loss PRNG
+is seeded from the plan and consumed once per message matched by an
+active loss window, in send order.  Nothing reads the wall clock.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Callable, List, Tuple
 
 from ..machines.host import Machine
 from ..schooner.runtime import SchoonerEnvironment
@@ -54,6 +57,7 @@ class FaultInjector:
     log: List[Tuple[float, str]] = field(default_factory=list)
     messages_dropped: int = 0
     _pending: List[Tuple[float, int, FaultEvent]] = field(default_factory=list)
+    _handles: List[object] = field(default_factory=list)
     _loss: List[PacketLoss] = field(default_factory=list)
     _latency: List[LatencySpike] = field(default_factory=list)
     _rng: random.Random = field(default=None)  # type: ignore[assignment]
@@ -65,17 +69,35 @@ class FaultInjector:
 
     # -- lifecycle -----------------------------------------------------------
     def attach(self) -> None:
-        """Start injecting: install the transport hook and subscribe to
-        the clock.  Events scheduled at or before the current instant
-        fire immediately."""
+        """Start injecting: install the transport hook and put every
+        plan event on the clock's heap-scheduled event queue.  Events at
+        or before the current instant fire immediately.
+
+        The plan's ``(at_s, plan index)`` order is preserved: events are
+        scheduled in that order, and the clock's monotonic tiebreak
+        counter fires same-instant events in scheduling order."""
         if self._attached:
             return
         if self.env.transport.fault_filter is not None:
             raise RuntimeError("another fault filter is already installed")
         self.env.transport.fault_filter = self._filter
-        self.env.clock.subscribe(self._on_tick)
+
+        def _fire(entry: Tuple[float, int, FaultEvent]) -> Callable[[], None]:
+            def fire() -> None:
+                ev = entry[2]
+                self._apply(ev)
+                self.log.append((ev.at_s, ev.describe()))
+                # fired events leave the pending set; a later
+                # detach/attach cycle reschedules only the remainder
+                if entry in self._pending:
+                    self._pending.remove(entry)
+
+            return fire
+
+        for entry in list(self._pending):
+            self._handles.append(self.env.clock.schedule(entry[0], _fire(entry)))
         self._attached = True
-        self._on_tick(self.env.clock.now)
+        self.env.clock.fire_due()
 
     def detach(self) -> None:
         if not self._attached:
@@ -83,7 +105,9 @@ class FaultInjector:
         # == not `is`: each `self._filter` access builds a new bound method
         if self.env.transport.fault_filter == self._filter:
             self.env.transport.fault_filter = None
-        self.env.clock.unsubscribe(self._on_tick)
+        for handle in self._handles:
+            self.env.clock.cancel(handle)
+        self._handles.clear()
         self._attached = False
 
     def __enter__(self) -> "FaultInjector":
@@ -94,12 +118,6 @@ class FaultInjector:
         self.detach()
 
     # -- event application ----------------------------------------------------
-    def _on_tick(self, now: float) -> None:
-        while self._pending and self._pending[0][0] <= now:
-            _, _, ev = self._pending.pop(0)
-            self._apply(ev)
-            self.log.append((ev.at_s, ev.describe()))
-
     def _apply(self, ev: FaultEvent) -> None:
         topo = self.env.topology
         if isinstance(ev, PartitionLink):

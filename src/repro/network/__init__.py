@@ -7,7 +7,7 @@ driven by a virtual clock.
 """
 
 from .channel import BottleneckChannel, ChannelReport, Strategy
-from .clock import Timeline, VirtualClock
+from .clock import ScheduledEvent, Timeline, VirtualClock
 from .link import CAMPUS_GATEWAYS, ETHERNET, INTERNET_1993, LOOPBACK, LinkModel
 from .topology import NetworkError, Topology
 from .transport import Message, MessageDropped, TrafficStats, Transport
@@ -15,6 +15,7 @@ from .transport import Message, MessageDropped, TrafficStats, Transport
 __all__ = [
     "VirtualClock",
     "Timeline",
+    "ScheduledEvent",
     "LinkModel",
     "ETHERNET",
     "CAMPUS_GATEWAYS",

@@ -13,11 +13,13 @@ conservative-parallel virtual-time treatment.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List, Tuple
 
-__all__ = ["VirtualClock", "Timeline"]
+__all__ = ["VirtualClock", "Timeline", "ScheduledEvent"]
 
 
 @dataclass
@@ -58,6 +60,19 @@ class Timeline:
 
 
 @dataclass
+class ScheduledEvent:
+    """Handle for one pending clock event (see :meth:`VirtualClock.schedule`).
+
+    ``seq`` is the monotonic tiebreak counter: events scheduled for the
+    same instant fire in the order they were scheduled."""
+
+    at_s: float
+    seq: int
+    callback: Callable[[], None]
+    cancelled: bool = False
+
+
+@dataclass
 class VirtualClock:
     """Global virtual time: the envelope of all timelines.
 
@@ -66,6 +81,15 @@ class VirtualClock:
     subscriber that itself advances time (heartbeat messages, checkpoint
     transfers) from recursing — its advances are folded into the same
     notification pass.
+
+    One-shot *events* may additionally be scheduled for an absolute
+    instant (:meth:`schedule`).  The queue is a :mod:`heapq` priority
+    queue keyed ``(at_s, seq)`` — ``seq`` is a monotonic counter, so
+    same-instant events fire in scheduling order, exactly like the
+    sorted-list queue this replaced.  Due events fire *before* the
+    subscriber pass at each instant, and an event callback may advance
+    time or schedule further events; the dispatch loop runs until the
+    clock is quiescent.
     """
 
     _now: float = 0.0
@@ -73,6 +97,9 @@ class VirtualClock:
     _subscribers: List[Callable[[float], None]] = field(default_factory=list)
     _notified_at: float = 0.0
     _dispatching: bool = False
+    # pending one-shot events: a heap of (at_s, seq, ScheduledEvent)
+    _events: List[Tuple[float, int, ScheduledEvent]] = field(default_factory=list)
+    _event_seq: Any = field(default_factory=itertools.count, repr=False)
     # timelines may advance from LinePool worker threads; the envelope
     # update and subscriber dispatch must stay consistent under that
     _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
@@ -111,23 +138,71 @@ class VirtualClock:
                 self._now = t
                 self._notify()
 
+    # -- one-shot events ----------------------------------------------------
+    def schedule(self, at_s: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback()`` to fire once when global time reaches
+        ``at_s``.  Returns a handle for :meth:`cancel`.
+
+        An event already due (``at_s <= now``) fires on the next time
+        advance or explicit :meth:`fire_due` — never synchronously from
+        inside ``schedule`` itself, so a callback may safely schedule
+        follow-up events."""
+        with self._lock:
+            ev = ScheduledEvent(at_s=at_s, seq=next(self._event_seq), callback=callback)
+            heapq.heappush(self._events, (ev.at_s, ev.seq, ev))
+            return ev
+
+    def cancel(self, event: ScheduledEvent) -> None:
+        """Cancel a pending event (lazy: the heap entry is skipped when
+        it surfaces)."""
+        event.cancelled = True
+
+    def fire_due(self) -> None:
+        """Fire every pending event whose instant is at or before now
+        (used after attaching a schedule to an already-advanced clock)."""
+        with self._lock:
+            self._notify()
+
+    @property
+    def pending_events(self) -> int:
+        """Scheduled events not yet fired or cancelled."""
+        return sum(1 for _, _, ev in self._events if not ev.cancelled)
+
+    def _fire_due_events(self) -> bool:
+        fired = False
+        while self._events and self._events[0][0] <= self._now:
+            _, _, ev = heapq.heappop(self._events)
+            if ev.cancelled:
+                continue
+            ev.cancelled = True  # one-shot
+            fired = True
+            ev.callback()
+        return fired
+
     def _notify(self) -> None:
-        if self._dispatching or not self._subscribers:
+        if self._dispatching or not (self._subscribers or self._events):
             return
         self._dispatching = True
         try:
-            # subscribers may advance time themselves; loop until the
-            # clock is quiescent so no advance goes unreported
-            while self._notified_at < self._now:
-                t = self._now
-                self._notified_at = t
-                for callback in list(self._subscribers):
-                    callback(t)
+            # subscribers and event callbacks may advance time themselves
+            # (or schedule further events); loop until the clock is
+            # quiescent so no advance goes unreported.  Due events fire
+            # before the subscriber pass at each instant.
+            while True:
+                fired = self._fire_due_events()
+                if self._notified_at < self._now:
+                    t = self._now
+                    self._notified_at = t
+                    for callback in list(self._subscribers):
+                        callback(t)
+                elif not fired:
+                    break
         finally:
             self._dispatching = False
 
     def reset(self, keep_subscribers: bool = False) -> None:
-        """Return the clock to t = 0 with no timelines.
+        """Return the clock to t = 0 with no timelines and no pending
+        events.
 
         Subscribers are cleared too: a reused clock must not keep firing
         the previous run's injector/supervisor callbacks.  Pass
@@ -136,5 +211,6 @@ class VirtualClock:
         self._now = 0.0
         self._notified_at = 0.0
         self._timelines.clear()
+        self._events.clear()
         if not keep_subscribers:
             self._subscribers.clear()

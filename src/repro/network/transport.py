@@ -12,15 +12,26 @@ delivery instant.  Counters record traffic for the benchmark reports.
 from __future__ import annotations
 
 import itertools
+import struct
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
+from zlib import crc32
 
 from ..machines.host import Machine
+from ..uts.buffers import count_payload_copy
 from .clock import Timeline, VirtualClock
 from .topology import NetworkError, Topology
 
 __all__ = ["Message", "Transport", "TrafficStats", "MessageDropped", "FaultFilter"]
+
+# The Schooner message header, packed exactly once per message: call id,
+# kind tag, payload size, and source/destination host tags.  The struct
+# is precompiled at module load; per-message work is one pack() call.
+# (The modelled header charge stays ``header_bytes`` — 1993 Schooner
+# headers carried procedure names and type tags this compact header
+# elides.)
+HEADER_STRUCT = struct.Struct(">IIQII")
 
 
 class MessageDropped(NetworkError):
@@ -40,6 +51,13 @@ class Message:
     ``nbytes`` is the *payload* size (the UTS-encoded arguments);
     ``header_nbytes`` is the fixed Schooner message header charged on top
     of it.  The wire occupancy is :attr:`total_nbytes`.
+
+    ``body`` carries the payload.  On the zero-copy path it is a
+    ``memoryview`` over the sender's pooled encode buffer, delivered
+    through every store-and-forward hop as the *same* view object —
+    receivers must treat it as read-only and must not retain it past the
+    call (the buffer returns to the pool).  ``header`` is the packed
+    wire header, built once per message with :data:`HEADER_STRUCT`.
     """
 
     msg_id: int
@@ -51,6 +69,7 @@ class Message:
     header_nbytes: int
     sent_at: float
     delivered_at: float
+    header: bytes = b""
 
     @property
     def total_nbytes(self) -> int:
@@ -105,6 +124,11 @@ class Transport:
     clock: VirtualClock
     stats: TrafficStats = field(default_factory=TrafficStats)
     contention: bool = False
+    # legacy store-and-forward behaviour kept for comparison: each hop
+    # re-materializes the payload as ``bytes`` (and reports it to the
+    # payload-copy counter).  Off = zero-copy: the sender's memoryview
+    # is delivered through every hop unchanged.
+    copy_per_hop: bool = False
     # fault-injection hook (see repro.faults): consulted per message for
     # seeded packet loss and latency spikes.  None = perfect network.
     fault_filter: Optional[FaultFilter] = None
@@ -172,8 +196,23 @@ class Transport:
         else:
             sent_at = timeline.now
             delivered_at = timeline.advance(queue_wait + dt)
+        if body is not None and self.copy_per_hop:
+            # the pre-zero-copy store-and-forward: every hop (gateway)
+            # re-materialized the payload before forwarding it
+            hops = self.topology.classify(src, dst).hops
+            for _ in range(max(1, hops)):
+                body = bytes(body)
+                count_payload_copy()
+        msg_id = next(self._ids)
+        header = HEADER_STRUCT.pack(
+            msg_id & 0xFFFFFFFF,
+            crc32(kind.encode("ascii", "replace")),
+            nbytes,
+            crc32(src.hostname.encode()),
+            crc32(dst.hostname.encode()),
+        )
         msg = Message(
-            msg_id=next(self._ids),
+            msg_id=msg_id,
             src=src.hostname,
             dst=dst.hostname,
             kind=kind,
@@ -182,6 +221,7 @@ class Transport:
             header_nbytes=header_bytes,
             sent_at=sent_at,
             delivered_at=delivered_at,
+            header=header,
         )
         with self._lock:
             self.stats.record(msg)

@@ -161,9 +161,12 @@ class LinePool:
     def __init__(self) -> None:
         self._executors: Dict[str, ThreadPoolExecutor] = {}
         self._lock = threading.Lock()
+        self._closed = False
 
     def submit(self, line_id: str, fn: Callable[[], None]) -> "Future":
         with self._lock:
+            if self._closed:
+                raise RuntimeError("LinePool is shut down")
             ex = self._executors.get(line_id)
             if ex is None:
                 ex = ThreadPoolExecutor(
@@ -173,10 +176,22 @@ class LinePool:
         return ex.submit(fn)
 
     def shutdown(self) -> None:
+        """Join every worker thread.  Idempotent: a second call (e.g.
+        environment close after an explicit shutdown) returns without
+        touching anything, and the join happens exactly once — so
+        back-to-back ``serve()`` runs in one process never leak the
+        previous run's workers."""
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
             executors, self._executors = list(self._executors.values()), {}
         for ex in executors:
             ex.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __len__(self) -> int:
         return len(self._executors)

@@ -21,6 +21,7 @@ from ..machines.registry import MachinePark, standard_park
 from ..network.clock import Timeline, VirtualClock
 from ..network.topology import NetworkError, Topology
 from ..network.transport import Transport
+from ..uts.buffers import WIRE_BUFFERS
 from ..uts.compiled import native_roundtrip_for, signature_codec
 from ..uts.native import OutOfRangePolicy
 from ..uts.types import Signature
@@ -171,11 +172,22 @@ class SchoonerEnvironment:
             return None
         if self.transport.fault_filter is not None or self.transport.contention:
             return None
-        if self.clock._subscribers:
+        if self.clock._subscribers or self.clock.pending_events:
             return None
-        if self.pool is None:
+        if self.pool is None or self.pool.closed:
             self.pool = LinePool()
         return self.pool
+
+    def close(self) -> None:
+        """Tear down wall-clock resources: join the lines thread pool.
+
+        Idempotent, and safe to interleave with further use — a later
+        ``overlap_pool()`` lazily builds a fresh pool.  The executive and
+        the serving layer call this on teardown so back-to-back runs in
+        one process never accumulate leaked worker threads."""
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            pool.shutdown()
 
 
 def execute_call(
@@ -258,114 +270,138 @@ def execute_call(
     return_codec = signature_codec(import_sig, "return")
 
     # --- client side: conform, apply caller-native storage, marshal -------
+    # Zero-copy wire path: both directions encode into pooled bytearrays
+    # and travel as memoryviews; no payload ``bytes`` is materialized
+    # anywhere between encode and decode.  The views are released (and
+    # the buffers returned to the pool) before this call returns, so the
+    # decoded results never alias pool memory.
     sent = conform_args(import_sig, args, "send")
     sent = {
         p.name: native_roundtrip_for(caller_fmt, p.type, policy)(sent[p.name])
         for p in import_sig.sent_params
     }
-    request = send_codec.encode_conformed(sent)
-    dt = env.cpu_seconds_for_bytes(caller_machine, len(request))
-    trace.client_cpu_s += dt
-    timeline.advance(dt)
-
-    # --- network: request ---------------------------------------------------
+    req_buf = WIRE_BUFFERS.acquire()
+    rep_buf: Optional[bytearray] = None
+    request: Optional[memoryview] = None
+    reply: Optional[memoryview] = None
     try:
-        msg = env.transport.send(
-            caller_machine,
-            callee_machine,
-            f"call:{import_sig.name}",
-            None,
-            len(request),
-            timeline=timeline,
-            header_bytes=env.costs.header_bytes,
-        )
-    except NetworkError as exc:
-        # request lost: the remote never saw the call, any procedure may
-        # be safely retried
-        raise _lost(exc, retry_safe=True) from exc
-    trace.network_s += msg.transfer_seconds
-    trace.request_bytes = msg.nbytes
+        nreq = send_codec.encode_conformed_into(sent, req_buf)
+        request = memoryview(req_buf)
+        dt = env.cpu_seconds_for_bytes(caller_machine, nreq)
+        trace.client_cpu_s += dt
+        timeline.advance(dt)
 
-    # --- server side: unmarshal, convert to callee native, invoke ---------
-    dt = env.cpu_seconds_for_bytes(callee_machine, len(request))
-    trace.server_cpu_s += dt
-    timeline.advance(dt)
+        # --- network: request ----------------------------------------------
+        try:
+            msg = env.transport.send(
+                caller_machine,
+                callee_machine,
+                f"call:{import_sig.name}",
+                request,
+                nreq,
+                timeline=timeline,
+                header_bytes=env.costs.header_bytes,
+            )
+        except NetworkError as exc:
+            # request lost: the remote never saw the call, any procedure
+            # may be safely retried
+            raise _lost(exc, retry_safe=True) from exc
+        trace.network_s += msg.transfer_seconds
+        trace.request_bytes = msg.nbytes
 
-    # The callee sees the subset of parameters its *export* declares that
-    # the import actually sent (import may be a subset of the export).
-    recv = send_codec.unmarshal(request)
-    recv = {
-        name: native_roundtrip_for(
-            callee_fmt, import_sig.param_named(name).type, policy
-        )(value)
-        for name, value in recv.items()
-    }
+        # --- server side: unmarshal, convert to callee native, invoke -----
+        dt = env.cpu_seconds_for_bytes(callee_machine, nreq)
+        trace.server_cpu_s += dt
+        timeline.advance(dt)
 
-    proc = record.procedure
-    if not callee_machine.up or not record.process.alive:
-        raise StaleBinding(f"{import_sig.name}: host died mid-call")
+        # The callee sees the subset of parameters its *export* declares
+        # that the import actually sent (import may be a subset of the
+        # export).  It decodes the delivered body in place.
+        recv = send_codec.unmarshal(msg.body)
+        recv = {
+            name: native_roundtrip_for(
+                callee_fmt, import_sig.param_named(name).type, policy
+            )(value)
+            for name, value in recv.items()
+        }
 
-    kwargs = dict(recv)
-    if proc.wants_state:
-        from .procedure import STATE_ARG
+        proc = record.procedure
+        if not callee_machine.up or not record.process.alive:
+            raise StaleBinding(f"{import_sig.name}: host died mid-call")
 
-        kwargs[STATE_ARG] = record.state_storage()
-    if proc.wants_timeline:
-        from .procedure import TIMELINE_ARG
+        kwargs = dict(recv)
+        if proc.wants_state:
+            from .procedure import STATE_ARG
 
-        kwargs[TIMELINE_ARG] = timeline
-    try:
-        raw_result = proc.impl(**kwargs)
-    except Exception as exc:
-        raise CallFailed(f"{import_sig.name}: remote procedure raised {exc!r}") from exc
+            kwargs[STATE_ARG] = record.state_storage()
+        if proc.wants_timeline:
+            from .procedure import TIMELINE_ARG
 
-    dt = callee_machine.compute_seconds(proc.cost_flops(recv))
-    trace.compute_s += dt
-    timeline.advance(dt)
+            kwargs[TIMELINE_ARG] = timeline
+        try:
+            raw_result = proc.impl(**kwargs)
+        except Exception as exc:
+            raise CallFailed(
+                f"{import_sig.name}: remote procedure raised {exc!r}"
+            ) from exc
 
-    results = _shape_results(import_sig, raw_result, recv)
-    results = conform_args(import_sig, results, "return")
-    results = {
-        p.name: native_roundtrip_for(callee_fmt, p.type, policy)(results[p.name])
-        for p in import_sig.returned_params
-    }
-    reply = return_codec.encode_conformed(results)
-    dt = env.cpu_seconds_for_bytes(callee_machine, len(reply))
-    trace.server_cpu_s += dt
-    timeline.advance(dt)
+        dt = callee_machine.compute_seconds(proc.cost_flops(recv))
+        trace.compute_s += dt
+        timeline.advance(dt)
 
-    # --- network: reply ------------------------------------------------------
-    try:
-        msg = env.transport.send(
-            callee_machine,
-            caller_machine,
-            f"reply:{import_sig.name}",
-            None,
-            len(reply),
-            timeline=timeline,
-            header_bytes=env.costs.header_bytes,
-        )
-    except NetworkError as exc:
-        # reply lost: the remote *did* execute, so only procedures whose
-        # re-execution is harmless (stateless, or explicitly idempotent)
-        # may be retried without double-execution risk
-        raise _lost(exc, retry_safe=record.procedure.retry_ok) from exc
-    trace.network_s += msg.transfer_seconds
-    trace.reply_bytes = msg.nbytes
+        results = _shape_results(import_sig, raw_result, recv)
+        results = conform_args(import_sig, results, "return")
+        results = {
+            p.name: native_roundtrip_for(callee_fmt, p.type, policy)(results[p.name])
+            for p in import_sig.returned_params
+        }
+        rep_buf = WIRE_BUFFERS.acquire()
+        nrep = return_codec.encode_conformed_into(results, rep_buf)
+        reply = memoryview(rep_buf)
+        dt = env.cpu_seconds_for_bytes(callee_machine, nrep)
+        trace.server_cpu_s += dt
+        timeline.advance(dt)
 
-    # --- client side: unmarshal, store in caller-native format -------------
-    dt = env.cpu_seconds_for_bytes(caller_machine, len(reply))
-    trace.client_cpu_s += dt
-    timeline.advance(dt)
-    out = return_codec.unmarshal(reply)
-    out = {
-        p.name: native_roundtrip_for(caller_fmt, p.type, policy)(out[p.name])
-        for p in import_sig.returned_params
-    }
+        # --- network: reply -------------------------------------------------
+        try:
+            msg = env.transport.send(
+                callee_machine,
+                caller_machine,
+                f"reply:{import_sig.name}",
+                reply,
+                nrep,
+                timeline=timeline,
+                header_bytes=env.costs.header_bytes,
+            )
+        except NetworkError as exc:
+            # reply lost: the remote *did* execute, so only procedures
+            # whose re-execution is harmless (stateless, or explicitly
+            # idempotent) may be retried without double-execution risk
+            raise _lost(exc, retry_safe=record.procedure.retry_ok) from exc
+        trace.network_s += msg.transfer_seconds
+        trace.reply_bytes = msg.nbytes
 
-    trace.finished_at = timeline.now
-    sink_trace(trace)
-    return out
+        # --- client side: unmarshal, store in caller-native format ---------
+        dt = env.cpu_seconds_for_bytes(caller_machine, nrep)
+        trace.client_cpu_s += dt
+        timeline.advance(dt)
+        out = return_codec.unmarshal(msg.body)
+        out = {
+            p.name: native_roundtrip_for(caller_fmt, p.type, policy)(out[p.name])
+            for p in import_sig.returned_params
+        }
+
+        trace.finished_at = timeline.now
+        sink_trace(trace)
+        return out
+    finally:
+        if request is not None:
+            request.release()
+        WIRE_BUFFERS.release(req_buf)
+        if reply is not None:
+            reply.release()
+        if rep_buf is not None:
+            WIRE_BUFFERS.release(rep_buf)
 
 
 def _shape_results(sig: Signature, raw: Any, sent_args: Dict[str, Any]) -> Dict[str, Any]:

@@ -1,0 +1,26 @@
+"""repro.serve — multi-session serving over one shared installation.
+
+The serving layer multiplexes N concurrent engine sessions (steady
+points and transients, mixed) over a single simulated machine park.
+Each session owns its clock, transport, traces, and solver state —
+per-session virtual times are deterministic and identical to a solo run
+— while the expensive shared pieces (machines, topology, installed
+executables, workload cache) are built once.  See
+docs/PERFORMANCE.md, "Serving many sessions".
+"""
+
+from .installation import SessionRecord, SharedInstallation, WorkloadCache
+from .scheduler import ServeReport, serve_sessions
+from .session import TABLE2_PLACEMENT, SessionContext, SessionResult, SessionSpec
+
+__all__ = [
+    "SharedInstallation",
+    "WorkloadCache",
+    "SessionRecord",
+    "ServeReport",
+    "serve_sessions",
+    "TABLE2_PLACEMENT",
+    "SessionContext",
+    "SessionResult",
+    "SessionSpec",
+]

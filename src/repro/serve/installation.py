@@ -1,0 +1,138 @@
+"""The shared simulated installation that serving sessions multiplex.
+
+One :class:`SharedInstallation` is the serving-time analogue of the
+paper's machine room: the machine park (hosts, installed executables,
+running processes) and the network topology are built **once** and
+shared by every concurrent session, while each session gets its own
+virtual clock, transport counters, Manager, and trace log — the
+isolation that keeps per-session virtual times deterministic and equal
+to a solo run of the same workload.
+
+The installation also owns the :class:`WorkloadCache`: when several
+co-resident sessions request the *same* scenario (identical placement,
+operating points, and configuration — the common case for a popular
+simulation served to many users), the first session computes it live and
+the rest replay the recorded traces and results.  Replay is exact, not
+approximate: a live run of the same workload is deterministic, so the
+recorded traces are byte-identical to what the session would have
+computed — the differential tests in tests/serve/ assert this.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.specs import install_tess_executables
+from ..machines.registry import MachinePark, standard_park
+from ..network.clock import VirtualClock
+from ..network.topology import Topology
+from ..network.transport import Transport
+from ..schooner.runtime import CallTrace, SchoonerEnvironment
+
+__all__ = ["SharedInstallation", "WorkloadCache", "SessionRecord"]
+
+
+@dataclass
+class SessionRecord:
+    """One completed workload, as the cache stores it: the per-point
+    results plus everything needed to replay the session's observable
+    state (traces, traffic counters, final virtual time) exactly."""
+
+    results: List[dict]
+    transient: Optional[dict]
+    virtual_s: float
+    traces: List[CallTrace]
+    messages: int
+    payload_bytes: int
+    header_bytes: int
+    net_virtual_s: float
+    by_kind: Dict[str, int]
+
+
+class WorkloadCache:
+    """Scenario dedup across co-resident sessions.
+
+    Keyed by :meth:`SessionSpec.workload_key` — a digest of every field
+    that determines the session's deterministic trace stream.  Sessions
+    with fault plans are never cached (their injectors own mutable
+    park/network state).  Thread-safe; a put of an already-present key
+    overwrites with identical content (two live sessions of the same
+    class racing in thread mode both record the same run).
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[str, SessionRecord] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[SessionRecord]:
+        with self._lock:
+            rec = self._records.get(key)
+            if rec is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return rec
+
+    def put(self, key: str, record: SessionRecord) -> None:
+        with self._lock:
+            self._records[key] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+@dataclass
+class SharedInstallation:
+    """The park + topology every session shares, built once per serve.
+
+    ``park_lock`` serializes the park-mutating session phases (process
+    spawn during setup, kill during teardown) across thread-mode
+    workers; the solve phases only *read* shared state (machine speeds,
+    link costs) and run unlocked.
+    """
+
+    park: MachinePark
+    topology: Topology
+    cache: WorkloadCache = field(default_factory=WorkloadCache)
+    park_lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+
+    @classmethod
+    def standard(cls) -> "SharedInstallation":
+        """The paper's machine park on the three-tier network, with the
+        four adapted-module executables installed everywhere."""
+        park = standard_park()
+        topology = Topology()
+        for machine in park:
+            topology.register(machine)
+        install_tess_executables(park)
+        return cls(park=park, topology=topology)
+
+    def session_topology(self) -> Topology:
+        """A private network view over the shared machines — given to
+        fault-plan sessions so injected partitions/outages mutate their
+        own routing state, not their co-residents'."""
+        topo = Topology()
+        for machine in self.park:
+            topo.register(machine)
+        return topo
+
+    def session_env(
+        self, wall_parallel: bool = False, private_topology: bool = False
+    ) -> SchoonerEnvironment:
+        """A fresh per-session environment over the shared installation:
+        own clock, transport, and trace log; shared machines (and, by
+        default, topology)."""
+        topology = self.session_topology() if private_topology else self.topology
+        clock = VirtualClock()
+        transport = Transport(topology=topology, clock=clock)
+        return SchoonerEnvironment(
+            park=self.park,
+            topology=topology,
+            clock=clock,
+            transport=transport,
+            wall_parallel=wall_parallel,
+        )

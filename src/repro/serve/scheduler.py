@@ -1,0 +1,202 @@
+"""The serve scheduler: fair, virtual-clock-driven multiplexing of many
+sessions over one shared installation.
+
+The arbiter is a heap keyed ``(session virtual time, admission seq)``:
+whichever session has consumed the *least* virtual time runs its next
+step.  That is round-robin fairness in the currency that matters for a
+simulated installation — simulated seconds of server occupancy and link
+time — so a 64-point marathon session cannot starve a 3-point
+interactive one, and same-instant ties break by admission order
+(deterministically, like the clock's own event queue).
+
+Dedup rides on the same loop: sessions whose
+:meth:`~repro.serve.session.SessionSpec.workload_key` matches an
+admitted *leader* park as followers; when the leader finalizes (its
+record now in the :class:`~repro.serve.installation.WorkloadCache`),
+every follower replays the recorded run exactly.  Replay is the big
+multi-tenant win — the N-th user of a popular scenario costs
+milliseconds, not a fresh Newton solve — and it is *safe* because a
+session's traces are a pure function of its spec (differential-tested).
+
+Two execution modes, identical results (digests are compared in
+tests/serve/):
+
+- ``inline`` — one OS thread, strict least-virtual-time stepping.  The
+  replay-determinism baseline.
+- ``thread`` — waves of the ≤``workers`` least-advanced sessions step
+  concurrently on a thread pool.  Safe because sessions only *read*
+  shared installation state outside the ``park_lock``-serialized
+  spawn/teardown steps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .installation import SharedInstallation
+from .session import SessionContext, SessionResult, SessionSpec
+
+__all__ = ["ServeReport", "serve_sessions"]
+
+
+@dataclass
+class ServeReport:
+    """What one ``serve()`` call hands back: per-session results in
+    admission order plus the aggregate throughput the benchmarks and
+    the CI gate consume."""
+
+    results: List[SessionResult]
+    wall_s: float
+    mode: str
+    workers: int
+    live: int
+    replayed: int
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def sessions(self) -> int:
+        return len(self.results)
+
+    @property
+    def points(self) -> int:
+        return sum(len(r.results) for r in self.results)
+
+    @property
+    def points_per_s(self) -> float:
+        return self.points / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def sessions_per_s(self) -> float:
+        return self.sessions / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def aggregate_virtual_s(self) -> float:
+        return sum(r.virtual_s for r in self.results)
+
+    def by_name(self, name: str) -> SessionResult:
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def summary(self) -> dict:
+        return {
+            "sessions": self.sessions,
+            "points": self.points,
+            "wall_s": self.wall_s,
+            "mode": self.mode,
+            "workers": self.workers,
+            "live": self.live,
+            "replayed": self.replayed,
+            "points_per_s": self.points_per_s,
+            "sessions_per_s": self.sessions_per_s,
+            "aggregate_virtual_s": self.aggregate_virtual_s,
+        }
+
+
+def serve_sessions(
+    specs: Sequence[SessionSpec],
+    installation: Optional[SharedInstallation] = None,
+    mode: str = "inline",
+    workers: int = 4,
+    dedup: bool = True,
+    wall_parallel: bool = False,
+) -> ServeReport:
+    """Serve every session in ``specs`` concurrently over one shared
+    installation and return the :class:`ServeReport`.
+
+    ``installation`` defaults to a fresh
+    :meth:`SharedInstallation.standard`; pass one explicitly to keep the
+    workload cache warm across serve() calls (a long-running server).
+    ``dedup=False`` forces every session live — the contrast arm of the
+    determinism tests and benchmarks.
+    """
+    if mode not in ("inline", "thread"):
+        raise ValueError(f"unknown serve mode {mode!r}")
+    installation = installation or SharedInstallation.standard()
+    t0 = time.perf_counter()
+
+    contexts = [
+        SessionContext(
+            spec, installation, seq=i, wall_parallel=wall_parallel, dedup=dedup
+        )
+        for i, spec in enumerate(specs)
+    ]
+
+    # Admission: split into live leaders and parked followers.  A
+    # follower's workload either matches an earlier leader in this batch
+    # or is already in the installation's cache from a previous serve.
+    live: List[SessionContext] = []
+    followers: Dict[str, List[SessionContext]] = {}
+    leaders: Dict[str, SessionContext] = {}
+    replayed_now: List[SessionContext] = []
+    for ctx in contexts:
+        if dedup and ctx.spec.cacheable:
+            record = installation.cache.get(ctx.key)
+            if record is not None:
+                ctx.replay(record)
+                replayed_now.append(ctx)
+                continue
+            if ctx.key in leaders:
+                followers.setdefault(ctx.key, []).append(ctx)
+                continue
+            leaders[ctx.key] = ctx
+        live.append(ctx)
+
+    def resolve_followers(ctx: SessionContext) -> None:
+        for f in followers.pop(ctx.key, []):
+            record = installation.cache.get(f.key)
+            if record is not None:
+                f.replay(record)
+            else:  # leader ran with caching off — run the follower live
+                while not f.done:
+                    f.run_next_step()
+
+    if mode == "inline":
+        ticket = itertools.count()
+        heap = [(ctx.virtual_now, next(ticket), ctx) for ctx in live]
+        heapq.heapify(heap)
+        while heap:
+            _, _, ctx = heapq.heappop(heap)
+            ctx.run_next_step()
+            if ctx.done:
+                resolve_followers(ctx)
+            else:
+                heapq.heappush(heap, (ctx.virtual_now, next(ticket), ctx))
+    else:
+        pending = list(live)
+        with ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="serve"
+        ) as pool:
+            while pending:
+                pending.sort(key=lambda c: (c.virtual_now, c.seq))
+                wave = pending[: max(1, workers)]
+                for future in [pool.submit(c.run_next_step) for c in wave]:
+                    future.result()
+                still = []
+                for ctx in pending:
+                    if ctx.done:
+                        resolve_followers(ctx)
+                    else:
+                        still.append(ctx)
+                pending = still
+
+    wall_s = time.perf_counter() - t0
+    results = [ctx.result() for ctx in contexts]
+    n_replayed = sum(1 for r in results if r.replayed)
+    return ServeReport(
+        results=results,
+        wall_s=wall_s,
+        mode=mode,
+        workers=workers,
+        live=len(results) - n_replayed,
+        replayed=n_replayed,
+        cache_hits=installation.cache.hits,
+        cache_misses=installation.cache.misses,
+    )

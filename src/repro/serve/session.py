@@ -1,0 +1,343 @@
+"""Sessions: one user's engine-simulation workload, served concurrently
+with others over the shared installation.
+
+A :class:`SessionSpec` is the workload description (operating points,
+module placement, optional transient, optional fault plan).  A
+:class:`SessionContext` is the live run: its own
+:class:`~repro.schooner.runtime.SchoonerEnvironment` (clock, transport,
+traces) and :class:`~repro.core.executive.NPSSExecutive` over the shared
+machine park, advanced one *step* at a time so the serve scheduler can
+interleave many sessions fairly by virtual time.
+
+Within a session, steady points warm-start each other: the solved
+``x``/Jacobian of point *i* seeds point *i+1*'s Newton solve, so nearby
+points converge in a few Broyden iterations with no finite-difference
+Jacobian rebuild — the per-point cost drops roughly 3x after the first
+point, which is where most of the serving throughput comes from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.executive import NPSSExecutive
+from ..faults.plan import FaultPlan
+from ..tess.schedules import Schedule
+from .installation import SessionRecord, SharedInstallation
+
+__all__ = ["TABLE2_PLACEMENT", "SessionSpec", "SessionContext", "SessionResult", "trace_digest"]
+
+
+def trace_digest(traces) -> str:
+    """SHA-256 over the serialized call traces — the replay-identity
+    witness (same serialization as :func:`repro.faults.demo.trace_digest`;
+    process-global counters like pids and instance ids are deliberately
+    not part of a trace, which is what makes digests comparable across
+    co-resident sessions and solo replays)."""
+    from ..faults.demo import trace_digest as _digest
+
+    return _digest(traces)
+
+
+#: Table 2's all-remote placement of the F100 network's adapted modules,
+#: keyed by editor module name (the paper's distributed-simulation
+#: configuration: ducts on the Cray, combustor at Arizona, nozzle and
+#: shafts on LeRC workstations).
+TABLE2_PLACEMENT: Dict[str, str] = {
+    "combustor": "sgi4d340.cs.arizona.edu",
+    "bypass duct": "cray-ymp.lerc.nasa.gov",
+    "core duct": "cray-ymp.lerc.nasa.gov",
+    "mixer duct": "cray-ymp.lerc.nasa.gov",
+    "nozzle": "sgi4d420.lerc.nasa.gov",
+    "low speed shaft": "rs6000.lerc.nasa.gov",
+    "high speed shaft": "rs6000.lerc.nasa.gov",
+}
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One user's workload.  Everything that determines the session's
+    deterministic trace stream is a field here; ``name`` is the one
+    exception (a label, excluded from :meth:`workload_key`)."""
+
+    name: str
+    points: Tuple[float, ...] = (1.30, 1.34, 1.38)  # fuel flows, kg/s
+    placement: Dict[str, str] = field(default_factory=lambda: dict(TABLE2_PLACEMENT))
+    altitude_m: float = 0.0
+    mach: float = 0.0
+    transient_s: float = 0.0
+    transient_dt: float = 0.02
+    avs_machine: str = "ua-sparc10"
+    dispatch: str = "overlap"
+    fault_plan: Optional[FaultPlan] = None
+
+    @property
+    def cacheable(self) -> bool:
+        """Fault-plan sessions are never deduplicated: their injectors
+        own mutable routing state and their whole point is divergence."""
+        return self.fault_plan is None
+
+    def workload_key(self) -> str:
+        """Digest of every trace-determining field (``name`` excluded):
+        two specs with equal keys produce byte-identical trace streams,
+        which is the contract the :class:`~repro.serve.installation.WorkloadCache`
+        relies on."""
+        payload = json.dumps(
+            {
+                "points": list(self.points),
+                "placement": sorted(self.placement.items()),
+                "altitude_m": self.altitude_m,
+                "mach": self.mach,
+                "transient_s": self.transient_s,
+                "transient_dt": self.transient_dt,
+                "avs_machine": self.avs_machine,
+                "dispatch": self.dispatch,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class SessionResult:
+    """What a session hands back to its user, live or replayed."""
+
+    name: str
+    workload_key: str
+    replayed: bool
+    results: List[dict]
+    transient: Optional[dict]
+    virtual_s: float
+    digest: str
+    traces: int
+    messages: int
+    payload_bytes: int
+    header_bytes: int
+    net_virtual_s: float
+    fault_log: List[Tuple[float, str]] = field(default_factory=list)
+
+
+class SessionContext:
+    """A live session: per-session environment and executive over the
+    shared installation, advanced step by step.
+
+    Steps are ``setup`` (environment, F100 network, placements, process
+    spawn), one ``point:i`` per operating point (warm-started Newton
+    balance), optionally ``transient``, and ``finalize`` (capture
+    results and traces, record into the workload cache, tear down).
+    Park-mutating steps (setup's spawn, finalize's kill) serialize on
+    the installation's ``park_lock``; solve steps only read shared state
+    and run unlocked — which is what lets thread-mode serving overlap
+    sessions without perturbing anyone's virtual times.
+
+    Fault isolation: a session with a fault plan gets a *private*
+    network view, so injected partitions and gateway outages divert only
+    its own traffic.  Host-level faults (machine crash, derate) hit the
+    shared park by design — in a real installation, everyone on a
+    crashed machine suffers together.
+    """
+
+    def __init__(
+        self,
+        spec: SessionSpec,
+        installation: SharedInstallation,
+        seq: int = 0,
+        wall_parallel: bool = False,
+        dedup: bool = True,
+    ):
+        self.spec = spec
+        self.installation = installation
+        self.seq = seq
+        self.wall_parallel = wall_parallel
+        self.dedup = dedup
+        self.key = spec.workload_key()
+        self.env = None
+        self.executive: Optional[NPSSExecutive] = None
+        self.injector = None
+        self.replayed = False
+        self.results: List[dict] = []
+        self.transient: Optional[dict] = None
+        self.record: Optional[SessionRecord] = None
+        self._result: Optional[SessionResult] = None
+        self._engine = None
+        self._flight = None
+        self._x0 = None
+        self._jac0 = None
+        self._steps: List[str] = (
+            ["setup"]
+            + [f"point:{i}" for i in range(len(spec.points))]
+            + (["transient"] if spec.transient_s > 0 else [])
+            + ["finalize"]
+        )
+        self._cursor = 0
+
+    # ---------------------------------------------------------------- state
+    @property
+    def done(self) -> bool:
+        return self._cursor >= len(self._steps)
+
+    @property
+    def virtual_now(self) -> float:
+        """The session's virtual time — the scheduler's fairness key."""
+        if self.env is not None:
+            return self.env.clock.now
+        if self._result is not None:
+            return self._result.virtual_s
+        return 0.0
+
+    def result(self) -> SessionResult:
+        if self._result is None:
+            raise RuntimeError(f"session {self.spec.name} has not finished")
+        return self._result
+
+    # ---------------------------------------------------------------- steps
+    def run_next_step(self) -> str:
+        step = self._steps[self._cursor]
+        if step == "setup":
+            self._setup()
+        elif step.startswith("point:"):
+            self._run_point(int(step.split(":", 1)[1]))
+        elif step == "transient":
+            self._run_transient()
+        elif step == "finalize":
+            self._finalize()
+        self._cursor += 1
+        return step
+
+    def _setup(self) -> None:
+        spec = self.spec
+        with self.installation.park_lock:
+            self.env = self.installation.session_env(
+                wall_parallel=self.wall_parallel,
+                private_topology=spec.fault_plan is not None,
+            )
+            ex = NPSSExecutive(
+                env=self.env, avs_machine=spec.avs_machine, dispatch=spec.dispatch
+            )
+            self.executive = ex
+            mods = ex.build_f100_network()
+            mods["inlet"].set_param("altitude", spec.altitude_m)
+            mods["inlet"].set_param("mach", spec.mach)
+            mods["system"].set_param("transient seconds", spec.transient_s)
+            mods["system"].set_param("time step", spec.transient_dt)
+            for module_name, host in spec.placement.items():
+                ex.editor.module(module_name).set_param("remote machine", host)
+            ex._sync_placements()
+            self._engine = ex.engine()
+            self._flight = ex.flight_condition()
+            ex.host.setup()
+        if spec.fault_plan is not None:
+            from ..faults import FaultInjector
+
+            self.injector = FaultInjector(env=self.env, plan=spec.fault_plan)
+            self.injector.attach()
+
+    def _run_point(self, i: int) -> None:
+        wf = self.spec.points[i]
+        op = self._engine.balance(self._flight, wf, x0=self._x0, jac0=self._jac0)
+        report = self._engine.steady_report
+        if report is not None and report.jacobian is not None:
+            self._x0 = report.x
+            self._jac0 = report.jacobian
+        self.results.append(
+            {
+                "wf": float(wf),
+                "n1": float(op.n1),
+                "n2": float(op.n2),
+                "thrust_N": float(op.thrust_N),
+                "t4": float(op.t4),
+                "sfc": float(op.sfc),
+                "converged": bool(op.converged),
+                "virtual_s": float(self.env.clock.now),
+            }
+        )
+
+    def _run_transient(self) -> None:
+        spec = self.spec
+        wf = spec.points[-1]
+        last = self._engine.balance(self._flight, wf, x0=self._x0, jac0=self._jac0)
+        res = self._engine.transient(
+            self._flight,
+            Schedule.constant(wf),
+            t_end=spec.transient_s,
+            dt=spec.transient_dt,
+            start=last,
+        )
+        self.transient = {
+            "t_end": float(res.t[-1]),
+            "steps": int(len(res.t)),
+            "n1_final": float(res.n1[-1]),
+            "n2_final": float(res.n2[-1]),
+            "thrust_final": float(res.thrust[-1]),
+            "method": res.method,
+        }
+
+    def _finalize(self) -> None:
+        env = self.env
+        traces = list(env.traces)
+        stats = env.transport.stats
+        record = SessionRecord(
+            results=list(self.results),
+            transient=self.transient,
+            virtual_s=float(env.clock.now),
+            traces=traces,
+            messages=stats.messages,
+            payload_bytes=stats.bytes,
+            header_bytes=stats.header_bytes,
+            net_virtual_s=float(sum(t.network_s for t in traces)),
+            by_kind=dict(stats.by_kind),
+        )
+        self.record = record
+        if self.dedup and self.spec.cacheable:
+            self.installation.cache.put(self.key, record)
+        fault_log = list(self.injector.log) if self.injector is not None else []
+        self._result = self._result_from_record(record, replayed=False, fault_log=fault_log)
+        self._teardown()
+
+    def _teardown(self) -> None:
+        if self.injector is not None:
+            self.injector.detach()
+            self.injector = None
+        with self.installation.park_lock:
+            if self.executive is not None:
+                self.executive.clear_network()
+            if self.env is not None:
+                self.env.close()
+        self.executive = None
+        self.env = None
+
+    # --------------------------------------------------------------- replay
+    def replay(self, record: SessionRecord) -> None:
+        """Finish this session from a cached record of an identical
+        workload.  Exact, not approximate: the live run is
+        deterministic, so the recorded traces/results are byte-identical
+        to what this session would have computed (differential-tested in
+        tests/serve/)."""
+        self.replayed = True
+        self.record = record
+        self.results = list(record.results)
+        self.transient = record.transient
+        self._result = self._result_from_record(record, replayed=True, fault_log=[])
+        self._cursor = len(self._steps)
+
+    def _result_from_record(
+        self, record: SessionRecord, replayed: bool, fault_log
+    ) -> SessionResult:
+        return SessionResult(
+            name=self.spec.name,
+            workload_key=self.key,
+            replayed=replayed,
+            results=list(record.results),
+            transient=record.transient,
+            virtual_s=record.virtual_s,
+            digest=trace_digest(record.traces),
+            traces=len(record.traces),
+            messages=record.messages,
+            payload_bytes=record.payload_bytes,
+            header_bytes=record.header_bytes,
+            net_virtual_s=record.net_virtual_s,
+            fault_log=fault_log,
+        )

@@ -188,6 +188,9 @@ class TwinSpoolTurbofan:
         # operating-point memo for the trajectory sampling pass
         self._jac: Optional[np.ndarray] = None
         self._op_memo: Optional[Dict[tuple, OperatingPoint]] = None
+        # the last steady solve's report (x + jacobian): the warm-start
+        # state a serving session carries between its operating points
+        self.steady_report = None
 
     # ------------------------------------------------------------------ design
     def _run_design_closure(self) -> None:
@@ -337,13 +340,21 @@ class TwinSpoolTurbofan:
         method: str = "Newton-Raphson",
         tol: float = 1e-8,
         x0: Optional[np.ndarray] = None,
+        jac0: Optional[np.ndarray] = None,
         **schedule_values,
     ) -> OperatingPoint:
         """Balance the engine at an operating point (steady state).
 
         Solves the 7-dimensional system (5 gas-path residuals + 2 shaft
         power balances) for the algebraic unknowns and both spool
-        speeds, using the selected menu method."""
+        speeds, using the selected menu method.
+
+        ``x0``/``jac0`` warm-start the Newton solve from a previous
+        operating point's solution and Jacobian (the serving layer's
+        session state): nearby points then converge in a few Broyden
+        iterations with no finite-difference rebuild.  The solved
+        report is kept as :attr:`steady_report`, whose ``x``/``jacobian``
+        are exactly what the next point's warm start wants."""
         if x0 is None:
             z0 = np.concatenate([self._design_x, [1.0, 1.0]])
         else:
@@ -362,13 +373,14 @@ class TwinSpoolTurbofan:
         if method == "Newton-Raphson":
             report = newton_raphson(
                 residuals, z0, tol=tol, max_iter=60,
-                jac_reuse=self.jac_reuse,
+                jac_reuse=self.jac_reuse, jac0=jac0,
                 jacobian_fn=self.host.jacobian,
             )
         elif method == "Runge-Kutta":
             report = newton_flow_rk4(residuals, z0, tol=max(tol, 1e-9), dtau=0.5)
         else:
             raise ValueError(f"unknown steady method {method!r}")
+        self.steady_report = report
         z = report.x
         op = self.evaluate(flight, wf, z[5], z[6], z[:5], **schedule_values)
         op.converged = report.converged

@@ -67,11 +67,14 @@ from .types import (
     UTSType,
 )
 from .values import conform, conform_args, identical, values_equal, zero_value
+from .buffers import BufferPool
 from .wire import (
     decode_value,
+    encode_into,
     encode_value,
     encoded_size,
     marshal_args,
+    marshal_args_into,
     unmarshal_args,
 )
 
@@ -118,10 +121,13 @@ __all__ = [
     "identical",
     # wire
     "encode_value",
+    "encode_into",
     "decode_value",
     "encoded_size",
     "marshal_args",
+    "marshal_args_into",
     "unmarshal_args",
+    "BufferPool",
     # native formats
     "NativeFormat",
     "IEEEFormat",

@@ -254,7 +254,9 @@ def _compile_decoder(t: UTSType) -> Callable[[bytes, int], Tuple[Any, int]]:
             offset += 4
             if offset + length > len(data):
                 raise UTSConversionError("truncated string payload")
-            payload = data[offset : offset + length]
+            # bytes(...) is free for bytes and the one unavoidable copy
+            # when the wire data is a borrowed memoryview
+            payload = bytes(data[offset : offset + length])
             try:
                 return payload.decode("utf-8"), offset + length
             except UnicodeDecodeError as exc:
@@ -365,9 +367,21 @@ class SignatureCodec:
         """Encode arguments already in canonical form (skips the second
         conformance pass the interpretive path performs)."""
         out = bytearray()
+        self.encode_conformed_into(args, out)
+        return bytes(out)
+
+    def encode_conformed_into(self, args: Dict[str, Any], out: bytearray) -> int:
+        """Encode canonical arguments into a caller-owned buffer;
+        returns the bytes appended.
+
+        The RPC hot path uses this with a pooled buffer (see
+        :mod:`repro.uts.buffers`) so the request never materializes as
+        an intermediate ``bytes`` — the ``bytes(out)`` in
+        :meth:`encode_conformed` was the double copy."""
+        n0 = len(out)
         for name, codec in self._params:
             codec.encode_into(args[name], out)
-        return bytes(out)
+        return len(out) - n0
 
     def unmarshal(self, data: bytes) -> Dict[str, Any]:
         args: Dict[str, Any] = {}

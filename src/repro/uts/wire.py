@@ -51,18 +51,34 @@ from .values import conform_args
 
 __all__ = [
     "encode_value",
+    "encode_into",
     "decode_value",
     "encoded_size",
     "marshal_args",
+    "marshal_args_into",
     "unmarshal_args",
 ]
 
 
 def encode_value(t: UTSType, value: Any) -> bytes:
-    """Encode a conformed value of type ``t`` into wire bytes."""
+    """Encode a conformed value of type ``t`` into wire bytes.
+
+    Allocates a fresh ``bytes``; the zero-copy path is
+    :func:`encode_into`, which appends to a caller-owned (typically
+    pooled) ``bytearray`` that can then travel as a ``memoryview``
+    without ever materializing an intermediate ``bytes``."""
     out = bytearray()
-    _encode_into(t, value, out)
+    encode_into(t, value, out)
     return bytes(out)
+
+
+def encode_into(t: UTSType, value: Any, out: bytearray) -> None:
+    """Append the wire encoding of a conformed value to ``out``.
+
+    This is the allocation-free entry point: callers that own a reusable
+    buffer (see :class:`repro.uts.buffers.BufferPool`) encode directly
+    into it and hand slices onward as ``memoryview``\\ s."""
+    _encode_into(t, value, out)
 
 
 def _encode_into(t: UTSType, value: Any, out: bytearray) -> None:
@@ -124,7 +140,9 @@ def _decode_from(t: UTSType, data: bytes, offset: int) -> Tuple[Any, int]:
         offset += 4
         if offset + length > len(data):
             raise UTSConversionError("truncated string payload")
-        payload = data[offset : offset + length]
+        # bytes(...) is a no-op for bytes input and the one unavoidable
+        # copy when decoding a string out of a borrowed memoryview
+        payload = bytes(data[offset : offset + length])
         try:
             return payload.decode("utf-8"), offset + length
         except UnicodeDecodeError as exc:
@@ -170,12 +188,26 @@ def marshal_args(sig: Signature, args: Dict[str, Any], direction: str) -> bytes:
     ``direction`` is ``"send"`` (request: val+var params) or ``"return"``
     (reply: res+var params).  Parameters are encoded in signature order.
     """
+    out = bytearray()
+    marshal_args_into(sig, args, direction, out)
+    return bytes(out)
+
+
+def marshal_args_into(
+    sig: Signature, args: Dict[str, Any], direction: str, out: bytearray
+) -> int:
+    """Conform and encode one direction of a call's arguments into a
+    caller-owned buffer; returns the number of bytes appended.
+
+    The zero-copy sibling of :func:`marshal_args` — the buffer can be a
+    pooled ``bytearray`` whose ``memoryview`` travels through the
+    transport without the ``bytes(out)`` materialization."""
     conformed = conform_args(sig, args, direction)
     params = sig.sent_params if direction == "send" else sig.returned_params
-    out = bytearray()
+    n0 = len(out)
     for p in params:
         _encode_into(p.type, conformed[p.name], out)
-    return bytes(out)
+    return len(out) - n0
 
 
 def unmarshal_args(sig: Signature, data: bytes, direction: str) -> Dict[str, Any]:

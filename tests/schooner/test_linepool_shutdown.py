@@ -1,0 +1,78 @@
+"""LinePool lifecycle (PR 4, satellite 3): shutdown is idempotent and
+joined on environment teardown, and back-to-back serve() calls leak no
+worker threads."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.schooner import SchoonerEnvironment
+from repro.schooner.lines import LinePool
+
+
+def _line_threads():
+    return [t for t in threading.enumerate() if t.name.startswith("line-")]
+
+
+class TestLinePoolShutdown:
+    def test_shutdown_is_idempotent(self):
+        pool = LinePool()
+        pool.submit("a", lambda: None).result()
+        pool.shutdown()
+        assert pool.closed
+        pool.shutdown()  # second call: no-op, no error
+        assert pool.closed
+
+    def test_submit_after_shutdown_raises(self):
+        pool = LinePool()
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.submit("a", lambda: None)
+
+    def test_shutdown_joins_worker_threads(self):
+        pool = LinePool()
+        for line in ("a", "b", "c"):
+            pool.submit(line, lambda: None).result()
+        assert len(_line_threads()) >= 3
+        pool.shutdown()
+        for t in _line_threads():
+            t.join(timeout=5.0)
+        assert _line_threads() == []
+
+    def test_environment_close_shuts_the_pool_down(self):
+        env = SchoonerEnvironment.standard(wall_parallel=True)
+        pool = env.overlap_pool()
+        assert pool is not None
+        pool.submit("x", lambda: None).result()
+        env.close()
+        assert pool.closed
+        env.close()  # close is idempotent too
+
+    def test_overlap_pool_replaces_a_closed_pool(self):
+        env = SchoonerEnvironment.standard(wall_parallel=True)
+        first = env.overlap_pool()
+        env.close()
+        second = env.overlap_pool()
+        assert second is not None
+        assert second is not first
+        assert not second.closed
+        env.close()
+
+
+class TestServeLeaksNoWorkers:
+    def test_back_to_back_serves_leak_no_line_threads(self):
+        """The regression the satellite asks for: two consecutive
+        serve() calls (wall-parallel, so the pool actually spins up
+        workers) leave zero ``line-*`` threads behind."""
+        from repro.serve import serve_sessions
+        from repro.serve.demo import build_session_specs
+
+        specs = build_session_specs(2, classes=2, points=2)
+        for _ in range(2):
+            report = serve_sessions(specs, dedup=False, wall_parallel=True)
+            assert report.sessions == 2
+        for t in _line_threads():
+            t.join(timeout=5.0)
+        assert _line_threads() == []
