@@ -7,9 +7,11 @@ correctness check and the modelled 1993 cost.
 ``python -m repro faults [...]`` runs the fault-injection/failover demo
 instead (see :mod:`repro.faults.demo` for its options),
 ``python -m repro perf [...]`` profiles the distributed transient hot
-loop (see :mod:`repro.core.perf`), and ``python -m repro serve [...]``
+loop (see :mod:`repro.core.perf`), ``python -m repro serve [...]``
 serves many concurrent sessions over one shared installation (see
-:mod:`repro.serve.demo`).
+:mod:`repro.serve.demo`), and ``python -m repro chaos [...]`` runs the
+deterministic chaos-soak harness over the serving stack (see
+:mod:`repro.resilience.soak`).
 """
 
 from __future__ import annotations
@@ -33,6 +35,10 @@ def main(argv=None) -> int:
 
         serve_main(argv[1:])
         return 0
+    if argv and argv[0] == "chaos":
+        from repro.resilience.soak import main as chaos_main
+
+        return chaos_main(argv[1:])
 
     from repro.avs import render_network
     from repro.core import NPSSExecutive

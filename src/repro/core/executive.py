@@ -416,6 +416,7 @@ class NPSSExecutive:
         mode: str = "inline",
         workers: int = 4,
         dedup: bool = True,
+        admission=None,
     ):
         """Serve many concurrent engine sessions over one shared
         installation (see :mod:`repro.serve`).
@@ -425,16 +426,28 @@ class NPSSExecutive:
         virtual clock, transport, and executive over the shared machine
         park, scheduled fairly by consumed virtual time, with identical
         workloads deduplicated through the installation's cache.
-        Returns the :class:`~repro.serve.scheduler.ServeReport`.
+        ``admission`` is an optional
+        :class:`~repro.serve.scheduler.AdmissionPolicy` bounding
+        concurrency under overload.  Returns the
+        :class:`~repro.serve.scheduler.ServeReport`.
         """
         from ..serve import serve_sessions
 
         return serve_sessions(
             sessions, installation=installation, mode=mode,
-            workers=workers, dedup=dedup,
+            workers=workers, dedup=dedup, admission=admission,
         )
 
     # -------------------------------------------------------------- teardown
+    def __enter__(self) -> "NPSSExecutive":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        # teardown runs on the exception path too: remote computations
+        # are shut down and the lines thread pool joined, so an aborted
+        # run leaks no ``line-*`` workers
+        self.close()
+
     def close(self) -> None:
         """Full teardown: shut down remote computations and the
         environment's wall-clock resources (the lines thread pool — so

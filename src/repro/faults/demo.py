@@ -97,7 +97,7 @@ def trace_digest(traces) -> str:
                 f"{t.reply_bytes}|{t.started_at!r}|{t.finished_at!r}|"
                 f"{t.client_cpu_s!r}|{t.server_cpu_s!r}|{t.compute_s!r}|"
                 f"{t.network_s!r}|{t.outcome}|{t.retries}|{int(t.failed_over)}|"
-                f"{t.dispatch}\n"
+                f"{t.dispatch}|{t.timeout_hop}\n"
             ).encode()
         )
     return h.hexdigest()

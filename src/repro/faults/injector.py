@@ -56,6 +56,12 @@ class FaultInjector:
     # compare across replays
     log: List[Tuple[float, str]] = field(default_factory=list)
     messages_dropped: int = 0
+    #: count of material interferences with the simulation: messages
+    #: dropped or delayed, and machine-state mutations (crash/derate)
+    #: applied.  Zero means the plan ran but never actually touched
+    #: anything — the serving layer uses this to decide whether a
+    #: finished session may claim to equal its fault-free solo run.
+    perturbed: int = 0
     _pending: List[Tuple[float, int, FaultEvent]] = field(default_factory=list)
     _handles: List[object] = field(default_factory=list)
     _loss: List[PacketLoss] = field(default_factory=list)
@@ -137,12 +143,15 @@ class FaultInjector:
             for proc in machine.running_processes:
                 if ev.path is None or proc.executable_path == ev.path:
                     machine.crash_process(proc.pid)
+                    self.perturbed += 1
         elif isinstance(ev, CrashMachine):
             self.env.park[ev.hostname].crash()
+            self.perturbed += 1
         elif isinstance(ev, RestoreMachine):
             self.env.park[ev.hostname].boot()
         elif isinstance(ev, DerateHost):
             self.env.park[ev.hostname].load = ev.load
+            self.perturbed += 1
         else:  # pragma: no cover - future event kinds
             raise TypeError(f"unknown fault event {type(ev).__name__}")
 
@@ -167,5 +176,8 @@ class FaultInjector:
                 # one PRNG draw per matched message, in send order
                 if self._rng.random() < rule.rate:
                     self.messages_dropped += 1
+                    self.perturbed += 1
                     return True, 0.0
+        if extra > 0.0:
+            self.perturbed += 1
         return False, extra

@@ -26,12 +26,17 @@ from .topology import NetworkError, Topology
 __all__ = ["Message", "Transport", "TrafficStats", "MessageDropped", "FaultFilter"]
 
 # The Schooner message header, packed exactly once per message: call id,
-# kind tag, payload size, and source/destination host tags.  The struct
-# is precompiled at module load; per-message work is one pack() call.
+# kind tag, payload size, source/destination host tags, and the caller's
+# virtual-time deadline (+inf when none) — the deadline-propagation
+# field servers use to refuse already-late work.  The struct is
+# precompiled at module load; per-message work is one pack() call.
 # (The modelled header charge stays ``header_bytes`` — 1993 Schooner
 # headers carried procedure names and type tags this compact header
 # elides.)
-HEADER_STRUCT = struct.Struct(">IIQII")
+HEADER_STRUCT = struct.Struct(">IIQIId")
+
+#: wire encoding of "no deadline" in the header's deadline field
+NO_DEADLINE = float("inf")
 
 
 class MessageDropped(NetworkError):
@@ -58,6 +63,9 @@ class Message:
     receivers must treat it as read-only and must not retain it past the
     call (the buffer returns to the pool).  ``header`` is the packed
     wire header, built once per message with :data:`HEADER_STRUCT`.
+    ``deadline_s`` is the caller's propagated virtual-time deadline
+    (``None`` = no deadline; packed as +inf in the header) — the
+    receiving side checks it against its own clock before doing work.
     """
 
     msg_id: int
@@ -70,6 +78,7 @@ class Message:
     sent_at: float
     delivered_at: float
     header: bytes = b""
+    deadline_s: Optional[float] = None
 
     @property
     def total_nbytes(self) -> int:
@@ -157,12 +166,14 @@ class Transport:
         nbytes: int,
         timeline: Optional[Timeline] = None,
         header_bytes: int = 64,
+        deadline_s: Optional[float] = None,
     ) -> Message:
         """Deliver a message, charging virtual time to ``timeline``.
 
         ``nbytes`` is the payload size (UTS-encoded arguments); a fixed
         ``header_bytes`` models the Schooner message header (procedure
-        name, call id, type tags).
+        name, call id, type tags).  ``deadline_s`` rides in the packed
+        header so the receiver can refuse already-late work.
         """
         total = nbytes + header_bytes
         dt = self.topology.transfer_seconds(src, dst, total)
@@ -210,6 +221,7 @@ class Transport:
             nbytes,
             crc32(src.hostname.encode()),
             crc32(dst.hostname.encode()),
+            NO_DEADLINE if deadline_s is None else deadline_s,
         )
         msg = Message(
             msg_id=msg_id,
@@ -222,6 +234,7 @@ class Transport:
             sent_at=sent_at,
             delivered_at=delivered_at,
             header=header,
+            deadline_s=deadline_s,
         )
         with self._lock:
             self.stats.record(msg)

@@ -1,0 +1,45 @@
+"""Virtual-time deadlines.
+
+A :class:`Deadline` is an absolute instant on the simulation's virtual
+clock by which a piece of work must complete.  Deadlines *propagate*:
+the caller stamps its deadline into every RPC header
+(:data:`~repro.network.transport.HEADER_STRUCT` carries it beside the
+call id), the server refuses work whose deadline has already expired
+(:class:`~repro.schooner.errors.DeadlineExceeded` — distinct from
+:class:`~repro.schooner.errors.CallTimeout`, which means *lost*, not
+*late*), and the retry engine spends the remaining budget instead of its
+own ``max_attempts`` clock.
+
+Everything is virtual time, so deadline behaviour is deterministic and
+replayable like every other part of the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Deadline"]
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute virtual-time deadline.
+
+    ``at_s`` is on the same clock the work's timelines advance — for a
+    serving session, session-local virtual seconds from admission.
+    """
+
+    at_s: float
+
+    def remaining(self, now: float) -> float:
+        """Virtual seconds of budget left at ``now`` (negative when
+        expired)."""
+        return self.at_s - now
+
+    def expired(self, now: float) -> bool:
+        return now >= self.at_s
+
+    def describe(self, now: float) -> str:
+        rem = self.remaining(now)
+        state = "expired" if rem <= 0 else "remaining"
+        return f"deadline t={self.at_s:g}s ({abs(rem):.3f}s {state})"

@@ -1,0 +1,432 @@
+"""The deterministic chaos-soak harness (``python -m repro chaos``).
+
+A soak serves N mixed engine sessions — different point counts,
+transients, deadlines, priorities, and seeded fault plans — over one
+shared installation, then asserts the serving stack's resilience
+invariants:
+
+1. **No deadlocked scheduler, nothing lost**: the serve call returns
+   and every admitted session ends in exactly one of ``completed`` /
+   ``degraded`` / ``shed`` — an overloaded or faulted installation
+   refuses or degrades work *explicitly*, never silently.
+2. **No leaked threads**: after the soak, no new ``line-*`` (Schooner
+   line pool) or ``serve`` (scheduler wave pool) threads remain.
+3. **Byte-identical replay**: the same soak on a fresh installation
+   reproduces every session's trace digest and status — chaos included,
+   because every fault is a seeded virtual-clock event.
+4. **Solo equivalence**: every session that claims ``completed``
+   produces results identical to a solo, fault-free run of its spec;
+   anything touched by chaos must have marked itself ``degraded``.
+
+Everything is derived from the config's seed: two runs of the same
+config are indistinguishable, which is what makes a chaos failure a
+*reproducible bug report* instead of an anecdote.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..faults.plan import (
+    CrashMachine,
+    CrashProcess,
+    DerateHost,
+    FaultEvent,
+    FaultPlan,
+    HealLink,
+    LatencySpike,
+    PacketLoss,
+    PartitionLink,
+)
+from ..machines.registry import SITE_ARIZONA, SITE_LERC
+from ..serve import (
+    AdmissionPolicy,
+    ServeReport,
+    SessionSpec,
+    SharedInstallation,
+    serve_sessions,
+)
+
+__all__ = [
+    "SoakConfig",
+    "SoakReport",
+    "STOCK_CONFIGS",
+    "build_soak_specs",
+    "run_soak",
+    "main",
+]
+
+#: hosts a fault plan may crash: placed compute hosts, never the AVS /
+#: Manager machine (sparc10.cs.arizona.edu) whose death is not a
+#: recoverable fault in the 1993 architecture
+CRASHABLE_HOSTS = (
+    "sgi4d340.cs.arizona.edu",
+    "rs6000.lerc.nasa.gov",
+    "sgi4d420.lerc.nasa.gov",
+)
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One reproducible soak: every knob that shapes the session mix.
+
+    The ``*_weight`` fields bias which fault species a faulty session
+    draws; ``tight_deadlines`` plus ``max_live``/``max_parked`` is the
+    overload posture (queue waits eat deadline budgets, the shedder has
+    real work to do)."""
+
+    name: str
+    seed: int = 0
+    sessions: int = 8
+    #: fraction of sessions that carry a seeded fault plan
+    faulty_fraction: float = 0.5
+    crash_weight: float = 1.0
+    partition_weight: float = 1.0
+    loss_weight: float = 1.0
+    #: fraction of sessions running with the resilience kit on
+    resilient_fraction: float = 0.75
+    tight_deadlines: bool = False
+    max_live: Optional[int] = None
+    max_parked: Optional[int] = None
+    mode: str = "inline"
+    dedup: bool = True
+
+    @property
+    def admission(self) -> Optional[AdmissionPolicy]:
+        if self.max_live is None and self.max_parked is None:
+            return None
+        return AdmissionPolicy(max_live=self.max_live, max_parked=self.max_parked)
+
+
+#: the three fixed-seed postures the CI chaos-soak job runs
+STOCK_CONFIGS: Dict[str, SoakConfig] = {
+    "crash-heavy": SoakConfig(
+        name="crash-heavy",
+        seed=1101,
+        sessions=8,
+        faulty_fraction=0.6,
+        crash_weight=3.0,
+        partition_weight=0.3,
+        loss_weight=0.5,
+    ),
+    "partition-heavy": SoakConfig(
+        name="partition-heavy",
+        seed=2202,
+        sessions=8,
+        faulty_fraction=0.6,
+        crash_weight=0.2,
+        partition_weight=3.0,
+        loss_weight=1.5,
+    ),
+    "overload": SoakConfig(
+        name="overload",
+        seed=3303,
+        sessions=10,
+        faulty_fraction=0.2,
+        crash_weight=0.5,
+        partition_weight=0.5,
+        loss_weight=1.0,
+        tight_deadlines=True,
+        max_live=2,
+        max_parked=4,
+    ),
+}
+
+
+def _fault_plan(rng: random.Random, config: SoakConfig, seed: int) -> FaultPlan:
+    """Draw a fault plan: 1–3 events of seeded species, pinned to
+    virtual instants inside a typical session's lifetime (~10–20s)."""
+    species = ["crash", "partition", "loss"]
+    weights = [config.crash_weight, config.partition_weight, config.loss_weight]
+    events: List[FaultEvent] = []
+    for _ in range(rng.choice((1, 1, 2, 3))):
+        kind = rng.choices(species, weights=weights, k=1)[0]
+        at = round(rng.uniform(0.5, 6.0), 3)
+        if kind == "crash":
+            host = rng.choice(CRASHABLE_HOSTS)
+            if rng.random() < 0.5:
+                events.append(CrashMachine(at_s=at, hostname=host))
+            else:
+                events.append(CrashProcess(at_s=at, hostname=host))
+        elif kind == "partition":
+            heal = at + round(rng.uniform(0.4, 2.0), 3)
+            events.append(
+                PartitionLink(at_s=at, site_a=SITE_LERC, site_b=SITE_ARIZONA)
+            )
+            events.append(
+                HealLink(at_s=heal, site_a=SITE_LERC, site_b=SITE_ARIZONA)
+            )
+        else:
+            until = at + round(rng.uniform(1.0, 4.0), 3)
+            if rng.random() < 0.7:
+                events.append(
+                    PacketLoss(
+                        at_s=at, until_s=until, rate=round(rng.uniform(0.1, 0.4), 2)
+                    )
+                )
+            else:
+                events.append(
+                    LatencySpike(
+                        at_s=at,
+                        until_s=until,
+                        extra_s=round(rng.uniform(0.2, 1.0), 2),
+                    )
+                )
+    return FaultPlan(seed=seed, events=tuple(events))
+
+
+def build_soak_specs(config: SoakConfig) -> List[SessionSpec]:
+    """The session mix, a pure function of ``config`` (so a soak and
+    its replay serve byte-identical workloads)."""
+    rng = random.Random(config.seed)
+    specs: List[SessionSpec] = []
+    for i in range(config.sessions):
+        n_points = rng.choice((2, 2, 3, 4))
+        start = rng.choice((1.28, 1.30, 1.32))
+        points = tuple(round(start + 0.02 * k, 2) for k in range(n_points))
+        transient_s = rng.choice((0.0, 0.0, 0.0, 0.2))
+        faulty = rng.random() < config.faulty_fraction
+        plan = (
+            _fault_plan(rng, config, seed=config.seed * 1000 + i) if faulty else None
+        )
+        resilient = rng.random() < config.resilient_fraction
+        if config.tight_deadlines:
+            deadline = round(rng.uniform(15.0, 45.0), 1)
+        else:
+            deadline = rng.choice((None, None, 120.0, 240.0))
+        specs.append(
+            SessionSpec(
+                name=f"{config.name}-{i}",
+                points=points,
+                transient_s=transient_s,
+                fault_plan=plan,
+                resilient=resilient,
+                deadline_s=deadline,
+                priority=rng.choice((0, 0, 0, 1, 2)),
+            )
+        )
+    return specs
+
+
+@dataclass
+class SoakReport:
+    """One soak's outcome: the two serve reports (run + replay), the
+    invariant verdicts, and every violation in plain words."""
+
+    config: SoakConfig
+    report: ServeReport
+    replay_report: ServeReport
+    violations: List[str] = field(default_factory=list)
+    solo_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        rep = self.report
+        lines = [
+            f"chaos soak '{self.config.name}' (seed {self.config.seed}): "
+            f"{rep.sessions} sessions -> {rep.completed} completed, "
+            f"{rep.degraded} degraded, {rep.shed} shed "
+            f"({rep.parked} parked; deadlines {rep.deadline_met} met / "
+            f"{rep.deadline_missed} missed)"
+        ]
+        for r in rep.results:
+            extra = ""
+            if r.status == "shed":
+                extra = f"  [{r.shed_reason}]"
+            elif r.error:
+                extra = f"  [{r.error}]"
+            elif r.fault_log:
+                extra = f"  [{len(r.fault_log)} fault events]"
+            ddl = (
+                ""
+                if r.deadline_met is None
+                else (" SLO-met" if r.deadline_met else " SLO-MISSED")
+            )
+            lines.append(
+                f"  {r.name:<20} {r.status:<9} v={r.virtual_s:7.2f}s "
+                f"wait={r.wait_s:6.2f}s{ddl}{extra}"
+            )
+        lines.append(
+            f"invariants: replay digests "
+            f"{'identical' if self._replay_ok() else 'DIVERGED'}; "
+            f"{self.solo_checked} completed session(s) solo-equivalent; "
+            f"{'no thread leaks' if self.ok else 'VIOLATIONS'}"
+        )
+        for v in self.violations:
+            lines.append(f"  VIOLATION: {v}")
+        return "\n".join(lines)
+
+    def _replay_ok(self) -> bool:
+        return not any("replay" in v for v in self.violations)
+
+
+def _serve(config: SoakConfig, specs: List[SessionSpec]) -> ServeReport:
+    return serve_sessions(
+        specs,
+        installation=SharedInstallation.standard(),
+        mode=config.mode,
+        dedup=config.dedup,
+        admission=config.admission,
+    )
+
+
+def run_soak(config: SoakConfig, solo_check: bool = True) -> SoakReport:
+    """Run the soak twice (run + replay) plus solo references, and
+    check every invariant.  Violations are *collected*, not raised —
+    the CLI and tests decide how loudly to fail."""
+    specs = build_soak_specs(config)
+    violations: List[str] = []
+
+    threads_before = {t.name for t in threading.enumerate()}
+    report = _serve(config, specs)
+    leaked = [
+        t.name
+        for t in threading.enumerate()
+        if t.name not in threads_before
+        and (t.name.startswith("line-") or t.name.startswith("serve"))
+    ]
+    if leaked:
+        violations.append(f"leaked worker threads after soak: {sorted(leaked)}")
+
+    # 1. accounting: nothing lost, nothing in an undeclared state
+    if len(report.results) != len(specs):
+        violations.append(
+            f"{len(specs)} sessions in, {len(report.results)} results out"
+        )
+    for r in report.results:
+        if r.status not in ("completed", "degraded", "shed"):
+            violations.append(f"{r.name}: undeclared status {r.status!r}")
+        if r.status == "shed" and not r.shed_reason:
+            violations.append(f"{r.name}: shed without a reason")
+        if r.deadline_met is False and r.status == "completed":
+            violations.append(f"{r.name}: missed its deadline yet claims completed")
+
+    # 2. deterministic replay on a fresh installation
+    replay_report = _serve(config, specs)
+    for a, b in zip(report.results, replay_report.results):
+        if a.digest != b.digest:
+            violations.append(
+                f"{a.name}: replay trace digest diverged "
+                f"({a.digest[:12]} != {b.digest[:12]})"
+            )
+        if (a.status, a.shed_reason) != (b.status, b.shed_reason):
+            violations.append(
+                f"{a.name}: replay status diverged "
+                f"({a.status!r} != {b.status!r})"
+            )
+
+    # 3. solo equivalence: completed == untouched by chaos, so a solo
+    # fault-free run of the same spec must produce identical numbers
+    solo_checked = 0
+    if solo_check:
+        solo_cache: Dict[str, Tuple[List[dict], Optional[dict]]] = {}
+        for r, spec in zip(report.results, specs):
+            if r.status != "completed":
+                continue
+            solo = solo_cache.get(r.workload_key)
+            if solo is None:
+                solo_spec = SessionSpec(
+                    name=f"solo:{spec.name}",
+                    points=spec.points,
+                    placement=dict(spec.placement),
+                    altitude_m=spec.altitude_m,
+                    mach=spec.mach,
+                    transient_s=spec.transient_s,
+                    transient_dt=spec.transient_dt,
+                    avs_machine=spec.avs_machine,
+                    dispatch=spec.dispatch,
+                    fault_plan=None,
+                    deadline_s=spec.deadline_s,
+                    resilient=spec.resilient,
+                )
+                solo_report = serve_sessions(
+                    [solo_spec],
+                    installation=SharedInstallation.standard(),
+                    mode="inline",
+                    dedup=False,
+                )
+                sr = solo_report.results[0]
+                solo = (sr.results, sr.transient)
+                solo_cache[r.workload_key] = solo
+            solo_checked += 1
+            if r.results != solo[0] or r.transient != solo[1]:
+                violations.append(
+                    f"{r.name}: claims completed but differs from the solo "
+                    f"fault-free run (should have been marked degraded)"
+                )
+
+    return SoakReport(
+        config=config,
+        report=report,
+        replay_report=replay_report,
+        violations=violations,
+        solo_checked=solo_checked,
+    )
+
+
+def main(argv=None) -> int:
+    """``python -m repro chaos [name ...] [--seed N] [--sessions N]
+    [--mode inline|thread] [--no-solo-check]``
+
+    With no names, runs all three stock configs.  Exit status is the
+    number of configs with invariant violations."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="deterministic chaos soak over the serving stack",
+    )
+    parser.add_argument(
+        "configs",
+        nargs="*",
+        choices=[[], *STOCK_CONFIGS],
+        help=f"stock configs to run (default: all of {', '.join(STOCK_CONFIGS)})",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the seed")
+    parser.add_argument(
+        "--sessions", type=int, default=None, help="override the session count"
+    )
+    parser.add_argument(
+        "--mode", choices=("inline", "thread"), default=None, help="serve mode"
+    )
+    parser.add_argument(
+        "--no-solo-check",
+        action="store_true",
+        help="skip the (slower) solo-equivalence invariant",
+    )
+    args = parser.parse_args(argv)
+
+    from dataclasses import replace
+
+    names = args.configs or list(STOCK_CONFIGS)
+    failures = 0
+    for name in names:
+        config = STOCK_CONFIGS[name]
+        if args.seed is not None:
+            config = replace(config, seed=args.seed)
+        if args.sessions is not None:
+            config = replace(config, sessions=args.sessions)
+        if args.mode is not None:
+            config = replace(config, mode=args.mode)
+        soak = run_soak(config, solo_check=not args.no_solo_check)
+        print(soak.render())
+        print()
+        if not soak.ok:
+            failures += 1
+    if failures:
+        print(f"{failures} config(s) violated soak invariants")
+    else:
+        print("all soak invariants hold")
+    return failures
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

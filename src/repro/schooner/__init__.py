@@ -9,8 +9,10 @@ lines, procedure migration, and shared procedures.
 
 from .api import ModuleContext
 from .errors import (
+    BreakerOpen,
     CallFailed,
     CallTimeout,
+    DeadlineExceeded,
     DuplicateName,
     HostDown,
     InstanceGone,
@@ -79,6 +81,8 @@ __all__ = [
     "TypeCheckError",
     "CallFailed",
     "CallTimeout",
+    "DeadlineExceeded",
+    "BreakerOpen",
     "StaleBinding",
     "StaleRebind",
     "LineTerminated",

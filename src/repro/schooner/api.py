@@ -120,6 +120,12 @@ class ModuleContext:
                     # actually runs now
                     self._placements[path] = (machine, path, tuple(new_records))
                     return self._placements[path][2]
+            if cur_machine is machine and any(not r.alive for r in records):
+                # same placement but the process is dead and no
+                # supervisor recovered it: the restart below is an
+                # *unplanned* one — record the witness, since no call
+                # failed and no trace will carry the disturbance
+                self.manager.env.unplanned_restarts += 1
             # placement changed (or process died): stop the old instance
             for r in records:
                 if r.process.alive:

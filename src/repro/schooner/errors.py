@@ -15,6 +15,8 @@ __all__ = [
     "TypeCheckError",
     "CallFailed",
     "CallTimeout",
+    "DeadlineExceeded",
+    "BreakerOpen",
     "StaleBinding",
     "LineTerminated",
     "ManagerError",
@@ -60,11 +62,60 @@ class CallTimeout(CallFailed):
     procedure could have executed (lost request: safe to retry even for
     stateful procedures) or after (lost reply: only *stateless*
     procedures may be retried without risking double execution).
+
+    The exception carries its context rather than discarding it:
+    ``trace`` is the originating
+    :class:`~repro.schooner.runtime.CallTrace` of the attempt that timed
+    out (so the handler knows which caller/callee pair and which
+    instant), ``hop`` names the leg that was lost (``"request"`` or
+    ``"reply"``), and ``deadline_remaining_s`` is the caller's remaining
+    deadline budget at the moment the timeout was declared (``None``
+    when no deadline is in force).
     """
 
-    def __init__(self, message: str, retry_safe: bool = True):
+    def __init__(
+        self,
+        message: str,
+        retry_safe: bool = True,
+        trace=None,
+        hop: str = "",
+        deadline_remaining_s=None,
+    ):
         super().__init__(message)
         self.retry_safe = retry_safe
+        self.trace = trace
+        self.hop = hop
+        self.deadline_remaining_s = deadline_remaining_s
+
+
+class DeadlineExceeded(CallFailed):
+    """The work's virtual-time deadline expired — distinct from
+    :class:`CallTimeout` (*lost* vs *late*): the network delivered, but
+    the deadline the caller stamped into the RPC header had already
+    passed, so the server refused the work (or the retry engine refused
+    to spend backoff it no longer had).  Never retried.
+
+    ``trace`` is the refused attempt's
+    :class:`~repro.schooner.runtime.CallTrace` when the refusal happened
+    inside a call; ``remaining_s`` is the (non-positive) budget at
+    refusal time."""
+
+    def __init__(self, message: str, trace=None, remaining_s=None):
+        super().__init__(message)
+        self.trace = trace
+        self.remaining_s = remaining_s
+
+
+class BreakerOpen(CallFailed):
+    """A circuit breaker for the call's (procedure, host) pair is open:
+    the host has recently eaten ``failure_threshold`` consecutive
+    timeouts and the cooldown has not elapsed, so the call fast-fails
+    without touching the network.  ``retry_after_s`` is the virtual
+    instant at which the breaker will admit a half-open trial."""
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class StaleBinding(CallFailed):

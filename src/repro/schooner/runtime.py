@@ -21,12 +21,15 @@ from ..machines.registry import MachinePark, standard_park
 from ..network.clock import Timeline, VirtualClock
 from ..network.topology import NetworkError, Topology
 from ..network.transport import Transport
+from ..resilience.breaker import BreakerBoard
+from ..resilience.budget import RetryBudget
+from ..resilience.deadline import Deadline
 from ..uts.buffers import WIRE_BUFFERS
 from ..uts.compiled import native_roundtrip_for, signature_codec
 from ..uts.native import OutOfRangePolicy
 from ..uts.types import Signature
 from ..uts.values import conform_args
-from .errors import CallFailed, CallTimeout, StaleBinding
+from .errors import CallFailed, CallTimeout, DeadlineExceeded, StaleBinding
 from .lines import InstanceRecord, LinePool
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -82,6 +85,27 @@ class RetryPolicy:
         """Backoff charged before retry number ``attempt`` (1-based)."""
         return self.base_backoff_s * self.multiplier ** (attempt - 1)
 
+    def may_retry(
+        self,
+        attempt: int,
+        now: float,
+        deadline: Optional[Deadline] = None,
+        attempt_cost_s: float = 0.0,
+    ) -> bool:
+        """Whether retry number ``attempt`` may be spent.
+
+        Without a deadline this is the policy's own clock
+        (``max_attempts``).  *With* a deadline the remaining virtual-time
+        budget governs instead: a retry is allowed only while the budget
+        still covers the backoff plus one worst-case attempt
+        (``attempt_cost_s``, typically the call timeout) — so a caller
+        with 10s of budget left keeps trying past ``max_attempts``,
+        while a caller with 0.1s left fails fast rather than burning
+        backoff it cannot afford."""
+        if deadline is None:
+            return attempt < self.max_attempts
+        return deadline.remaining(now) > self.backoff_s(attempt) + attempt_cost_s
+
 
 @dataclass
 class CallTrace:
@@ -98,10 +122,12 @@ class CallTrace:
     server_cpu_s: float = 0.0
     compute_s: float = 0.0
     network_s: float = 0.0
-    # resilience bookkeeping (repro.faults): how this attempt ended,
-    # how many timed-out attempts preceded it, and whether the binding
-    # was refreshed from the Manager after a failure first
-    outcome: str = "ok"  # "ok" | "timeout"
+    # resilience bookkeeping (repro.faults / repro.resilience): how this
+    # attempt ended, which leg was lost when it timed out, how many
+    # timed-out attempts preceded it, and whether the binding was
+    # refreshed from the Manager after a failure first
+    outcome: str = "ok"  # "ok" | "timeout" | "deadline"
+    timeout_hop: str = ""  # "request" | "reply" when outcome == "timeout"
     retries: int = 0
     failed_over: bool = False
     # how the call was issued: "sync" (the caller blocked for the whole
@@ -132,6 +158,17 @@ class SchoonerEnvironment:
     range_policy: OutOfRangePolicy = OutOfRangePolicy.ERROR
     traces: List[CallTrace] = field(default_factory=list)
     keep_traces: bool = True
+    # the resilience layer (repro.resilience), all opt-in and None by
+    # default: per-(procedure, host) circuit breakers, the
+    # installation-shared retry token bucket, and the environment-wide
+    # virtual-time deadline every call propagates in its header
+    breakers: Optional[BreakerBoard] = None
+    retry_budget: Optional[RetryBudget] = None
+    deadline: Optional[Deadline] = None
+    #: cold restarts of remote processes that died under us (no
+    #: supervisor recovery, no failed call to witness it) — the serving
+    #: layer's last-resort signal that chaos touched a session
+    unplanned_restarts: int = 0
     # wall-clock execution of overlapped batches on the lines thread
     # pool (one worker per line, so per-line ordering is preserved).
     # Off by default: the virtual-time accounting is identical either
@@ -189,6 +226,14 @@ class SchoonerEnvironment:
         if pool is not None:
             pool.shutdown()
 
+    def __enter__(self) -> "SchoonerEnvironment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        # the context manager guarantees the lines thread pool is
+        # joined even when a run raises mid-serve
+        self.close()
+
 
 def execute_call(
     env: SchoonerEnvironment,
@@ -201,6 +246,7 @@ def execute_call(
     failed_over: bool = False,
     dispatch: str = "sync",
     trace_sink: Optional[List[CallTrace]] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Dict[str, Any]:
     """Execute one remote procedure call.
 
@@ -208,8 +254,15 @@ def execute_call(
     stub's cue to refresh its name cache from the Manager),
     :class:`CallTimeout` when a request or reply is lost on the simulated
     network (the caller waits out ``costs.call_timeout_s`` of virtual
-    time first), and :class:`CallFailed` for argument conversion
+    time first), :class:`DeadlineExceeded` when ``deadline`` has expired
+    before the call starts or by the time the request reaches the server
+    (the server refuses already-late work rather than computing results
+    nobody can use), and :class:`CallFailed` for argument conversion
     failures.  ``retries``/``failed_over`` annotate the recorded trace.
+
+    ``deadline`` also rides in both messages' packed wire headers
+    (:data:`~repro.network.transport.HEADER_STRUCT`'s final field) — the
+    propagation path a real multi-hop system needs.
 
     ``trace_sink`` redirects trace recording (an overlapped batch
     collects its members' traces privately and flushes them to the
@@ -249,17 +302,44 @@ def execute_call(
     )
     sink_trace = env.record_trace if trace_sink is None else trace_sink.append
 
-    def _lost(exc: Exception, retry_safe: bool) -> CallTimeout:
+    def _lost(exc: Exception, retry_safe: bool, hop: str) -> CallTimeout:
         # the caller waits out the timeout in virtual time, then gives up
         timeline.advance(env.costs.call_timeout_s)
         trace.outcome = "timeout"
+        trace.timeout_hop = hop
         trace.finished_at = timeline.now
         sink_trace(trace)
+        remaining = deadline.remaining(timeline.now) if deadline is not None else None
+        budget = (
+            f", {remaining:.3f}s of deadline budget left"
+            if remaining is not None
+            else ""
+        )
         return CallTimeout(
             f"{import_sig.name}: no reply from {callee_machine.hostname} "
-            f"within {env.costs.call_timeout_s}s ({exc})",
+            f"within {env.costs.call_timeout_s}s ({hop} lost: {exc}){budget}",
             retry_safe=retry_safe,
+            trace=trace,
+            hop=hop,
+            deadline_remaining_s=remaining,
         )
+
+    def _late(where: str) -> DeadlineExceeded:
+        # the deadline stamped in the header has passed: refuse the work
+        trace.outcome = "deadline"
+        trace.finished_at = timeline.now
+        sink_trace(trace)
+        assert deadline is not None
+        return DeadlineExceeded(
+            f"{import_sig.name}: {deadline.describe(timeline.now)} {where}",
+            trace=trace,
+            remaining_s=deadline.remaining(timeline.now),
+        )
+
+    if deadline is not None and deadline.expired(timeline.now):
+        # client-side refusal: don't marshal or touch the network for
+        # work that is already late
+        raise _late("before dispatch")
 
     # Compiled UTS plans: one walk of each parameter type, cached per
     # (signature, direction) and per (format, type, policy) — the RPC
@@ -301,15 +381,21 @@ def execute_call(
                 nreq,
                 timeline=timeline,
                 header_bytes=env.costs.header_bytes,
+                deadline_s=deadline.at_s if deadline is not None else None,
             )
         except NetworkError as exc:
             # request lost: the remote never saw the call, any procedure
             # may be safely retried
-            raise _lost(exc, retry_safe=True) from exc
+            raise _lost(exc, retry_safe=True, hop="request") from exc
         trace.network_s += msg.transfer_seconds
         trace.request_bytes = msg.nbytes
 
         # --- server side: unmarshal, convert to callee native, invoke -----
+        # the server reads the deadline out of the message header before
+        # spending any CPU: work that went late in transit is refused,
+        # not computed (DeadlineExceeded, distinct from CallTimeout)
+        if msg.deadline_s is not None and timeline.now >= msg.deadline_s:
+            raise _late(f"on arrival at {callee_machine.hostname}")
         dt = env.cpu_seconds_for_bytes(callee_machine, nreq)
         trace.server_cpu_s += dt
         timeline.advance(dt)
@@ -372,12 +458,13 @@ def execute_call(
                 nrep,
                 timeline=timeline,
                 header_bytes=env.costs.header_bytes,
+                deadline_s=deadline.at_s if deadline is not None else None,
             )
         except NetworkError as exc:
             # reply lost: the remote *did* execute, so only procedures
             # whose re-execution is harmless (stateless, or explicitly
             # idempotent) may be retried without double-execution risk
-            raise _lost(exc, retry_safe=record.procedure.retry_ok) from exc
+            raise _lost(exc, retry_safe=record.procedure.retry_ok, hop="reply") from exc
         trace.network_s += msg.transfer_seconds
         trace.reply_bytes = msg.nbytes
 
@@ -458,10 +545,17 @@ class CallerContext:
     ``batch`` is the currently open :class:`CallBatch`, if any; while
     one is active, stub calls issued inside a probe region ride that
     batch instead of blocking the caller.
+
+    ``deadline`` is the caller's virtual-time deadline, if any; stubs
+    sharing this context stamp it into every RPC header (overriding any
+    environment-wide deadline), servers refuse work past it, and the
+    retry engine spends its remaining budget instead of
+    ``RetryPolicy.max_attempts``.
     """
 
     timeline: Timeline
     batch: Optional["CallBatch"] = None
+    deadline: Optional[Deadline] = None
 
     @property
     def now(self) -> float:

@@ -23,7 +23,7 @@ from ..network.clock import Timeline
 from ..network.topology import NetworkError
 from ..uts.compiled import precompile_signature
 from ..uts.types import Signature
-from .errors import CallFailed, CallTimeout, StaleBinding
+from .errors import BreakerOpen, CallFailed, CallTimeout, DeadlineExceeded, StaleBinding
 from .lines import InstanceRecord, Line
 from .runtime import CallBatch, CallerContext, CallFuture, CallTrace, execute_call
 
@@ -167,6 +167,40 @@ class ClientStub:
         future's ``wait()`` joins the batch and yields the results."""
         return batch.begin(self, args)
 
+    def _deadline(self):
+        """The deadline in force for this stub's calls: the caller
+        context's, falling back to the environment-wide one (a serving
+        session's per-session deadline)."""
+        if self.caller is not None and self.caller.deadline is not None:
+            return self.caller.deadline
+        return self.manager.env.deadline
+
+    def _breaker_gate(
+        self, record: InstanceRecord, timeline: Timeline, failed_over: bool
+    ):
+        """Consult the (procedure, host) circuit breaker before an
+        attempt.  An open breaker fast-fails — but first the stub asks
+        the Manager for a fresh binding, so a supervisor that has
+        rebound the instance onto a healthy machine steers the call
+        *away* from the sick host instead of refusing it."""
+        board = self.manager.env.breakers
+        if board is None:
+            return record, failed_over, None
+        breaker = board.lease(self.name, record.machine.hostname)
+        if breaker.allow(timeline.now):
+            return record, failed_over, breaker
+        fresh, moved = self._refresh(record, timeline)
+        if moved and fresh.machine.hostname != record.machine.hostname:
+            alt = board.lease(self.name, fresh.machine.hostname)
+            if alt.allow(timeline.now):
+                self.failovers += 1
+                return fresh, True, alt
+        raise BreakerOpen(
+            f"{self.name}: circuit open for {record.machine.hostname} "
+            f"until t={breaker.retry_after_s:g}s (fast-fail)",
+            retry_after_s=breaker.retry_after_s,
+        )
+
     def _invoke(
         self,
         args: Dict[str, Any],
@@ -176,6 +210,7 @@ class ClientStub:
     ) -> Dict[str, Any]:
         """The retry/refresh engine behind both dispatch modes, charging
         all virtual time (calls, backoffs, re-lookups) to ``timeline``."""
+        env = self.manager.env
         record = self._cache
         if record is None:
             record = self._resolve(timeline)
@@ -183,14 +218,19 @@ class ClientStub:
         failed_over = self._consume_recovered()
         if failed_over:
             self.failovers += 1
-        policy = self.manager.env.retry
+        policy = env.retry
+        deadline = self._deadline()
+        budget = env.retry_budget
         try:
             attempt = 1
             while True:
+                record, failed_over, breaker = self._breaker_gate(
+                    record, timeline, failed_over
+                )
                 try:
                     try:
-                        return execute_call(
-                            self.manager.env,
+                        out = execute_call(
+                            env,
                             self.caller_machine,
                             timeline,
                             record,
@@ -200,6 +240,7 @@ class ClientStub:
                             failed_over=failed_over,
                             dispatch=dispatch,
                             trace_sink=trace_sink,
+                            deadline=deadline,
                         )
                     except StaleBinding:
                         # cache-refresh-on-failed-call: fetch the new
@@ -207,8 +248,12 @@ class ClientStub:
                         self.failovers += 1
                         record, moved = self._refresh(record, timeline)
                         failed_over = failed_over or moved
-                        return execute_call(
-                            self.manager.env,
+                        if breaker is not None:
+                            breaker = env.breakers.lease(
+                                self.name, record.machine.hostname
+                            )
+                        out = execute_call(
+                            env,
                             self.caller_machine,
                             timeline,
                             record,
@@ -218,11 +263,43 @@ class ClientStub:
                             failed_over=failed_over,
                             dispatch=dispatch,
                             trace_sink=trace_sink,
+                            deadline=deadline,
                         )
+                    if breaker is not None:
+                        breaker.record_success(timeline.now)
+                    if budget is not None:
+                        budget.on_success()
+                    return out
                 except CallTimeout as exc:
+                    if breaker is not None:
+                        breaker.record_failure(timeline.now)
                     # retry_safe already folds in the procedure's
                     # stateless/idempotent contract for lost replies
-                    if not exc.retry_safe or attempt >= policy.max_attempts:
+                    if not exc.retry_safe:
+                        raise
+                    if not policy.may_retry(
+                        attempt,
+                        timeline.now,
+                        deadline=deadline,
+                        attempt_cost_s=env.costs.call_timeout_s,
+                    ):
+                        if deadline is not None:
+                            # the remaining budget, not max_attempts,
+                            # said stop: surface that distinctly
+                            raise DeadlineExceeded(
+                                f"{self.name}: "
+                                f"{deadline.remaining(timeline.now):.3f}s of "
+                                f"deadline budget cannot cover another retry "
+                                f"(backoff {policy.backoff_s(attempt):.3f}s + "
+                                f"timeout {env.costs.call_timeout_s:.3f}s)",
+                                trace=exc.trace,
+                                remaining_s=deadline.remaining(timeline.now),
+                            ) from exc
+                        raise
+                    if budget is not None and not budget.try_spend():
+                        # the installation-wide retry budget is dry:
+                        # retrying now would feed the storm — surface
+                        # the original timeout instead
                         raise
                     timeline.advance(policy.backoff_s(attempt))
                     attempt += 1
@@ -231,6 +308,11 @@ class ClientStub:
                     # packet: refresh the binding before trying again
                     record, moved = self._refresh(record, timeline)
                     failed_over = failed_over or moved
+        except (DeadlineExceeded, BreakerOpen):
+            # fast-fail semantics: late or breaker-refused work is a
+            # caller-side condition, not a line error — the line's
+            # remote procedures stay up for the next call
+            raise
         except CallFailed:
             # the paper's error semantics: "when ... an error occurs,
             # the Manager terminates only the remote procedures within

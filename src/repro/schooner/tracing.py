@@ -39,6 +39,11 @@ class ProcedureSummary:
     timeouts: int = 0
     retries: int = 0
     failovers: int = 0
+    #: attempts refused as already-late (deadline expired in flight or
+    #: before dispatch) — distinct from timeouts: delivered, but late
+    deadline_refusals: int = 0
+    #: which leg the timeouts lost, e.g. {"request": 3, "reply": 1}
+    timeout_hops: Dict[str, int] = field(default_factory=dict)
     #: calls issued through a CallBatch rather than serialized sync
     overlapped: int = 0
 
@@ -57,6 +62,12 @@ class ProcedureSummary:
         self.routes[route] = self.routes.get(route, 0) + 1
         if t.outcome == "timeout":
             self.timeouts += 1
+            if t.timeout_hop:
+                self.timeout_hops[t.timeout_hop] = (
+                    self.timeout_hops.get(t.timeout_hop, 0) + 1
+                )
+        elif t.outcome == "deadline":
+            self.deadline_refusals += 1
         else:
             # the completing attempt carries the whole call's counters,
             # so summing only successful traces avoids double counting
@@ -96,12 +107,24 @@ def render_summary(traces: Iterable[CallTrace]) -> str:
     if not summaries:
         return "(no RPC traces)"
     faulty = any(s.timeouts or s.retries or s.failovers for s in summaries)
+    late = any(s.deadline_refusals for s in summaries)
     overlapping = any(s.overlapped for s in summaries)
+
+    def hops(s: ProcedureSummary) -> str:
+        """Compact lost-leg annotation, e.g. ``req:3/rep:1``."""
+        if not s.timeout_hops:
+            return ""
+        return "/".join(
+            f"{k[:3]}:{n}" for k, n in sorted(s.timeout_hops.items())
+        )
+
     lines = [
         f"{'procedure':<12} {'calls':>6} {'mean ms':>9} {'net %':>6} "
         f"{'ovh %':>6} {'req B':>8} {'rep B':>8}"
         + (f" {'ovl':>6}" if overlapping else "")
         + (f" {'t/o':>4} {'rty':>4} {'f/o':>4}" if faulty else "")
+        + (f" {'ddl':>4}" if late else "")
+        + (f" {'lost leg':>11}" if faulty else "")
     ]
     for s in summaries:
         lines.append(
@@ -110,6 +133,8 @@ def render_summary(traces: Iterable[CallTrace]) -> str:
             f"{s.request_bytes:>8} {s.reply_bytes:>8}"
             + (f" {s.overlapped:>6}" if overlapping else "")
             + (f" {s.timeouts:>4} {s.retries:>4} {s.failovers:>4}" if faulty else "")
+            + (f" {s.deadline_refusals:>4}" if late else "")
+            + (f" {hops(s):>11}" if faulty else "")
         )
     total = sum(s.total_s for s in summaries)
     calls = sum(s.calls for s in summaries)

@@ -10,10 +10,11 @@ docs/PERFORMANCE.md, "Serving many sessions".
 """
 
 from .installation import SessionRecord, SharedInstallation, WorkloadCache
-from .scheduler import ServeReport, serve_sessions
+from .scheduler import AdmissionPolicy, ServeReport, serve_sessions
 from .session import TABLE2_PLACEMENT, SessionContext, SessionResult, SessionSpec
 
 __all__ = [
+    "AdmissionPolicy",
     "SharedInstallation",
     "WorkloadCache",
     "SessionRecord",

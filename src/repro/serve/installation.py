@@ -29,6 +29,7 @@ from ..machines.registry import MachinePark, standard_park
 from ..network.clock import VirtualClock
 from ..network.topology import Topology
 from ..network.transport import Transport
+from ..resilience.budget import RetryBudget
 from ..schooner.runtime import CallTrace, SchoonerEnvironment
 
 __all__ = ["SharedInstallation", "WorkloadCache", "SessionRecord"]
@@ -99,6 +100,11 @@ class SharedInstallation:
     topology: Topology
     cache: WorkloadCache = field(default_factory=WorkloadCache)
     park_lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+    #: the installation-wide retry-budget token bucket, shared by every
+    #: ``resilient`` session: when many sessions hit the same sick host,
+    #: the bucket drains and further retries are refused, so one fault
+    #: cannot amplify into a cross-session retry storm
+    retry_budget: RetryBudget = field(default_factory=RetryBudget)
 
     @classmethod
     def standard(cls) -> "SharedInstallation":

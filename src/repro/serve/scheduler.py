@@ -41,7 +41,33 @@ from typing import Dict, List, Optional, Sequence
 from .installation import SharedInstallation
 from .session import SessionContext, SessionResult, SessionSpec
 
-__all__ = ["ServeReport", "serve_sessions"]
+__all__ = ["AdmissionPolicy", "ServeReport", "serve_sessions"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Overload policy for one ``serve()`` call.
+
+    ``max_live`` bounds how many sessions run concurrently; the next
+    ``max_parked`` wait in a priority queue (higher ``SessionSpec.priority``
+    first, admission order breaking ties) and are admitted as live slots
+    free, with their queue wait charged against their deadlines.
+    Sessions beyond both bounds are **shed** — rejected with an explicit
+    reason, never silently dropped.  A parked session whose deadline
+    expires before a slot frees is shed at admission time rather than
+    run to a guaranteed SLO miss (the load-shedding half of the
+    deadline-propagation story: refuse late work as early as possible).
+
+    The defaults (both ``None``) disable admission control entirely,
+    preserving the PR-4 serve semantics.
+    """
+
+    max_live: Optional[int] = None
+    max_parked: Optional[int] = None
+
+    @property
+    def unlimited(self) -> bool:
+        return self.max_live is None and self.max_parked is None
 
 
 @dataclass
@@ -58,10 +84,33 @@ class ServeReport:
     replayed: int
     cache_hits: int
     cache_misses: int
+    parked: int = 0  # sessions that waited in the admission queue
 
     @property
     def sessions(self) -> int:
         return len(self.results)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.results if r.status == "completed")
+
+    @property
+    def degraded(self) -> int:
+        return sum(1 for r in self.results if r.status == "degraded")
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for r in self.results if r.status == "shed")
+
+    @property
+    def deadline_met(self) -> int:
+        return sum(1 for r in self.results if r.deadline_met is True)
+
+    @property
+    def deadline_missed(self) -> int:
+        """Sessions that missed their SLO — including shed-for-deadline
+        ones, whose ``deadline_met`` is recorded as False at shedding."""
+        return sum(1 for r in self.results if r.deadline_met is False)
 
     @property
     def points(self) -> int:
@@ -97,6 +146,12 @@ class ServeReport:
             "points_per_s": self.points_per_s,
             "sessions_per_s": self.sessions_per_s,
             "aggregate_virtual_s": self.aggregate_virtual_s,
+            "completed": self.completed,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "parked": self.parked,
+            "deadline_met": self.deadline_met,
+            "deadline_missed": self.deadline_missed,
         }
 
 
@@ -107,6 +162,7 @@ def serve_sessions(
     workers: int = 4,
     dedup: bool = True,
     wall_parallel: bool = False,
+    admission: Optional[AdmissionPolicy] = None,
 ) -> ServeReport:
     """Serve every session in ``specs`` concurrently over one shared
     installation and return the :class:`ServeReport`.
@@ -115,11 +171,18 @@ def serve_sessions(
     :meth:`SharedInstallation.standard`; pass one explicitly to keep the
     workload cache warm across serve() calls (a long-running server).
     ``dedup=False`` forces every session live — the contrast arm of the
-    determinism tests and benchmarks.
+    determinism tests and benchmarks.  ``admission`` bounds concurrency
+    and queueing under overload (see :class:`AdmissionPolicy`); the
+    default admits everything.
+
+    A session step that raises is *contained*: the session finishes as
+    ``degraded`` (carrying the error) and is torn down; the other
+    sessions keep being served.
     """
     if mode not in ("inline", "thread"):
         raise ValueError(f"unknown serve mode {mode!r}")
     installation = installation or SharedInstallation.standard()
+    admission = admission or AdmissionPolicy()
     t0 = time.perf_counter()
 
     contexts = [
@@ -129,19 +192,35 @@ def serve_sessions(
         for i, spec in enumerate(specs)
     ]
 
-    # Admission: split into live leaders and parked followers.  A
-    # follower's workload either matches an earlier leader in this batch
-    # or is already in the installation's cache from a previous serve.
+    # Overload admission: rank by (priority desc, admission seq), fill
+    # the live slots, park the next tier, shed the rest with a reason.
+    ranked = sorted(contexts, key=lambda c: (-c.spec.priority, c.seq))
+    max_live = (
+        max(1, admission.max_live) if admission.max_live is not None else len(ranked)
+    )
+    max_parked = (
+        admission.max_parked if admission.max_parked is not None else len(ranked)
+    )
+    admitted = sorted(ranked[:max_live], key=lambda c: c.seq)
+    parked: List[SessionContext] = list(ranked[max_live : max_live + max_parked])
+    n_parked = len(parked)
+    for ctx in ranked[max_live + max_parked :]:
+        ctx.shed(
+            f"queue full ({max_live} live + {max_parked} parked slots, "
+            f"priority {ctx.spec.priority})"
+        )
+
+    # Dedup: split the admitted tier into live leaders and waiting
+    # followers.  A follower's workload either matches an earlier leader
+    # in this batch or is already cached from a previous serve.
     live: List[SessionContext] = []
     followers: Dict[str, List[SessionContext]] = {}
     leaders: Dict[str, SessionContext] = {}
-    replayed_now: List[SessionContext] = []
-    for ctx in contexts:
+    for ctx in admitted:
         if dedup and ctx.spec.cacheable:
             record = installation.cache.get(ctx.key)
             if record is not None:
                 ctx.replay(record)
-                replayed_now.append(ctx)
                 continue
             if ctx.key in leaders:
                 followers.setdefault(ctx.key, []).append(ctx)
@@ -149,26 +228,81 @@ def serve_sessions(
             leaders[ctx.key] = ctx
         live.append(ctx)
 
-    def resolve_followers(ctx: SessionContext) -> None:
+    def step(ctx: SessionContext) -> None:
+        try:
+            ctx.run_next_step()
+        except Exception as exc:
+            ctx.fail(exc)
+
+    def requeue_followers(ctx: SessionContext) -> List[SessionContext]:
+        """Replay the finished leader's followers from the cache; if the
+        leader left no record (caching off, or it degraded — degraded
+        records are never cached), hand them back to run live."""
+        run_live = []
         for f in followers.pop(ctx.key, []):
             record = installation.cache.get(f.key)
             if record is not None:
                 f.replay(record)
-            else:  # leader ran with caching off — run the follower live
-                while not f.done:
-                    f.run_next_step()
+            else:
+                leaders[f.key] = f
+                run_live.append(f)
+        return run_live
+
+    def admit_next(fair_now: float) -> Optional[SessionContext]:
+        """A live slot freed at virtual instant ``fair_now``: admit the
+        highest-ranked parked session that can still be served, charging
+        the wait against its deadline.  Parked sessions that resolve to
+        a replay or a follower do not consume the slot — keep admitting
+        until one needs to run live (or the queue drains)."""
+        while parked:
+            ctx = parked.pop(0)
+            ctx.wait_s = fair_now
+            if (
+                ctx.spec.deadline_s is not None
+                and fair_now >= ctx.spec.deadline_s
+            ):
+                ctx.shed(
+                    f"deadline ({ctx.spec.deadline_s:g}s) expired while parked: "
+                    f"first live slot freed at t={fair_now:.3f}s",
+                    deadline_met=False,
+                )
+                continue
+            if dedup and ctx.spec.cacheable:
+                record = installation.cache.get(ctx.key)
+                if record is not None:
+                    ctx.replay(record)
+                    continue
+                leader = leaders.get(ctx.key)
+                if leader is not None and not leader.done:
+                    followers.setdefault(ctx.key, []).append(ctx)
+                    continue
+                leaders[ctx.key] = ctx
+            return ctx
+        return None
 
     if mode == "inline":
         ticket = itertools.count()
         heap = [(ctx.virtual_now, next(ticket), ctx) for ctx in live]
         heapq.heapify(heap)
+
+        def push(ctx: SessionContext) -> None:
+            heapq.heappush(heap, (ctx.virtual_now, next(ticket), ctx))
+
         while heap:
             _, _, ctx = heapq.heappop(heap)
-            ctx.run_next_step()
+            step(ctx)
             if ctx.done:
-                resolve_followers(ctx)
+                for f in requeue_followers(ctx):
+                    push(f)
+                # the slot frees at the completing session's *occupancy*
+                # instant — its queue wait plus its own virtual time —
+                # so successive admissions chain and the Nth session in
+                # line is charged the whole queue ahead of it
+                nxt = admit_next(ctx.wait_s + ctx.virtual_now)
+                if nxt is not None:
+                    push(nxt)
             else:
-                heapq.heappush(heap, (ctx.virtual_now, next(ticket), ctx))
+                push(ctx)
     else:
         pending = list(live)
         with ThreadPoolExecutor(
@@ -177,26 +311,44 @@ def serve_sessions(
             while pending:
                 pending.sort(key=lambda c: (c.virtual_now, c.seq))
                 wave = pending[: max(1, workers)]
-                for future in [pool.submit(c.run_next_step) for c in wave]:
+                for future in [pool.submit(step, c) for c in wave]:
                     future.result()
                 still = []
                 for ctx in pending:
                     if ctx.done:
-                        resolve_followers(ctx)
+                        still.extend(requeue_followers(ctx))
+                        nxt = admit_next(ctx.wait_s + ctx.virtual_now)
+                        if nxt is not None:
+                            still.append(nxt)
                     else:
                         still.append(ctx)
                 pending = still
 
+    # a parked session can only still be waiting if every live session
+    # replayed instantly and freed no slot through the loop above —
+    # admit the stragglers now at the batch frontier (t = 0 of new work)
+    while parked:
+        nxt = admit_next(0.0)
+        if nxt is None:
+            break
+        while not nxt.done:
+            step(nxt)
+        for f in requeue_followers(nxt):
+            while not f.done:
+                step(f)
+
     wall_s = time.perf_counter() - t0
     results = [ctx.result() for ctx in contexts]
     n_replayed = sum(1 for r in results if r.replayed)
+    n_shed = sum(1 for r in results if r.status == "shed")
     return ServeReport(
         results=results,
         wall_s=wall_s,
         mode=mode,
         workers=workers,
-        live=len(results) - n_replayed,
+        live=len(results) - n_replayed - n_shed,
         replayed=n_replayed,
         cache_hits=installation.cache.hits,
         cache_misses=installation.cache.misses,
+        parked=n_parked,
     )

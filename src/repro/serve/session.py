@@ -60,8 +60,9 @@ TABLE2_PLACEMENT: Dict[str, str] = {
 @dataclass(frozen=True)
 class SessionSpec:
     """One user's workload.  Everything that determines the session's
-    deterministic trace stream is a field here; ``name`` is the one
-    exception (a label, excluded from :meth:`workload_key`)."""
+    deterministic trace stream is a field here; ``name`` and
+    ``priority`` are the exceptions (labels/scheduling hints, excluded
+    from :meth:`workload_key`)."""
 
     name: str
     points: Tuple[float, ...] = (1.30, 1.34, 1.38)  # fuel flows, kg/s
@@ -73,6 +74,17 @@ class SessionSpec:
     avs_machine: str = "ua-sparc10"
     dispatch: str = "overlap"
     fault_plan: Optional[FaultPlan] = None
+    #: virtual-time SLO for the whole session, measured from admission
+    #: to the serve call (queue wait counts against it); propagated into
+    #: every RPC header the session sends.  None = no deadline.
+    deadline_s: Optional[float] = None
+    #: admission priority (higher wins a scarce slot); a scheduling
+    #: hint, so it is *not* part of the workload key
+    priority: int = 0
+    #: enable the resilience kit: per-session circuit breakers, the
+    #: installation-shared retry budget, and a failover supervisor
+    #: (heartbeats + checkpoints + rebind-on-crash)
+    resilient: bool = False
 
     @property
     def cacheable(self) -> bool:
@@ -81,10 +93,13 @@ class SessionSpec:
         return self.fault_plan is None
 
     def workload_key(self) -> str:
-        """Digest of every trace-determining field (``name`` excluded):
-        two specs with equal keys produce byte-identical trace streams,
-        which is the contract the :class:`~repro.serve.installation.WorkloadCache`
-        relies on."""
+        """Digest of every trace-determining field (``name`` and
+        ``priority`` excluded): two specs with equal keys produce
+        byte-identical trace streams, which is the contract the
+        :class:`~repro.serve.installation.WorkloadCache` relies on.
+        ``deadline_s`` and ``resilient`` are included — a deadline rides
+        in every RPC header and the resilience kit changes failure-path
+        behaviour, so they are part of the trace-determining state."""
         payload = json.dumps(
             {
                 "points": list(self.points),
@@ -95,6 +110,8 @@ class SessionSpec:
                 "transient_dt": self.transient_dt,
                 "avs_machine": self.avs_machine,
                 "dispatch": self.dispatch,
+                "deadline_s": self.deadline_s,
+                "resilient": self.resilient,
             },
             sort_keys=True,
         )
@@ -103,7 +120,17 @@ class SessionSpec:
 
 @dataclass
 class SessionResult:
-    """What a session hands back to its user, live or replayed."""
+    """What a session hands back to its user, live or replayed.
+
+    ``status`` is the SLO-facing disposition: ``"completed"`` (results
+    identical to a solo fault-free run of the same spec), ``"degraded"``
+    (finished, but faults visibly touched the run — timeouts, retries,
+    failovers, deadline refusals, a contained exception, or a missed
+    deadline), or ``"shed"`` (rejected by admission control before any
+    work; ``shed_reason`` says why and ``results`` is empty).
+    ``wait_s`` is the virtual queue time charged before the session
+    started; ``deadline_met`` is None when the spec carried no deadline.
+    """
 
     name: str
     workload_key: str
@@ -118,6 +145,19 @@ class SessionResult:
     header_bytes: int
     net_virtual_s: float
     fault_log: List[Tuple[float, str]] = field(default_factory=list)
+    status: str = "completed"
+    shed_reason: str = ""
+    wait_s: float = 0.0
+    deadline_met: Optional[bool] = None
+    error: str = ""
+
+    @property
+    def shed(self) -> bool:
+        return self.status == "shed"
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == "degraded"
 
 
 class SessionContext:
@@ -157,7 +197,13 @@ class SessionContext:
         self.env = None
         self.executive: Optional[NPSSExecutive] = None
         self.injector = None
+        self.supervisor = None
         self.replayed = False
+        #: virtual queue time charged at admission (0 when admitted
+        #: immediately); counts against the spec's deadline
+        self.wait_s = 0.0
+        self.shed_reason = ""
+        self.error = ""
         self.results: List[dict] = []
         self.transient: Optional[dict] = None
         self.record: Optional[SessionRecord] = None
@@ -228,6 +274,27 @@ class SessionContext:
             ex._sync_placements()
             self._engine = ex.engine()
             self._flight = ex.flight_condition()
+            if spec.resilient:
+                from ..faults import FailoverSupervisor
+                from ..resilience import BreakerBoard
+
+                # breakers are per-session (their trip history is part
+                # of the session's deterministic state); the retry
+                # budget is the installation's — shared scarcity is the
+                # point
+                self.env.breakers = BreakerBoard()
+                self.env.retry_budget = self.installation.retry_budget
+                self.supervisor = FailoverSupervisor(manager=ex.manager)
+                self.supervisor.attach()
+            if spec.deadline_s is not None:
+                from ..resilience import Deadline
+
+                # the queue wait already spent wait_s of the SLO; the
+                # session's private clock starts at 0, so the in-session
+                # deadline is what remains
+                self.env.deadline = Deadline(
+                    at_s=max(0.0, spec.deadline_s - self.wait_s)
+                )
             ex.host.setup()
         if spec.fault_plan is not None:
             from ..faults import FaultInjector
@@ -291,16 +358,60 @@ class SessionContext:
             by_kind=dict(stats.by_kind),
         )
         self.record = record
-        if self.dedup and self.spec.cacheable:
+        status, deadline_met = self._disposition(record, traces)
+        # only clean runs enter the cache: a record scarred by faults
+        # (including a co-resident session's host crash on the shared
+        # park) must not be replayed to future followers as canonical
+        if self.dedup and self.spec.cacheable and status == "completed":
             self.installation.cache.put(self.key, record)
         fault_log = list(self.injector.log) if self.injector is not None else []
-        self._result = self._result_from_record(record, replayed=False, fault_log=fault_log)
+        self._result = self._result_from_record(
+            record,
+            replayed=False,
+            fault_log=fault_log,
+            status=status,
+            deadline_met=deadline_met,
+        )
         self._teardown()
+
+    def _disposition(self, record: SessionRecord, traces) -> Tuple[str, Optional[bool]]:
+        """Classify a finished run: ``completed`` only when no fault
+        visibly touched it (its traces are those of a solo fault-free
+        run) *and* it made its deadline; anything else is explicitly
+        ``degraded``."""
+        impacted = any(
+            t.outcome != "ok" or t.retries or t.failed_over for t in traces
+        )
+        # chaos can touch a run without scarring its traces: a latency
+        # spike slows delivered messages, and a supervisor can recover a
+        # crashed instance from a placement prologue before any call
+        # fails — consult the injector's interference counter and the
+        # supervisor's recovery log too
+        if self.injector is not None and self.injector.perturbed:
+            impacted = True
+        if self.supervisor is not None and (
+            self.supervisor.recoveries or self.supervisor.dead_hosts
+        ):
+            impacted = True
+        # ... and a non-resilient session whose process died (e.g. a
+        # co-resident's crash event on the shared park) is silently
+        # cold-restarted by the placement prologue — the environment
+        # counts those unplanned restarts
+        if self.env is not None and self.env.unplanned_restarts:
+            impacted = True
+        deadline_met: Optional[bool] = None
+        if self.spec.deadline_s is not None:
+            deadline_met = (self.wait_s + record.virtual_s) <= self.spec.deadline_s
+        status = "degraded" if (impacted or deadline_met is False or self.error) else "completed"
+        return status, deadline_met
 
     def _teardown(self) -> None:
         if self.injector is not None:
             self.injector.detach()
             self.injector = None
+        if self.supervisor is not None:
+            self.supervisor.detach()
+            self.supervisor = None
         with self.installation.park_lock:
             if self.executive is not None:
                 self.executive.clear_network()
@@ -308,6 +419,68 @@ class SessionContext:
                 self.env.close()
         self.executive = None
         self.env = None
+
+    # ------------------------------------------------- shedding & containment
+    def shed(self, reason: str, deadline_met: Optional[bool] = None) -> None:
+        """Reject this session before it does any work (admission
+        control): an explicit, accounted refusal — never a silent drop."""
+        self.shed_reason = reason
+        self._result = SessionResult(
+            name=self.spec.name,
+            workload_key=self.key,
+            replayed=False,
+            results=[],
+            transient=None,
+            virtual_s=0.0,
+            digest=trace_digest([]),
+            traces=0,
+            messages=0,
+            payload_bytes=0,
+            header_bytes=0,
+            net_virtual_s=0.0,
+            fault_log=[],
+            status="shed",
+            shed_reason=reason,
+            wait_s=self.wait_s,
+            deadline_met=deadline_met,
+        )
+        self._cursor = len(self._steps)
+
+    def fail(self, exc: BaseException) -> None:
+        """Contain an exception that escaped a step: capture whatever
+        partial state exists, tear down (so the park and thread pools
+        are not leaked), and finish as ``degraded`` — one session's
+        blow-up must never take the serve loop down."""
+        self.error = f"{type(exc).__name__}: {exc}"
+        env = self.env
+        traces = list(env.traces) if env is not None else []
+        stats = env.transport.stats if env is not None else None
+        record = SessionRecord(
+            results=list(self.results),
+            transient=self.transient,
+            virtual_s=float(env.clock.now) if env is not None else 0.0,
+            traces=traces,
+            messages=stats.messages if stats else 0,
+            payload_bytes=stats.bytes if stats else 0,
+            header_bytes=stats.header_bytes if stats else 0,
+            net_virtual_s=float(sum(t.network_s for t in traces)),
+            by_kind=dict(stats.by_kind) if stats else {},
+        )
+        self.record = record
+        fault_log = list(self.injector.log) if self.injector is not None else []
+        _, deadline_met = self._disposition(record, traces)
+        self._result = self._result_from_record(
+            record,
+            replayed=False,
+            fault_log=fault_log,
+            status="degraded",
+            deadline_met=deadline_met,
+        )
+        try:
+            self._teardown()
+        except Exception as teardown_exc:  # pragma: no cover - defensive
+            self._result.error += f" (teardown: {teardown_exc})"
+        self._cursor = len(self._steps)
 
     # --------------------------------------------------------------- replay
     def replay(self, record: SessionRecord) -> None:
@@ -320,11 +493,30 @@ class SessionContext:
         self.record = record
         self.results = list(record.results)
         self.transient = record.transient
-        self._result = self._result_from_record(record, replayed=True, fault_log=[])
+        deadline_met: Optional[bool] = None
+        status = "completed"
+        if self.spec.deadline_s is not None:
+            # the replay is free of new work, but the SLO is judged as
+            # if the session ran: recorded virtual time plus queue wait
+            deadline_met = (self.wait_s + record.virtual_s) <= self.spec.deadline_s
+            if not deadline_met:
+                status = "degraded"
+        self._result = self._result_from_record(
+            record,
+            replayed=True,
+            fault_log=[],
+            status=status,
+            deadline_met=deadline_met,
+        )
         self._cursor = len(self._steps)
 
     def _result_from_record(
-        self, record: SessionRecord, replayed: bool, fault_log
+        self,
+        record: SessionRecord,
+        replayed: bool,
+        fault_log,
+        status: str = "completed",
+        deadline_met: Optional[bool] = None,
     ) -> SessionResult:
         return SessionResult(
             name=self.spec.name,
@@ -340,4 +532,9 @@ class SessionContext:
             header_bytes=record.header_bytes,
             net_virtual_s=record.net_virtual_s,
             fault_log=fault_log,
+            status=status,
+            shed_reason=self.shed_reason,
+            wait_s=self.wait_s,
+            deadline_met=deadline_met,
+            error=self.error,
         )

@@ -1,0 +1,132 @@
+"""Circuit breakers (PR 5 tentpole, part 2).
+
+The state machine itself (closed -> open -> half-open, exponential
+virtual-clock cooldowns), and the stub integration: consecutive timeouts
+trip the (procedure, host) breaker, tripped calls fast-fail with
+:class:`BreakerOpen` without touching the network, and the half-open
+trial closes the breaker again once the host heals."""
+
+import pytest
+
+from repro.resilience import BreakerBoard, BreakerPolicy, CircuitBreaker
+from repro.schooner import BreakerOpen, LineState
+
+
+class TestStateMachine:
+    def test_opens_after_threshold_consecutive_failures(self):
+        br = CircuitBreaker(policy=BreakerPolicy(failure_threshold=3, cooldown_s=2.0))
+        for t in (1.0, 2.0):
+            br.record_failure(t)
+            assert br.state == "closed"
+        br.record_failure(3.0)
+        assert br.state == "open"
+        assert br.opens == 1
+        assert br.retry_after_s == 5.0
+
+    def test_success_resets_the_consecutive_count(self):
+        br = CircuitBreaker(policy=BreakerPolicy(failure_threshold=2))
+        br.record_failure(1.0)
+        br.record_success(2.0)
+        br.record_failure(3.0)
+        assert br.state == "closed"  # the streak was broken
+
+    def test_open_fast_fails_until_cooldown_then_half_opens(self):
+        br = CircuitBreaker(policy=BreakerPolicy(failure_threshold=1, cooldown_s=2.0))
+        br.record_failure(1.0)
+        assert not br.allow(2.5)
+        assert br.fast_fails == 1
+        assert br.allow(3.0)  # cooldown elapsed: the trial is admitted
+        assert br.state == "half-open"
+
+    def test_failed_trial_reopens_with_longer_cooldown(self):
+        br = CircuitBreaker(
+            policy=BreakerPolicy(
+                failure_threshold=1,
+                cooldown_s=2.0,
+                cooldown_multiplier=2.0,
+                max_cooldown_s=3.0,
+            )
+        )
+        br.record_failure(0.0)
+        assert br.allow(2.0)
+        br.record_failure(2.0)  # the half-open trial failed
+        assert br.state == "open"
+        assert br.cooldown_s == 3.0  # doubled, capped at max_cooldown_s
+        assert br.opens == 2
+
+    def test_successful_trial_closes(self):
+        br = CircuitBreaker(policy=BreakerPolicy(failure_threshold=1, cooldown_s=1.0))
+        br.record_failure(0.0)
+        assert br.allow(1.5)
+        br.record_success(1.5)
+        assert br.state == "closed"
+        assert br.cooldown_s == 0.0
+
+
+class TestBoard:
+    def test_lease_is_per_procedure_host_pair(self):
+        board = BreakerBoard()
+        a = board.lease("shaft", "host-a")
+        assert board.lease("shaft", "host-a") is a
+        assert board.lease("shaft", "host-b") is not a
+        assert board.lease("nozzle", "host-a") is not a
+        assert len(board) == 3
+
+    def test_open_hosts_and_trips(self):
+        board = BreakerBoard(policy=BreakerPolicy(failure_threshold=1))
+        board.lease("f", "sick").record_failure(0.0)
+        board.lease("g", "fine").record_success(0.0)
+        assert board.open_hosts() == ("sick",)
+        assert board.trips() == 1
+
+
+class TestStubIntegration:
+    def test_timeouts_trip_the_breaker_and_fast_fail(self, world):
+        world.env.breakers = BreakerBoard()
+        world.partition()
+        # the retry ladder inside one call eats the threshold: the
+        # breaker opens mid-call and the next gate fast-fails
+        with pytest.raises(BreakerOpen) as info:
+            world.stub(x=1.0)
+        assert info.value.retry_after_s > 0
+        assert world.env.breakers.trips() == 1
+        assert world.env.breakers.open_hosts() == (world.remote_hostname,)
+        # fast-fail is not a line error: the line survives
+        assert world.ctx.line.state is LineState.ACTIVE
+
+    def test_open_breaker_refuses_without_waiting_out_a_timeout(self, world):
+        world.env.breakers = BreakerBoard()
+        world.partition()
+        with pytest.raises(BreakerOpen):
+            world.stub(x=1.0)
+        fast_fails = world.env.breakers.fast_fails()
+        before = world.ctx.line.timeline.now
+        with pytest.raises(BreakerOpen):
+            world.stub(x=1.0)
+        # no 2s call timeout was burned; only the refresh lookup ran
+        assert world.ctx.line.timeline.now - before < world.env.costs.call_timeout_s
+        assert world.env.breakers.fast_fails() > fast_fails
+
+    def test_half_open_trial_closes_breaker_after_heal(self, world):
+        world.env.breakers = BreakerBoard()
+        world.partition()
+        with pytest.raises(BreakerOpen):
+            world.stub(x=1.0)
+        world.heal()
+        retry_after = max(
+            br.retry_after_s
+            for br in world.env.breakers._breakers.values()
+        )
+        tl = world.ctx.line.timeline
+        tl.advance(retry_after - tl.now + 0.1)
+        assert world.stub(x=5.0)["y"] == 10.0
+        (br,) = [
+            b
+            for (_, host), b in world.env.breakers._breakers.items()
+            if host == world.remote_hostname
+        ]
+        assert br.state == "closed"
+
+    def test_no_board_means_no_gating(self, world):
+        assert world.env.breakers is None
+        assert world.stub(x=2.0)["y"] == 4.0

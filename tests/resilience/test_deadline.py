@@ -1,0 +1,150 @@
+"""Deadline propagation (PR 5 tentpole, part 1).
+
+A virtual-time deadline rides every RPC header; work that goes late is
+refused with :class:`DeadlineExceeded` — *late*, distinct from
+:class:`CallTimeout`'s *lost* — on the client before dispatch, on the
+server at arrival, and in the retry engine when the remaining budget
+cannot cover another attempt.  A deadline refusal never terminates the
+line."""
+
+import math
+
+import pytest
+
+from repro.network.transport import HEADER_STRUCT, NO_DEADLINE
+from repro.resilience import Deadline
+from repro.schooner import DeadlineExceeded, LineState
+from repro.schooner.runtime import RetryPolicy
+
+
+class TestDeadlineObject:
+    def test_remaining_and_expired(self):
+        d = Deadline(at_s=10.0)
+        assert d.remaining(4.0) == 6.0
+        assert not d.expired(9.999)
+        assert d.expired(10.0)
+        assert d.remaining(12.0) == -2.0
+
+    def test_describe_states(self):
+        d = Deadline(at_s=5.0)
+        assert "remaining" in d.describe(1.0)
+        assert "expired" in d.describe(7.0)
+
+
+class TestRetryPolicyBudget:
+    def test_without_deadline_max_attempts_governs(self):
+        p = RetryPolicy(max_attempts=3)
+        assert p.may_retry(2, now=0.0)
+        assert not p.may_retry(3, now=0.0)
+
+    def test_with_deadline_budget_governs_instead(self):
+        p = RetryPolicy(max_attempts=3)
+        generous = Deadline(at_s=1000.0)
+        # plenty of budget: retries continue past max_attempts
+        assert p.may_retry(7, now=0.0, deadline=generous, attempt_cost_s=2.0)
+        # too little budget for backoff + one worst-case attempt
+        tight = Deadline(at_s=1.0)
+        assert not p.may_retry(1, now=0.0, deadline=tight, attempt_cost_s=2.0)
+
+
+def _capture_sends(env):
+    sent = []
+    original = env.transport.send
+
+    def send(*args, **kwargs):
+        msg = original(*args, **kwargs)
+        sent.append(msg)
+        return msg
+
+    env.transport.send = send
+    return sent
+
+
+class TestWireHeader:
+    def test_header_carries_the_deadline(self, world):
+        world.env.deadline = Deadline(at_s=1000.0)
+        sent = _capture_sends(world.env)
+        world.stub(x=3.0)
+        data = [m for m in sent if m.kind.startswith(("call:", "reply:"))]
+        assert data, "no data messages captured"
+        for msg in data:
+            assert msg.deadline_s == 1000.0
+            assert HEADER_STRUCT.unpack(msg.header)[-1] == 1000.0
+
+    def test_no_deadline_packs_as_infinity(self, world):
+        sent = _capture_sends(world.env)
+        world.stub(x=3.0)
+        data = [m for m in sent if m.kind.startswith(("call:", "reply:"))]
+        assert data, "no data messages captured"
+        for msg in data:
+            assert msg.deadline_s is None
+            assert math.isinf(HEADER_STRUCT.unpack(msg.header)[-1])
+            assert HEADER_STRUCT.unpack(msg.header)[-1] == NO_DEADLINE
+
+
+class TestRefusals:
+    def test_client_refuses_before_dispatch(self, world):
+        world.env.deadline = Deadline(at_s=0.0)
+        sent = _capture_sends(world.env)
+        with pytest.raises(DeadlineExceeded, match="before dispatch"):
+            world.stub(x=1.0)
+        # already-late work never puts a request on the wire (the name
+        # lookup is the only traffic) and never reaches the server
+        assert not [m for m in sent if m.kind.startswith("call:")]
+        assert world.executions == []
+
+    def test_server_refuses_on_arrival(self, world):
+        world.stub(x=1.0)  # warm the name cache: no lookup on the next call
+        del world.executions[:]
+        # a hair of budget: alive at dispatch, expired in transit
+        now = world.ctx.line.timeline.now
+        world.env.deadline = Deadline(at_s=now + 1e-9)
+        with pytest.raises(DeadlineExceeded, match="on arrival"):
+            world.stub(x=1.0)
+        assert world.executions == []
+        (trace,) = [t for t in world.env.traces if t.outcome == "deadline"]
+        assert trace.procedure == "double_it"
+
+    def test_refusal_is_not_a_line_error(self, world):
+        world.env.deadline = Deadline(at_s=0.0)
+        with pytest.raises(DeadlineExceeded):
+            world.stub(x=1.0)
+        assert world.ctx.line.state is LineState.ACTIVE
+        # clearing the deadline, the same stub keeps working
+        world.env.deadline = None
+        assert world.stub(x=4.0)["y"] == 8.0
+
+    def test_exception_carries_trace_and_remaining(self, world):
+        now = world.ctx.line.timeline.now
+        world.env.deadline = Deadline(at_s=now + 1e-9)
+        with pytest.raises(DeadlineExceeded) as info:
+            world.stub(x=1.0)
+        assert info.value.trace is not None
+        assert info.value.trace.outcome == "deadline"
+        assert info.value.remaining_s is not None
+        assert info.value.remaining_s <= 0.0
+
+
+class TestRetryEngineSpendsTheBudget:
+    def test_insufficient_budget_surfaces_deadline_not_timeout(self, world):
+        """A lost call with too little budget left for backoff + another
+        attempt fails as *late*, chained from the *lost* attempt."""
+        world.partition()
+        now = world.ctx.line.timeline.now
+        # covers the first attempt's timeout (2s) but not a retry
+        world.env.deadline = Deadline(at_s=now + 2.5)
+        with pytest.raises(DeadlineExceeded, match="cannot cover another retry") as info:
+            world.stub(x=1.0)
+        assert info.value.__cause__ is not None  # chained from the lost attempt
+        assert info.value.trace is not None and info.value.trace.outcome == "timeout"
+        assert world.ctx.line.state is LineState.ACTIVE
+
+    def test_generous_budget_retries_past_max_attempts(self, world):
+        """With a deadline in force the remaining budget, not
+        max_attempts, is the retry clock."""
+        world.partition()
+        world.env.deadline = Deadline(at_s=1000.0)
+        with pytest.raises(DeadlineExceeded):
+            world.stub(x=1.0)
+        timeouts = sum(1 for t in world.env.traces if t.outcome == "timeout")
+        assert timeouts > world.env.retry.max_attempts

@@ -1,0 +1,77 @@
+"""Property test (PR 5 satellite): under any seeded loss plan, an
+idempotent procedure retried to success is applied effectively once (the
+result equals a single application) and the retry accounting sums
+exactly — every timed-out attempt is on the trace log, and the physical
+execution count equals successes plus lost replies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, PacketLoss
+from repro.schooner.runtime import RetryPolicy
+
+from .conftest import World
+
+# max_attempts high enough that a <=70% loss window can never exhaust
+# the ladder: every call is "retried to success", the satellite's premise
+PATIENT = RetryPolicy(max_attempts=64)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rate=st.floats(min_value=0.05, max_value=0.7),
+    window_s=st.floats(min_value=1.0, max_value=25.0),
+    calls=st.integers(min_value=1, max_value=5),
+)
+def test_retried_to_success_applies_once_and_accounting_sums(
+    seed, rate, window_s, calls
+):
+    world = World()  # stateless => lost replies may be retried
+    world.env.retry = PATIENT
+    plan = FaultPlan(
+        seed=seed,
+        events=(
+            # both legs of the data path are lossy; Manager lookups
+            # (local to the caller's machine) stay clean so the trace
+            # log accounts for every network failure
+            PacketLoss(
+                at_s=0.0,
+                until_s=window_s,
+                rate=rate,
+                src_host=world.env.park["ua-sparc10"].hostname,
+                dst_host=world.remote_hostname,
+            ),
+            PacketLoss(
+                at_s=0.0,
+                until_s=window_s,
+                rate=rate,
+                src_host=world.remote_hostname,
+                dst_host=world.env.park["ua-sparc10"].hostname,
+            ),
+        ),
+    )
+    FaultInjector(env=world.env, plan=plan).attach()
+
+    for k in range(calls):
+        out = world.stub(x=float(k))
+        # applied effectively once: the result is a single application,
+        # no matter how many attempts the loss window ate
+        assert out["y"] == 2.0 * k
+
+    ok = [t for t in world.env.traces if t.outcome == "ok"]
+    timeouts = [t for t in world.env.traces if t.outcome == "timeout"]
+    assert len(ok) == calls
+
+    # retry accounting: the completing attempt's retries counter owns
+    # every timed-out attempt of its logical call
+    assert len(timeouts) == sum(t.retries for t in ok)
+
+    # physical executions: one per success plus one per lost *reply*
+    # (the remote executed before the reply vanished); lost requests
+    # never reached it
+    lost_replies = sum(1 for t in timeouts if t.timeout_hop == "reply")
+    lost_requests = sum(1 for t in timeouts if t.timeout_hop == "request")
+    assert lost_replies + lost_requests == len(timeouts)
+    assert len(world.executions) == calls + lost_replies

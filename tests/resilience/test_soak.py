@@ -1,0 +1,62 @@
+"""The chaos-soak harness itself (PR 5 tentpole, part 4).
+
+The three stock fixed-seed configs must hold every invariant: full
+accounting (completed/degraded/shed, nothing undeclared), no leaked
+worker threads, byte-identical replay on a fresh installation, and solo
+equivalence for everything that claims ``completed``."""
+
+import pytest
+
+from repro.resilience.soak import (
+    STOCK_CONFIGS,
+    SoakConfig,
+    build_soak_specs,
+    run_soak,
+)
+
+
+@pytest.mark.parametrize("name", list(STOCK_CONFIGS))
+def test_stock_config_holds_all_invariants(name):
+    soak = run_soak(STOCK_CONFIGS[name])
+    assert soak.ok, "\n".join(soak.violations)
+
+
+def test_specs_are_a_pure_function_of_the_config():
+    a = build_soak_specs(STOCK_CONFIGS["crash-heavy"])
+    b = build_soak_specs(STOCK_CONFIGS["crash-heavy"])
+    assert a == b
+    c = build_soak_specs(SoakConfig(name="crash-heavy", seed=999))
+    assert a != c
+
+
+def test_overload_posture_actually_sheds_and_parks():
+    soak = run_soak(STOCK_CONFIGS["overload"], solo_check=False)
+    report = soak.report
+    assert report.shed > 0
+    assert all(r.shed_reason for r in report.results if r.status == "shed")
+    # shed sessions consumed nothing
+    assert all(r.virtual_s == 0.0 for r in report.results if r.status == "shed")
+    # somebody waited in the parking queue before running
+    assert any(r.wait_s > 0 for r in report.results)
+    # tight deadlines under 2 live slots: the SLO columns are populated
+    assert report.deadline_met + report.deadline_missed > 0
+
+
+def test_crash_heavy_chaos_is_visible_not_silent():
+    """Nothing touched by chaos may claim ``completed``: crash-heavy
+    sessions either degrade with an explicit error/fault log or genuinely
+    match their solo run (checked by run_soak's invariant 4)."""
+    soak = run_soak(STOCK_CONFIGS["crash-heavy"])
+    assert soak.ok, "\n".join(soak.violations)
+    degraded = [r for r in soak.report.results if r.status == "degraded"]
+    assert degraded, "a crash-heavy soak with zero degraded sessions"
+    for r in degraded:
+        assert r.error or r.fault_log or r.deadline_met is False or r.status == "degraded"
+
+
+def test_render_mentions_every_session():
+    soak = run_soak(STOCK_CONFIGS["partition-heavy"], solo_check=False)
+    text = soak.render()
+    for spec in build_soak_specs(STOCK_CONFIGS["partition-heavy"]):
+        assert spec.name in text
+    assert "invariants:" in text

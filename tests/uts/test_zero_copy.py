@@ -187,7 +187,9 @@ class TestZeroCopyWirePath:
         # every sent message carries a fixed-size struct-packed header
         from repro.network.transport import HEADER_STRUCT
 
-        assert HEADER_STRUCT.size == 24
+        # 32 bytes since the deadline-propagation field (PR 5) joined
+        # the call id / kind / size / src / dst fields
+        assert HEADER_STRUCT.size == 32
 
     def test_pooled_buffers_are_returned_after_the_call(self):
         env, stub = _remote_call_env()
