@@ -1,0 +1,197 @@
+"""Operating-point cache throughput: ``python benchmarks/bench_opcache.py``.
+
+A clustered workload — many sessions whose fuel-flow ladders overlap on
+one operating line, the "many users, one popular deck" installation
+shape — served three ways on the same machine in the same process:
+
+* **cold** — op cache off, dedup off: every point is a full solve;
+* **warm** — op cache on, against an installation whose store already
+  holds every grid point cold-canonical: every point is an exact hit
+  and the Newton solve is skipped outright;
+* **near** — op cache on, sessions offset *between* the stored grid
+  points: every point warm-starts from interpolated neighbours.
+
+What is gated (``--gate`` / ``--check``), mirroring ``bench_serve.py``:
+
+* the **exact-hit speedup** (cold wall / warm wall, same process) must
+  clear the acceptance floor of 2x and stay within ``GATE_MARGIN`` of
+  the committed baseline's ratio;
+* the **near-hit speedup** is gated against the baseline ratio only
+  (interpolated warm starts still solve, so the floor is softer);
+* the differential sanity assert — exact-hit answers bitwise equal to
+  the cold arm's — runs on every invocation, gated or not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+#: tolerated relative regression against the committed baseline
+GATE_MARGIN = 0.20
+#: acceptance floor: exact hits must at least double point throughput
+SPEEDUP_FLOOR = 2.0
+
+SESSIONS = 18
+POINTS_PER_SESSION = 3
+#: the shared operating line: 8 points, each within interpolation reach
+#: of its neighbours
+GRID = tuple(round(1.28 + 0.03 * j, 6) for j in range(8))
+
+
+def _specs(op_cache: bool, offset: float = 0.0):
+    from repro.serve import SessionSpec
+
+    specs = []
+    for i in range(SESSIONS):
+        start = i % (len(GRID) - POINTS_PER_SESSION + 1)
+        pts = tuple(
+            round(GRID[start + j] + offset, 6) for j in range(POINTS_PER_SESSION)
+        )
+        specs.append(
+            SessionSpec(name=f"s{i:02d}", points=pts, op_cache=op_cache)
+        )
+    return specs
+
+
+def _serve(specs, installation=None):
+    from repro.serve import serve_sessions
+
+    t0 = time.perf_counter()
+    report = serve_sessions(specs, installation=installation, dedup=False)
+    return report, time.perf_counter() - t0
+
+
+def measure() -> dict:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.serve import OpPointCache, SessionSpec, SharedInstallation, serve_sessions
+
+    # cold arm: every point a full solve
+    cold_report, cold_wall = _serve(_specs(op_cache=False))
+    points = cold_report.points
+
+    # warm the store with one cold-canonical entry per grid point
+    # (single-point sessions: each solve is a genuine miss, solved
+    # cold).  The near-window is tightened below the 0.03 grid spacing
+    # so seeding stays all-cold; bracketed near-arm points interpolate
+    # regardless of the window.
+    inst = SharedInstallation.standard()
+    inst.op_cache = OpPointCache(near_window=0.005)
+    seed_specs = [
+        SessionSpec(name=f"seed-{i}", points=(wf,), op_cache=True)
+        for i, wf in enumerate(GRID)
+    ]
+    seed_report, _ = _serve(seed_specs, installation=inst)
+    assert seed_report.op_miss == len(GRID), "grid seeding must be all-cold"
+
+    # warm arm: identical ladders — every point an exact hit, no solves
+    warm_report, warm_wall = _serve(_specs(op_cache=True), installation=inst)
+    assert warm_report.op_exact == points, "warm arm must be all exact hits"
+
+    # differential sanity: cache-served answers are bitwise the cold ones
+    for cold_r, warm_r in zip(cold_report.results, warm_report.results):
+        for cp, wp in zip(cold_r.results, warm_r.results):
+            if cp["wf"] == wp["wf"] and cp["wf"] == GRID[0]:
+                # GRID[0] is the one point both arms solved cold first
+                assert wp["thrust_N"] == cp["thrust_N"], "exact-hit divergence"
+
+    # near arm: ladders offset between the stored grid points — every
+    # point interpolates stored neighbours into a warm start
+    near_inst = SharedInstallation.standard()
+    near_inst.op_cache = OpPointCache(near_window=0.005)
+    _serve(seed_specs, installation=near_inst)
+    near_report, near_wall = _serve(
+        _specs(op_cache=True, offset=0.013), installation=near_inst
+    )
+    assert near_report.op_near > 0, "near arm produced no warm starts"
+
+    return {
+        "sessions": SESSIONS,
+        "points_per_session": POINTS_PER_SESSION,
+        "grid_points": len(GRID),
+        "points": points,
+        "cold_wall_s": round(cold_wall, 4),
+        "warm_wall_s": round(warm_wall, 4),
+        "near_wall_s": round(near_wall, 4),
+        "cold_points_per_s": round(points / cold_wall, 1),
+        "warm_points_per_s": round(points / warm_wall, 1),
+        "near_points_per_s": round(points / near_wall, 1),
+        "exact_speedup": round(cold_wall / warm_wall, 2),
+        "near_speedup": round(cold_wall / near_wall, 2),
+        "op_exact": warm_report.op_exact,
+        "op_near": near_report.op_near,
+        "op_miss_near_arm": near_report.op_miss,
+    }
+
+
+def check(current: dict, baseline: dict) -> list:
+    failures = []
+
+    floor = max(SPEEDUP_FLOOR, baseline["exact_speedup"] * (1.0 - GATE_MARGIN))
+    if current["exact_speedup"] < floor:
+        failures.append(
+            f"exact_speedup: {current['exact_speedup']:.2f}x under the gate "
+            f"of {floor:.2f}x (baseline {baseline['exact_speedup']:.2f}x, "
+            f"floor {SPEEDUP_FLOOR}x)"
+        )
+
+    near_floor = baseline["near_speedup"] * (1.0 - GATE_MARGIN)
+    if current["near_speedup"] < near_floor:
+        failures.append(
+            f"near_speedup: {current['near_speedup']:.2f}x under "
+            f"{near_floor:.2f}x (baseline {baseline['near_speedup']:.2f}x)"
+        )
+
+    # hit-tier composition is deterministic — a drift means the cache
+    # or the workload changed shape, not the machine
+    for key in ("op_exact", "op_near", "points"):
+        if current[key] != baseline[key]:
+            failures.append(
+                f"{key}: {current[key]} != baseline {baseline[key]} "
+                f"(deterministic count drifted)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", metavar="BASELINE", type=Path, default=None,
+        help="baseline JSON to gate against (e.g. benchmarks/BENCH_opcache.json)",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="shorthand for --check benchmarks/BENCH_opcache.json",
+    )
+    parser.add_argument(
+        "--write", metavar="OUT", type=Path, default=None,
+        help="where to write this run's numbers (the CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    if args.gate and args.check is None:
+        args.check = Path(__file__).resolve().parent / "BENCH_opcache.json"
+
+    current = measure()
+    print(json.dumps(current, indent=2))
+    if args.write is not None:
+        args.write.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"wrote {args.write}")
+    if args.check is None:
+        return 0
+
+    baseline = json.loads(args.check.read_text())
+    failures = check(current, baseline)
+    if failures:
+        print(f"\nOPCACHE GATE FAILED vs {args.check}:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nopcache gate OK vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

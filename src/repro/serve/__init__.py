@@ -10,6 +10,7 @@ docs/PERFORMANCE.md, "Serving many sessions".
 """
 
 from .installation import SessionRecord, SharedInstallation, WorkloadCache
+from .opcache import OpPointCache, OpSolution, WarmStart
 from .scheduler import AdmissionPolicy, ServeReport, serve_sessions
 from .session import TABLE2_PLACEMENT, SessionContext, SessionResult, SessionSpec
 
@@ -17,6 +18,9 @@ __all__ = [
     "AdmissionPolicy",
     "SharedInstallation",
     "WorkloadCache",
+    "OpPointCache",
+    "OpSolution",
+    "WarmStart",
     "SessionRecord",
     "ServeReport",
     "serve_sessions",

@@ -24,7 +24,11 @@ CLASS_BASE_WF = (1.30, 1.38, 1.46, 1.54)
 
 
 def build_session_specs(
-    n: int, classes: int = 4, points: int = 3, transient_every: int = 0
+    n: int,
+    classes: int = 4,
+    points: int = 3,
+    transient_every: int = 0,
+    op_cache: bool = False,
 ) -> List[SessionSpec]:
     """``n`` sessions cycling through ``classes`` workload classes.
 
@@ -32,7 +36,9 @@ def build_session_specs(
     the first of each class runs live and the rest replay.  Class ``c``
     solves ``points`` steady points stepping up from ``CLASS_BASE_WF[c]``;
     with ``transient_every`` > 0 every that-many-th session also runs a
-    short transient from its last point.
+    short transient from its last point.  ``op_cache=True`` opts every
+    session into the installation-wide operating-point cache (the
+    class ladders overlap, so later sessions land exact/near hits).
     """
     classes = max(1, min(classes, len(CLASS_BASE_WF)))
     specs = []
@@ -46,6 +52,7 @@ def build_session_specs(
                 name=f"session-{i:02d}",
                 points=wf_points,
                 transient_s=transient_s,
+                op_cache=op_cache,
             )
         )
     return specs
@@ -72,12 +79,17 @@ def main(argv: Optional[Sequence[str]] = None) -> ServeReport:
         "--transient-every", type=int, default=0,
         help="every Nth session also runs a 0.2s transient (0 = none)",
     )
+    parser.add_argument(
+        "--op-cache", action="store_true",
+        help="share solved operating points installation-wide (exact hits "
+             "skip the solve, near hits warm-start from neighbours)",
+    )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     args = parser.parse_args(argv)
 
     specs = build_session_specs(
         args.sessions, classes=args.classes, points=args.points,
-        transient_every=args.transient_every,
+        transient_every=args.transient_every, op_cache=args.op_cache,
     )
     report = serve_sessions(
         specs, mode=args.mode, workers=args.workers, dedup=not args.no_dedup
@@ -111,6 +123,11 @@ def main(argv: Optional[Sequence[str]] = None) -> ServeReport:
         f"{report.sessions_per_s:.1f} sessions/s, "
         f"{report.aggregate_virtual_s:.1f} aggregate virtual s"
     )
+    if args.op_cache:
+        print(
+            f"op-point cache: {report.op_exact} exact (solve skipped), "
+            f"{report.op_near} near (warm-started), {report.op_miss} cold"
+        )
     return report
 
 

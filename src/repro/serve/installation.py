@@ -16,6 +16,13 @@ the rest replay the recorded traces and results.  Replay is exact, not
 approximate: a live run of the same workload is deterministic, so the
 recorded traces are byte-identical to what the session would have
 computed — the differential tests in tests/serve/ assert this.
+
+Below whole-session replay sits the finer-grained
+:class:`~repro.serve.opcache.OpPointCache` (ROADMAP item 4): sessions
+that opt in (``SessionSpec.op_cache``) share *individual solved
+operating points* across different workloads — exact hits skip the
+Newton solve outright, near hits interpolate stored neighbours on the
+operating line into a ~1-iteration warm start.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from ..network.topology import Topology
 from ..network.transport import Transport
 from ..resilience.budget import RetryBudget
 from ..schooner.runtime import CallTrace, SchoonerEnvironment
+from .opcache import OpPointCache
 
 __all__ = ["SharedInstallation", "WorkloadCache", "SessionRecord"]
 
@@ -69,14 +77,23 @@ class WorkloadCache:
         self.hits = 0
         self.misses = 0
 
-    def get(self, key: str) -> Optional[SessionRecord]:
+    def get(self, key: str, count: bool = True) -> Optional[SessionRecord]:
+        """Fetch a record.  ``count=False`` (or :meth:`peek`) skips the
+        hit/miss counters: the scheduler's admission and
+        follower-requeue probes are scheduling decisions, not cache
+        traffic, and must not inflate the reported rates."""
         with self._lock:
             rec = self._records.get(key)
-            if rec is None:
-                self.misses += 1
-            else:
-                self.hits += 1
+            if count:
+                if rec is None:
+                    self.misses += 1
+                else:
+                    self.hits += 1
             return rec
+
+    def peek(self, key: str) -> Optional[SessionRecord]:
+        """A non-counting :meth:`get` for scheduling probes."""
+        return self.get(key, count=False)
 
     def put(self, key: str, record: SessionRecord) -> None:
         with self._lock:
@@ -99,6 +116,12 @@ class SharedInstallation:
     park: MachinePark
     topology: Topology
     cache: WorkloadCache = field(default_factory=WorkloadCache)
+    #: the installation-wide operating-point solution store: exact hits
+    #: skip the Newton solve, near hits interpolate neighbours on the
+    #: operating line into a warm start (see :mod:`repro.serve.opcache`).
+    #: Shared by every ``op_cache`` session across serve() calls — the
+    #: long-running-server compounding win of ROADMAP item 4.
+    op_cache: OpPointCache = field(default_factory=OpPointCache)
     park_lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
     #: the installation-wide retry-budget token bucket, shared by every
     #: ``resilient`` session: when many sessions hit the same sick host,

@@ -1,0 +1,237 @@
+"""The installation-wide operating-point solution store (ROADMAP item 4).
+
+At installation scale most requests land on or near operating points the
+installation has already solved — many users, one popular engine deck,
+a handful of operating lines.  The :class:`OpPointCache` makes that pay:
+it is keyed on *(family, fuel flow)*, where a family is one operating
+line (engine deck + flight condition + placement/dispatch context,
+digested by :mod:`repro.tess.opkey`), and serves three tiers:
+
+* **exact hit** — the requested fuel-flow *bit pattern* is stored with
+  ``"cold"`` provenance: the Newton solve is skipped entirely and the
+  stored solution is returned.  Exactness is bitwise: cold solves are
+  deterministic, so a cache-served answer equals a fresh cold solve of
+  the same point float-for-float (the differential oracle in
+  tests/serve/test_opcache.py).
+* **seed hit** — the exact point is stored but was itself produced by a
+  warm-started solve: its ``x`` is handed back as the initial guess, and
+  the solver confirms it in a single residual sweep (0 iterations).
+* **near hit** — the point is new, but neighbours exist on the family's
+  operating line: the nearest bracketing pair is linearly interpolated
+  (solution *and* Jacobian) into an ``x0``/``jac0`` that converges in
+  ~1 iteration; a single-sided neighbour within ``near_window`` relative
+  distance seeds the same way.
+
+Everything else is a **miss** and is solved cold — deliberately *not*
+warm-started from the session's own prior point — so that what enters
+the store under ``"cold"`` provenance is bitwise-canonical and exact
+hits stay skip-safe.  Stored solutions never downgrade: a ``"cold"``
+entry is not overwritten by a warm-started result for the same point.
+
+Thread safety mirrors the installation's ``park_lock`` discipline: one
+lock serializes lookups and stores (the arrays inside are private
+copies, never views over pooled wire buffers, so a stored solution can
+never be invalidated by a buffer release).  Scheduling probes should use
+:meth:`peek` — it does not touch the hit/miss counters, which are
+reserved for real cache traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..tess.opkey import wf_key
+
+__all__ = ["OpSolution", "WarmStart", "OpPointCache"]
+
+
+@dataclass
+class OpSolution:
+    """One stored solved operating point: the full solution vector
+    ``x = [beta_fan, beta_hpc, bpr, pr_hpt, pr_lpt, n1, n2]``, the final
+    Jacobian estimate, the user-facing point summary, and the
+    provenance of the solve that produced it."""
+
+    wf: float
+    x: np.ndarray
+    jacobian: Optional[np.ndarray]
+    point: Dict[str, float]
+    provenance: str
+
+    @property
+    def canonical(self) -> bool:
+        """True when the stored solve was cold — the bitwise-exactness
+        tier.  Warm-derived entries are tolerance-exact only."""
+        return self.provenance == "cold"
+
+
+@dataclass
+class WarmStart:
+    """What a lookup hands back: the tier (``"exact"``, ``"seed"``,
+    ``"interp"``, or ``"miss"``) plus whatever seed material exists.
+    ``solution`` is populated only for exact hits."""
+
+    kind: str
+    x0: Optional[np.ndarray] = None
+    jac0: Optional[np.ndarray] = None
+    solution: Optional[OpSolution] = None
+
+    @property
+    def skip_solve(self) -> bool:
+        return self.kind == "exact"
+
+
+@dataclass
+class _Family:
+    """One operating line: entries keyed by fuel-flow bit pattern plus a
+    sorted coordinate axis for neighbour search."""
+
+    entries: Dict[str, OpSolution] = field(default_factory=dict)
+    axis: List[float] = field(default_factory=list)
+
+
+class OpPointCache:
+    """Installation-wide (family, operating point) → solution store.
+
+    ``near_window`` bounds single-sided warm starts: a lone neighbour
+    further than this relative fuel-flow distance is ignored (a cold
+    solve beats extrapolating far off the known line).  Bracketed
+    points always interpolate — the operating line is smooth and
+    monotone between solved neighbours.
+    """
+
+    def __init__(self, near_window: float = 0.15):
+        self.near_window = near_window
+        self._families: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
+        self.exact_hits = 0
+        self.near_hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- lookup
+    def lookup(self, family: str, wf: float, count: bool = True) -> WarmStart:
+        """Resolve one operating-point request (see the module doc for
+        the tiers).  ``count=False`` (or :meth:`peek`) leaves the
+        traffic counters untouched — for scheduling probes."""
+        wf = float(wf)
+        with self._lock:
+            fam = self._families.get(family)
+            if fam is not None:
+                entry = fam.entries.get(wf_key(wf))
+                if entry is not None:
+                    if entry.canonical:
+                        if count:
+                            self.exact_hits += 1
+                        return WarmStart(
+                            kind="exact",
+                            x0=entry.x.copy(),
+                            jac0=self._copy(entry.jacobian),
+                            solution=entry,
+                        )
+                    if count:
+                        self.near_hits += 1
+                    return WarmStart(
+                        kind="seed",
+                        x0=entry.x.copy(),
+                        jac0=self._copy(entry.jacobian),
+                    )
+                ws = self._near(fam, wf)
+                if ws is not None:
+                    if count:
+                        self.near_hits += 1
+                    return ws
+            if count:
+                self.misses += 1
+            return WarmStart(kind="miss")
+
+    def peek(self, family: str, wf: float) -> WarmStart:
+        """A non-counting :meth:`lookup` for scheduling probes."""
+        return self.lookup(family, wf, count=False)
+
+    def _near(self, fam: _Family, wf: float) -> Optional[WarmStart]:
+        axis = fam.axis
+        if not axis:
+            return None
+        i = bisect_left(axis, wf)
+        lo = axis[i - 1] if i > 0 else None
+        hi = axis[i] if i < len(axis) else None
+        if lo is not None and hi is not None:
+            e_lo = fam.entries[wf_key(lo)]
+            e_hi = fam.entries[wf_key(hi)]
+            t = (wf - lo) / (hi - lo)
+            x0 = (1.0 - t) * e_lo.x + t * e_hi.x
+            if e_lo.jacobian is not None and e_hi.jacobian is not None:
+                jac0 = (1.0 - t) * e_lo.jacobian + t * e_hi.jacobian
+            else:
+                jac0 = self._copy((e_hi if t >= 0.5 else e_lo).jacobian)
+            return WarmStart(kind="interp", x0=x0, jac0=jac0)
+        nearest = lo if hi is None else hi
+        scale = max(abs(wf), 1e-9)
+        if abs(wf - nearest) / scale <= self.near_window:
+            e = fam.entries[wf_key(nearest)]
+            return WarmStart(
+                kind="interp", x0=e.x.copy(), jac0=self._copy(e.jacobian)
+            )
+        return None
+
+    # -------------------------------------------------------------- store
+    def store(
+        self,
+        family: str,
+        wf: float,
+        x: np.ndarray,
+        jacobian: Optional[np.ndarray],
+        point: Dict[str, float],
+        provenance: str,
+    ) -> bool:
+        """Record a solved point.  First write wins except for the cold
+        upgrade (a cold solve may replace a warm-derived entry, never
+        the reverse) — so the bitwise tier is monotone.  The arrays are
+        copied in; callers may hand views freely.  Returns whether the
+        entry was (re)written."""
+        wf = float(wf)
+        key = wf_key(wf)
+        with self._lock:
+            fam = self._families.setdefault(family, _Family())
+            old = fam.entries.get(key)
+            if old is not None and not (provenance == "cold" and not old.canonical):
+                return False
+            if old is None:
+                insort(fam.axis, wf)
+            fam.entries[key] = OpSolution(
+                wf=wf,
+                x=np.array(x, dtype=float, copy=True),
+                jacobian=self._copy(jacobian),
+                point=dict(point),
+                provenance=provenance,
+            )
+            return True
+
+    # ---------------------------------------------------------------- misc
+    @staticmethod
+    def _copy(arr: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        return None if arr is None else np.array(arr, dtype=float, copy=True)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(f.entries) for f in self._families.values())
+
+    @property
+    def families(self) -> int:
+        with self._lock:
+            return len(self._families)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": sum(len(f.entries) for f in self._families.values()),
+                "families": len(self._families),
+                "exact_hits": self.exact_hits,
+                "near_hits": self.near_hits,
+                "misses": self.misses,
+            }

@@ -69,12 +69,26 @@ class AdmissionPolicy:
     def unlimited(self) -> bool:
         return self.max_live is None and self.max_parked is None
 
+    @property
+    def effective_max_parked(self) -> Optional[int]:
+        """``max_parked`` clamped to ≥ 0 (matching the ``max(1, ...)``
+        treatment of ``max_live``): a negative value would slice the
+        ranked list backwards and silently mis-shed."""
+        return None if self.max_parked is None else max(0, self.max_parked)
+
 
 @dataclass
 class ServeReport:
     """What one ``serve()`` call hands back: per-session results in
     admission order plus the aggregate throughput the benchmarks and
-    the CI gate consume."""
+    the CI gate consume.
+
+    ``cache_hits``/``cache_misses`` (workload replay) and
+    ``op_exact``/``op_near``/``op_miss`` (operating-point cache) are
+    **per-call deltas**: counters are snapshotted at serve start, so a
+    long-running server reusing one :class:`SharedInstallation` across
+    calls sees each call's own traffic, never the accumulated lifetime
+    totals."""
 
     results: List[SessionResult]
     wall_s: float
@@ -85,6 +99,9 @@ class ServeReport:
     cache_hits: int
     cache_misses: int
     parked: int = 0  # sessions that waited in the admission queue
+    op_exact: int = 0  # op-point cache: solves skipped outright
+    op_near: int = 0  # op-point cache: seeded/interpolated warm starts
+    op_miss: int = 0  # op-point cache: cold solves
 
     @property
     def sessions(self) -> int:
@@ -152,6 +169,9 @@ class ServeReport:
             "parked": self.parked,
             "deadline_met": self.deadline_met,
             "deadline_missed": self.deadline_missed,
+            "op_exact": self.op_exact,
+            "op_near": self.op_near,
+            "op_miss": self.op_miss,
         }
 
 
@@ -183,6 +203,15 @@ def serve_sessions(
         raise ValueError(f"unknown serve mode {mode!r}")
     installation = installation or SharedInstallation.standard()
     admission = admission or AdmissionPolicy()
+    # counter snapshots: the report's hit/miss numbers are this call's
+    # deltas, not the installation's lifetime totals (a long-running
+    # server reuses one installation across many serve() calls)
+    hits0, misses0 = installation.cache.hits, installation.cache.misses
+    op0 = (
+        installation.op_cache.exact_hits,
+        installation.op_cache.near_hits,
+        installation.op_cache.misses,
+    )
     t0 = time.perf_counter()
 
     contexts = [
@@ -199,7 +228,9 @@ def serve_sessions(
         max(1, admission.max_live) if admission.max_live is not None else len(ranked)
     )
     max_parked = (
-        admission.max_parked if admission.max_parked is not None else len(ranked)
+        admission.effective_max_parked
+        if admission.max_parked is not None
+        else len(ranked)
     )
     admitted = sorted(ranked[:max_live], key=lambda c: c.seq)
     parked: List[SessionContext] = list(ranked[max_live : max_live + max_parked])
@@ -228,6 +259,40 @@ def serve_sessions(
             leaders[ctx.key] = ctx
         live.append(ctx)
 
+    # Op-point cache chains: live sessions sharing an operating-line
+    # family serialize in admission order (the chain head runs, the rest
+    # wait and are released one at a time as predecessors finalize).
+    # Serialization is what makes every per-point cache lookup see a
+    # deterministic store state, so inline and thread modes produce
+    # identical digests; the payoff survives — later chain members skip
+    # their solves on exact hits.  Distinct families still interleave.
+    op_chains: Dict[str, List[SessionContext]] = {}
+    runnable: List[SessionContext] = []
+    for ctx in live:
+        fam = ctx.op_chain_key
+        if fam is not None:
+            chain = op_chains.setdefault(fam, [])
+            chain.append(ctx)
+            if len(chain) > 1:
+                continue
+        runnable.append(ctx)
+
+    def release_op_chain(ctx: SessionContext) -> Optional[SessionContext]:
+        """Pop a finished session off its family chain and hand back the
+        next waiter (now guaranteed a fully-populated family store)."""
+        fam = ctx.op_chain_key
+        if fam is None:
+            return None
+        chain = op_chains.get(fam)
+        if not chain:
+            return None
+        if ctx in chain:
+            chain.remove(ctx)
+        if not chain:
+            op_chains.pop(fam, None)
+            return None
+        return chain[0]
+
     def step(ctx: SessionContext) -> None:
         try:
             ctx.run_next_step()
@@ -237,10 +302,12 @@ def serve_sessions(
     def requeue_followers(ctx: SessionContext) -> List[SessionContext]:
         """Replay the finished leader's followers from the cache; if the
         leader left no record (caching off, or it degraded — degraded
-        records are never cached), hand them back to run live."""
+        records are never cached), hand them back to run live.  The
+        re-``get`` is a scheduling probe, not cache traffic: ``peek``
+        keeps it out of the hit/miss counters."""
         run_live = []
         for f in followers.pop(ctx.key, []):
-            record = installation.cache.get(f.key)
+            record = installation.cache.peek(f.key)
             if record is not None:
                 f.replay(record)
             else:
@@ -248,27 +315,42 @@ def serve_sessions(
                 run_live.append(f)
         return run_live
 
+    def on_done(ctx: SessionContext) -> List[SessionContext]:
+        """Everything a finished session unblocks: workload followers
+        that must now run live, plus the next waiter on its op-point
+        family chain."""
+        out = requeue_followers(ctx)
+        nxt = release_op_chain(ctx)
+        if nxt is not None:
+            out.append(nxt)
+        return out
+
     def admit_next(fair_now: float) -> Optional[SessionContext]:
         """A live slot freed at virtual instant ``fair_now``: admit the
         highest-ranked parked session that can still be served, charging
         the wait against its deadline.  Parked sessions that resolve to
-        a replay or a follower do not consume the slot — keep admitting
-        until one needs to run live (or the queue drains)."""
+        a replay, a follower, or an op-chain waiter do not consume the
+        slot — keep admitting until one needs to run live (or the queue
+        drains).  The cache lookup here is an admission probe (``peek``),
+        not counted cache traffic."""
         while parked:
             ctx = parked.pop(0)
-            ctx.wait_s = fair_now
+            # never reset an already-accumulated wait to an earlier
+            # instant: stragglers admitted in sequence keep the queue
+            # time their predecessors charged them
+            ctx.wait_s = max(ctx.wait_s, fair_now)
             if (
                 ctx.spec.deadline_s is not None
-                and fair_now >= ctx.spec.deadline_s
+                and ctx.wait_s >= ctx.spec.deadline_s
             ):
                 ctx.shed(
                     f"deadline ({ctx.spec.deadline_s:g}s) expired while parked: "
-                    f"first live slot freed at t={fair_now:.3f}s",
+                    f"first live slot freed at t={ctx.wait_s:.3f}s",
                     deadline_met=False,
                 )
                 continue
             if dedup and ctx.spec.cacheable:
-                record = installation.cache.get(ctx.key)
+                record = installation.cache.peek(ctx.key)
                 if record is not None:
                     ctx.replay(record)
                     continue
@@ -277,12 +359,21 @@ def serve_sessions(
                     followers.setdefault(ctx.key, []).append(ctx)
                     continue
                 leaders[ctx.key] = ctx
+            fam = ctx.op_chain_key
+            if fam is not None:
+                chain = op_chains.get(fam)
+                if chain:
+                    # an earlier same-family session is still running:
+                    # wait for the chain turn instead of racing its store
+                    chain.append(ctx)
+                    continue
+                op_chains[fam] = [ctx]
             return ctx
         return None
 
     if mode == "inline":
         ticket = itertools.count()
-        heap = [(ctx.virtual_now, next(ticket), ctx) for ctx in live]
+        heap = [(ctx.virtual_now, next(ticket), ctx) for ctx in runnable]
         heapq.heapify(heap)
 
         def push(ctx: SessionContext) -> None:
@@ -292,7 +383,7 @@ def serve_sessions(
             _, _, ctx = heapq.heappop(heap)
             step(ctx)
             if ctx.done:
-                for f in requeue_followers(ctx):
+                for f in on_done(ctx):
                     push(f)
                 # the slot frees at the completing session's *occupancy*
                 # instant — its queue wait plus its own virtual time —
@@ -304,7 +395,7 @@ def serve_sessions(
             else:
                 push(ctx)
     else:
-        pending = list(live)
+        pending = list(runnable)
         with ThreadPoolExecutor(
             max_workers=max(1, workers), thread_name_prefix="serve"
         ) as pool:
@@ -316,7 +407,7 @@ def serve_sessions(
                 still = []
                 for ctx in pending:
                     if ctx.done:
-                        still.extend(requeue_followers(ctx))
+                        still.extend(on_done(ctx))
                         nxt = admit_next(ctx.wait_s + ctx.virtual_now)
                         if nxt is not None:
                             still.append(nxt)
@@ -326,16 +417,23 @@ def serve_sessions(
 
     # a parked session can only still be waiting if every live session
     # replayed instantly and freed no slot through the loop above —
-    # admit the stragglers now at the batch frontier (t = 0 of new work)
+    # admit the stragglers now at the batch frontier.  Each straggler
+    # advances the frontier by its own occupancy (wait + virtual time),
+    # so the Nth straggler in line is charged the queue ahead of it and
+    # ``_disposition`` judges its deadline against real accumulated
+    # wait, never a reset ``0.0``.
+    frontier = 0.0
     while parked:
-        nxt = admit_next(0.0)
+        nxt = admit_next(frontier)
         if nxt is None:
             break
-        while not nxt.done:
-            step(nxt)
-        for f in requeue_followers(nxt):
-            while not f.done:
-                step(f)
+        work = [nxt]
+        while work:
+            ctx = work.pop(0)
+            while not ctx.done:
+                step(ctx)
+            frontier = max(frontier, ctx.wait_s + ctx.virtual_now)
+            work.extend(on_done(ctx))
 
     wall_s = time.perf_counter() - t0
     results = [ctx.result() for ctx in contexts]
@@ -348,7 +446,10 @@ def serve_sessions(
         workers=workers,
         live=len(results) - n_replayed - n_shed,
         replayed=n_replayed,
-        cache_hits=installation.cache.hits,
-        cache_misses=installation.cache.misses,
+        cache_hits=installation.cache.hits - hits0,
+        cache_misses=installation.cache.misses - misses0,
         parked=n_parked,
+        op_exact=installation.op_cache.exact_hits - op0[0],
+        op_near=installation.op_cache.near_hits - op0[1],
+        op_miss=installation.op_cache.misses - op0[2],
     )

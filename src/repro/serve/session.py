@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.executive import NPSSExecutive
 from ..faults.plan import FaultPlan
+from ..tess.atmosphere import FlightCondition
+from ..tess.opkey import combine_keys, context_key, deck_key, flight_key
 from ..tess.schedules import Schedule
 from .installation import SessionRecord, SharedInstallation
 
@@ -85,12 +87,36 @@ class SessionSpec:
     #: installation-shared retry budget, and a failover supervisor
     #: (heartbeats + checkpoints + rebind-on-crash)
     resilient: bool = False
+    #: share solved operating points installation-wide through the
+    #: :class:`~repro.serve.opcache.OpPointCache`: exact hits skip the
+    #: Newton solve, near hits interpolate stored neighbours.  Misses
+    #: are solved *cold* (no session-local chaining) so every stored
+    #: miss is bitwise-canonical.  Sessions sharing an operating-line
+    #: family serialize like leader/follower chains, which is what
+    #: keeps thread-mode digests identical to inline.
+    op_cache: bool = False
 
     @property
     def cacheable(self) -> bool:
         """Fault-plan sessions are never deduplicated: their injectors
         own mutable routing state and their whole point is divergence."""
         return self.fault_plan is None
+
+    def op_family(self) -> Optional[str]:
+        """The session's operating-line family for the installation
+        op-point cache: flight condition + placement + dispatch (the
+        engine-deck digest is folded in at setup, once the deck is
+        built).  ``None`` when the session does not opt in — or carries
+        a fault plan, whose runs are deliberately non-canonical."""
+        if not self.op_cache or self.fault_plan is not None:
+            return None
+        return combine_keys(
+            flight_key(FlightCondition(altitude_m=self.altitude_m, mach=self.mach)),
+            context_key(
+                placement=dict(self.placement),
+                dispatch=self.dispatch,
+            ),
+        )
 
     def workload_key(self) -> str:
         """Digest of every trace-determining field (``name`` and
@@ -112,6 +138,9 @@ class SessionSpec:
                 "dispatch": self.dispatch,
                 "deadline_s": self.deadline_s,
                 "resilient": self.resilient,
+                # op-cache sessions skip RPCs on exact hits, so the flag
+                # is trace-determining and must split the key
+                "op_cache": self.op_cache,
             },
             sort_keys=True,
         )
@@ -194,6 +223,14 @@ class SessionContext:
         self.wall_parallel = wall_parallel
         self.dedup = dedup
         self.key = spec.workload_key()
+        #: the spec-level operating-line family (None unless the spec
+        #: opts into the op-point cache): the scheduler groups same-
+        #: family sessions into a serialized chain on this key, so every
+        #: lookup sees a deterministic cache state in both serve modes
+        self.op_chain_key = spec.op_family()
+        #: the full cache family (chain key + engine-deck digest),
+        #: resolved at setup once the deck is built
+        self._op_family: Optional[str] = None
         self.env = None
         self.executive: Optional[NPSSExecutive] = None
         self.injector = None
@@ -274,6 +311,10 @@ class SessionContext:
             ex._sync_placements()
             self._engine = ex.engine()
             self._flight = ex.flight_condition()
+            if self.op_chain_key is not None:
+                self._op_family = combine_keys(
+                    self.op_chain_key, deck_key(self._engine.spec)
+                )
             if spec.resilient:
                 from ..faults import FailoverSupervisor
                 from ..resilience import BreakerBoard
@@ -304,6 +345,9 @@ class SessionContext:
 
     def _run_point(self, i: int) -> None:
         wf = self.spec.points[i]
+        if self._op_family is not None:
+            self._run_point_shared(wf)
+            return
         op = self._engine.balance(self._flight, wf, x0=self._x0, jac0=self._jac0)
         report = self._engine.steady_report
         if report is not None and report.jacobian is not None:
@@ -312,15 +356,63 @@ class SessionContext:
         self.results.append(
             {
                 "wf": float(wf),
-                "n1": float(op.n1),
-                "n2": float(op.n2),
-                "thrust_N": float(op.thrust_N),
-                "t4": float(op.t4),
-                "sfc": float(op.sfc),
-                "converged": bool(op.converged),
+                **self._point_summary(op),
                 "virtual_s": float(self.env.clock.now),
             }
         )
+
+    @staticmethod
+    def _point_summary(op) -> dict:
+        return {
+            "n1": float(op.n1),
+            "n2": float(op.n2),
+            "thrust_N": float(op.thrust_N),
+            "t4": float(op.t4),
+            "sfc": float(op.sfc),
+            "converged": bool(op.converged),
+        }
+
+    def _run_point_shared(self, wf: float) -> None:
+        """One operating point through the installation op-point cache.
+
+        Exact hits return the stored (cold-canonical) solution with no
+        solve at all; seed/interp hits warm-start the solve from stored
+        neighbours; misses are solved **cold** — not from the session's
+        own previous point — so the stored entry is bitwise-canonical
+        and future exact hits can skip safely.  Solved points feed back
+        into the store with their provenance; a cold entry is never
+        overwritten by a warm-derived one."""
+        cache = self.installation.op_cache
+        ws = cache.lookup(self._op_family, wf)
+        if ws.skip_solve:
+            # the solution was solved cold by an earlier session: serve
+            # it verbatim (bitwise what a cold solve here would produce)
+            self._x0, self._jac0 = ws.x0, ws.jac0
+            self.results.append(
+                {
+                    "wf": float(wf),
+                    **dict(ws.solution.point),
+                    "virtual_s": float(self.env.clock.now),
+                }
+            )
+            return
+        provenance = "cold" if ws.kind == "miss" else ws.kind
+        op = self._engine.balance(
+            self._flight, wf, x0=ws.x0, jac0=ws.jac0, x0_provenance=provenance
+        )
+        report = self._engine.steady_report
+        point = self._point_summary(op)
+        self.results.append(
+            {"wf": float(wf), **point, "virtual_s": float(self.env.clock.now)}
+        )
+        if report is not None:
+            # seed material for a trailing transient's initial balance
+            self._x0, self._jac0 = report.x, report.jacobian
+            if report.converged:
+                cache.store(
+                    self._op_family, wf, report.x, report.jacobian, point,
+                    provenance=report.x0_provenance,
+                )
 
     def _run_transient(self) -> None:
         spec = self.spec

@@ -79,8 +79,14 @@ def newton_raphson(
     jac_max_age: int = 25,
     jacobian_fn: Optional[JacobianFn] = None,
     xtol: Optional[float] = None,
+    x0_provenance: str = "cold",
 ) -> SteadyReport:
     """Damped Newton-Raphson with finite-difference Jacobian.
+
+    ``x0_provenance`` labels where ``x0``/``jac0`` came from ("cold",
+    "session", "seed", "interp", ...) and is carried verbatim into
+    :attr:`SteadyReport.x0_provenance`, so downstream caches can tell
+    bitwise-canonical cold solves from warm-started ones.
 
     ``damping`` scales the Newton step; a backtracking halving line
     search engages automatically when a full step increases the
@@ -128,6 +134,7 @@ def newton_raphson(
             x=x, converged=(norm <= tol) if converged is None else converged,
             iterations=it, residual_norm=norm,
             fevals=f.count, history=history, jacobian=J, jac_rebuilds=jac_rebuilds,
+            x0_provenance=x0_provenance,
         )
 
     step_guard = np.sqrt(tol)

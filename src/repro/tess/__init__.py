@@ -37,6 +37,7 @@ from .turbojet import SingleSpoolTurbojet, TurbojetSpec
 from .gas import FUEL_LHV, R_AIR, GasState, cp, enthalpy, gamma, temperature_from_enthalpy
 from .hosts import ADAPTED_MODULES, ComponentHost, LocalHost
 from .maps import MAP_CATALOGUE, CompressorMap, MapError, load_map
+from .opkey import combine_keys, context_key, deck_key, flight_key, wf_key
 from .schedules import Schedule, ScheduleError
 
 __all__ = [
@@ -74,6 +75,11 @@ __all__ = [
     "F100_SPEC",
     "build_f100",
     "ComponentHost",
+    "combine_keys",
+    "context_key",
+    "deck_key",
+    "flight_key",
+    "wf_key",
     "LocalHost",
     "ADAPTED_MODULES",
     "FlightProfile",

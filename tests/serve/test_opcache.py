@@ -1,0 +1,219 @@
+"""The installation op-point cache: differential oracle + unit tests.
+
+The oracle (ISSUE/ROADMAP item 4 acceptance):
+
+* an **exact hit** returns the stored cold solution verbatim — bitwise
+  equal to what a fresh cold solve of the same point produces;
+* an **interpolated warm start** converges to the same solution within
+  solver tolerance (and actually converges);
+* thread-mode serving with op-cache sessions produces digests identical
+  to inline (the scheduler serializes same-family sessions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    OpPointCache,
+    SessionSpec,
+    SharedInstallation,
+    serve_sessions,
+)
+
+#: fuel flows spaced beyond the near-window so each solo session's
+#: point is a genuine cold miss
+GRID = (1.30, 1.40, 1.50)
+
+
+def _cold_point(wf):
+    """A fresh cold solve of one point (no caching of any kind)."""
+    r = serve_sessions(
+        [SessionSpec(name="cold", points=(wf,))], dedup=False
+    )
+    return r.results[0].results[0]
+
+
+def _warm_installation(points=GRID):
+    """An installation whose op cache holds a cold-canonical entry for
+    each grid point (single-point sessions, and a near-window tight
+    enough that the grid points are genuine misses solved cold)."""
+    inst = SharedInstallation.standard()
+    inst.op_cache = OpPointCache(near_window=0.01)
+    specs = [
+        SessionSpec(name=f"seed-{i}", points=(wf,), op_cache=True)
+        for i, wf in enumerate(points)
+    ]
+    report = serve_sessions(specs, installation=inst, dedup=False)
+    assert report.op_miss == len(points)
+    return inst
+
+
+class TestDifferentialOracle:
+    def test_exact_hit_is_bitwise_equal_to_cold_solve(self):
+        inst = _warm_installation()
+        report = serve_sessions(
+            [SessionSpec(name="probe", points=GRID, op_cache=True)],
+            installation=inst, dedup=False,
+        )
+        assert report.op_exact == len(GRID)
+        assert report.op_miss == 0
+        for wf, served in zip(GRID, report.results[0].results):
+            cold = _cold_point(wf)
+            for key in ("n1", "n2", "thrust_N", "t4", "sfc"):
+                assert served[key] == cold[key], (wf, key)  # bitwise
+            assert served["converged"]
+
+    def test_interpolated_warm_start_converges_to_cold_answer(self):
+        inst = _warm_installation()
+        wf = 1.35  # bracketed by stored 1.30 and 1.40
+        report = serve_sessions(
+            [SessionSpec(name="near", points=(wf,), op_cache=True)],
+            installation=inst, dedup=False,
+        )
+        assert report.op_near == 1
+        served = report.results[0].results[0]
+        assert served["converged"]
+        cold = _cold_point(wf)
+        for key in ("n1", "n2", "thrust_N", "t4", "sfc"):
+            assert served[key] == pytest.approx(cold[key], rel=1e-6), key
+
+    def test_thread_mode_digests_match_inline(self):
+        def batch():
+            return [
+                SessionSpec(name=f"s{i}", points=pts, op_cache=True)
+                for i, pts in enumerate(
+                    [(1.30, 1.35), (1.32, 1.38), (1.30, 1.35),
+                     (1.40, 1.45), (1.33, 1.36), (1.31, 1.44)]
+                )
+            ]
+
+        inline = serve_sessions(
+            batch(), installation=SharedInstallation.standard(),
+            mode="inline", dedup=False,
+        )
+        thread = serve_sessions(
+            batch(), installation=SharedInstallation.standard(),
+            mode="thread", workers=4, dedup=False,
+        )
+        assert [r.digest for r in inline.results] == [
+            r.digest for r in thread.results
+        ]
+        assert [r.virtual_s for r in inline.results] == [
+            r.virtual_s for r in thread.results
+        ]
+        assert (inline.op_exact, inline.op_near, inline.op_miss) == (
+            thread.op_exact, thread.op_near, thread.op_miss
+        )
+
+    def test_cache_compounds_across_serve_calls(self):
+        """The long-running-server shape: a later call's identical
+        points are all exact hits, no solves at all."""
+        inst = _warm_installation()
+        before = inst.op_cache.stats()["entries"]
+        report = serve_sessions(
+            [SessionSpec(name="later", points=GRID, op_cache=True)],
+            installation=inst, dedup=False,
+        )
+        assert report.op_exact == len(GRID)
+        assert inst.op_cache.stats()["entries"] == before  # nothing new
+
+
+class TestSpecWiring:
+    def test_op_cache_flag_splits_the_workload_key(self):
+        a = SessionSpec(name="x", points=(1.30,))
+        b = SessionSpec(name="x", points=(1.30,), op_cache=True)
+        assert a.workload_key() != b.workload_key()
+
+    def test_fault_plan_sessions_never_join_a_family(self):
+        from repro.faults.plan import FaultPlan, LatencySpike
+
+        plan = FaultPlan(events=(LatencySpike(at_s=0.1, until_s=0.3, extra_s=0.2),))
+        spec = SessionSpec(name="f", points=(1.30,), op_cache=True, fault_plan=plan)
+        assert spec.op_family() is None
+
+    def test_off_by_default(self):
+        spec = SessionSpec(name="x", points=(1.30,))
+        assert spec.op_cache is False
+        assert spec.op_family() is None
+
+    def test_distinct_placements_are_distinct_families(self):
+        a = SessionSpec(name="a", points=(1.30,), op_cache=True)
+        b = SessionSpec(
+            name="b", points=(1.30,), op_cache=True, placement={"inlet": "host2"}
+        )
+        assert a.op_family() != b.op_family()
+
+
+class TestOpPointCacheUnit:
+    X = np.arange(7, dtype=float)
+    J = np.eye(7)
+
+    def test_miss_then_exact_hit(self):
+        c = OpPointCache()
+        assert c.lookup("fam", 1.3).kind == "miss"
+        c.store("fam", 1.3, self.X, self.J, {"n1": 1.0}, provenance="cold")
+        ws = c.lookup("fam", 1.3)
+        assert ws.kind == "exact" and ws.skip_solve
+        assert ws.solution.point == {"n1": 1.0}
+        np.testing.assert_array_equal(ws.x0, self.X)
+        assert (c.exact_hits, c.near_hits, c.misses) == (1, 0, 1)
+
+    def test_warm_entry_is_seed_not_exact(self):
+        c = OpPointCache()
+        c.store("fam", 1.3, self.X, self.J, {}, provenance="interp")
+        ws = c.lookup("fam", 1.3)
+        assert ws.kind == "seed" and not ws.skip_solve
+        assert c.near_hits == 1 and c.exact_hits == 0
+
+    def test_cold_entry_never_downgraded(self):
+        c = OpPointCache()
+        assert c.store("fam", 1.3, self.X, self.J, {}, provenance="cold")
+        assert not c.store("fam", 1.3, 2 * self.X, self.J, {}, provenance="interp")
+        np.testing.assert_array_equal(c.lookup("fam", 1.3).x0, self.X)
+
+    def test_warm_entry_upgraded_by_cold(self):
+        c = OpPointCache()
+        c.store("fam", 1.3, self.X, self.J, {}, provenance="seed")
+        assert c.store("fam", 1.3, 2 * self.X, self.J, {}, provenance="cold")
+        assert c.lookup("fam", 1.3).kind == "exact"
+
+    def test_bracketed_point_interpolates_solution_and_jacobian(self):
+        c = OpPointCache()
+        c.store("fam", 1.0, np.zeros(7), np.zeros((7, 7)), {}, provenance="cold")
+        c.store("fam", 2.0, np.ones(7), np.ones((7, 7)), {}, provenance="cold")
+        ws = c.lookup("fam", 1.25)
+        assert ws.kind == "interp"
+        np.testing.assert_allclose(ws.x0, 0.25 * np.ones(7))
+        np.testing.assert_allclose(ws.jac0, 0.25 * np.ones((7, 7)))
+
+    def test_single_sided_neighbour_respects_window(self):
+        c = OpPointCache(near_window=0.05)
+        c.store("fam", 1.0, self.X, self.J, {}, provenance="cold")
+        assert c.lookup("fam", 1.04).kind == "interp"
+        assert c.lookup("fam", 1.20).kind == "miss"
+
+    def test_peek_does_not_count(self):
+        c = OpPointCache()
+        c.store("fam", 1.3, self.X, self.J, {}, provenance="cold")
+        assert c.peek("fam", 1.3).kind == "exact"
+        assert c.peek("fam", 9.9).kind == "miss"
+        assert (c.exact_hits, c.near_hits, c.misses) == (0, 0, 0)
+
+    def test_stored_arrays_are_private_copies(self):
+        c = OpPointCache()
+        x = self.X.copy()
+        c.store("fam", 1.3, x, None, {}, provenance="cold")
+        x[:] = -1.0  # caller scribbles over its buffer (pool reuse)
+        ws = c.lookup("fam", 1.3)
+        np.testing.assert_array_equal(ws.x0, self.X)
+        ws.x0[:] = -2.0  # ... and over the handed-back seed
+        np.testing.assert_array_equal(c.lookup("fam", 1.3).x0, self.X)
+
+    def test_families_are_isolated(self):
+        c = OpPointCache()
+        c.store("a", 1.3, self.X, self.J, {}, provenance="cold")
+        assert c.lookup("b", 1.3).kind == "miss"
+        assert c.families == 1  # a miss does not create the family
+        assert len(c) == 1

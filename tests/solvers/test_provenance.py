@@ -1,0 +1,59 @@
+"""``SteadyReport.x0_provenance`` — the label the op-point cache keys
+its bitwise-vs-tolerance guarantees on."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.steady import newton_raphson
+from repro.tess import F100_SPEC, TwinSpoolTurbofan
+from repro.tess.atmosphere import FlightCondition
+
+
+def _residual(x):
+    return np.array([x[0] ** 2 - 4.0, x[1] - 1.0])
+
+
+class TestNewtonCarriesProvenance:
+    def test_default_is_cold(self):
+        report = newton_raphson(_residual, np.array([1.0, 0.0]))
+        assert report.converged
+        assert report.x0_provenance == "cold"
+
+    def test_label_rides_through_verbatim(self):
+        report = newton_raphson(
+            _residual, np.array([1.0, 0.0]), x0_provenance="interp"
+        )
+        assert report.x0_provenance == "interp"
+
+    def test_seed_at_the_root_confirms_in_zero_iterations(self):
+        """The op cache's 'seed' tier: handing the stored root back as
+        x0 costs one residual sweep, no Newton iterations."""
+        root = newton_raphson(_residual, np.array([1.0, 0.0])).x
+        report = newton_raphson(_residual, root, x0_provenance="seed")
+        assert report.converged
+        assert report.iterations == 0
+        np.testing.assert_array_equal(report.x, root)
+
+
+class TestEngineInfersProvenance:
+    FLIGHT = FlightCondition(altitude_m=0.0, mach=0.0)
+
+    def test_no_seed_means_cold(self):
+        engine = TwinSpoolTurbofan(F100_SPEC)
+        engine.balance(self.FLIGHT, 1.3)
+        assert engine.steady_report.x0_provenance == "cold"
+
+    def test_supplied_seed_defaults_to_session(self):
+        engine = TwinSpoolTurbofan(F100_SPEC)
+        engine.balance(self.FLIGHT, 1.3)
+        x, jac = engine.steady_report.x, engine.steady_report.jacobian
+        engine.balance(self.FLIGHT, 1.34, x0=x, jac0=jac)
+        assert engine.steady_report.x0_provenance == "session"
+
+    def test_explicit_label_wins(self):
+        engine = TwinSpoolTurbofan(F100_SPEC)
+        engine.balance(self.FLIGHT, 1.3)
+        x, jac = engine.steady_report.x, engine.steady_report.jacobian
+        engine.balance(self.FLIGHT, 1.34, x0=x, jac0=jac, x0_provenance="interp")
+        assert engine.steady_report.x0_provenance == "interp"
