@@ -9,9 +9,11 @@ instead (see :mod:`repro.faults.demo` for its options),
 ``python -m repro perf [...]`` profiles the distributed transient hot
 loop (see :mod:`repro.core.perf`), ``python -m repro serve [...]``
 serves many concurrent sessions over one shared installation (see
-:mod:`repro.serve.demo`), and ``python -m repro chaos [...]`` runs the
+:mod:`repro.serve.demo`), ``python -m repro chaos [...]`` runs the
 deterministic chaos-soak harness over the serving stack (see
-:mod:`repro.resilience.soak`).
+:mod:`repro.resilience.soak`), and ``python -m repro traffic [...]``
+runs open-loop capacity sweeps with arrival-driven traffic (see
+:mod:`repro.traffic.demo`).
 """
 
 from __future__ import annotations
@@ -39,6 +41,10 @@ def main(argv=None) -> int:
         from repro.resilience.soak import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "traffic":
+        from repro.traffic.demo import main as traffic_main
+
+        return traffic_main(argv[1:])
 
     from repro.avs import render_network
     from repro.core import NPSSExecutive

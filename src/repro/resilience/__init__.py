@@ -13,6 +13,10 @@ scheduler (PR 4):
   sessions fast-fail away from a crashed or derated machine.
 * :class:`RetryBudget` — an installation-wide token bucket that stops
   retry storms across concurrent sessions.
+* :class:`PercentileLedger` — exact streaming quantiles (p50/p95/p99)
+  over virtual-time latency samples; the accounting substrate for the
+  serve report's per-class queue-wait stats and the
+  :mod:`repro.traffic` capacity sweeps.
 * :mod:`repro.resilience.soak` — the deterministic chaos-soak harness
   (``python -m repro chaos``): N mixed sessions against seeded fault
   plans, with replay/leak/solo-equivalence invariants asserted after
@@ -25,6 +29,7 @@ whole serving stack); import :mod:`repro.resilience.soak` directly.
 from .breaker import BreakerBoard, BreakerPolicy, CircuitBreaker
 from .budget import RetryBudget
 from .deadline import Deadline
+from .ledger import PercentileLedger
 
 __all__ = [
     "Deadline",
@@ -32,4 +37,5 @@ __all__ = [
     "CircuitBreaker",
     "BreakerBoard",
     "RetryBudget",
+    "PercentileLedger",
 ]

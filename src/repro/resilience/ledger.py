@@ -1,0 +1,141 @@
+"""Exact streaming percentile ledgers for SLO accounting.
+
+A :class:`PercentileLedger` accepts samples one at a time (queue waits,
+end-to-end latencies, lateness) and answers *exact* quantiles on
+demand.  Exactness is a deliberate choice over the constant-memory
+estimators (P², t-digest): the serving stack's latencies are virtual-
+time quantities that must reproduce bit-for-bit across runs and modes,
+and an estimator whose state depends on arrival order would smuggle
+scheduling noise into the capacity numbers.  The ledger therefore keeps
+every sample — compactly, in a C-double ``array`` (8 bytes each, so a
+million-sample soak is 8 MB) — and sorts lazily, amortized across
+queries with a dirty flag.
+
+The quantile definition is the *inclusive* linear-interpolation grid
+(``statistics.quantiles(..., method="inclusive")``, numpy's default):
+for ``n`` sorted samples, ``quantile(q)`` interpolates at rank
+``(n - 1) * q``.  The cross-check against :mod:`statistics` lives in
+tests/resilience/test_ledger.py.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Dict, Iterable, Optional
+
+__all__ = ["PercentileLedger"]
+
+
+class PercentileLedger:
+    """Streaming-safe exact quantiles over float samples.
+
+    ``add`` is O(1); ``quantile`` sorts lazily (amortized: repeated
+    queries between adds reuse the sorted buffer).  ``merge`` folds
+    another ledger in, which is how per-class ledgers roll up into a
+    total.
+    """
+
+    __slots__ = ("_samples", "_dirty", "total")
+
+    #: the percentile columns every summary reports
+    STOCK_POINTS = (0.50, 0.95, 0.99)
+
+    def __init__(self, samples: Optional[Iterable[float]] = None) -> None:
+        self._samples = array("d")
+        self._dirty = False
+        self.total = 0.0
+        if samples is not None:
+            self.extend(samples)
+
+    # ------------------------------------------------------------- intake
+    def add(self, x: float) -> None:
+        self._samples.append(float(x))
+        self.total += float(x)
+        self._dirty = True
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    def merge(self, other: "PercentileLedger") -> None:
+        self._samples.extend(other._samples)
+        self.total += other.total
+        self._dirty = True
+
+    # ------------------------------------------------------------ queries
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        n = len(self._samples)
+        return self.total / n if n else math.nan
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else math.nan
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else math.nan
+
+    def _sorted(self) -> array:
+        if self._dirty:
+            self._samples = array("d", sorted(self._samples))
+            self._dirty = False
+        return self._samples
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile at ``q`` in [0, 1], inclusive linear
+        interpolation over the sorted samples.  NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction {q!r} outside [0, 1]")
+        xs = self._sorted()
+        n = len(xs)
+        if n == 0:
+            return math.nan
+        if n == 1:
+            return xs[0]
+        h = (n - 1) * q
+        lo = math.floor(h)
+        hi = min(lo + 1, n - 1)
+        frac = h - lo
+        return xs[lo] + (xs[hi] - xs[lo]) * frac
+
+    def percentiles(self) -> Dict[str, float]:
+        """The stock p50/p95/p99 columns, as a dict."""
+        return {f"p{int(q * 100)}": self.quantile(q) for q in self.STOCK_POINTS}
+
+    def summary(self) -> dict:
+        """Everything a report row needs; ``None``s when empty so JSON
+        consumers see an explicit absence instead of NaN strings."""
+        if not self._samples:
+            return {
+                "count": 0,
+                "mean": None,
+                "min": None,
+                "max": None,
+                "p50": None,
+                "p95": None,
+                "p99": None,
+            }
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            **self.percentiles(),
+        }
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._samples:
+            return "PercentileLedger(empty)"
+        return (
+            f"PercentileLedger(n={self.count}, mean={self.mean:.4g}, "
+            f"p99={self.quantile(0.99):.4g})"
+        )

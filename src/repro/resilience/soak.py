@@ -42,6 +42,7 @@ from ..faults.plan import (
     PartitionLink,
 )
 from ..machines.registry import SITE_ARIZONA, SITE_LERC
+from .ledger import PercentileLedger
 from ..serve import (
     AdmissionPolicy,
     ServeReport,
@@ -251,6 +252,19 @@ class SoakReport:
             lines.append(
                 f"  {r.name:<20} {r.status:<9} v={r.virtual_s:7.2f}s "
                 f"wait={r.wait_s:6.2f}s{ddl}{extra}"
+            )
+        waits, e2es = PercentileLedger(), PercentileLedger()
+        for r in rep.results:
+            if r.status != "shed":
+                waits.add(r.wait_s)
+                e2es.add(r.end_to_end_s)
+        if waits.count:
+            lines.append(
+                f"latency (virtual s): wait p50/p95/p99 "
+                f"{waits.quantile(0.5):.2f}/{waits.quantile(0.95):.2f}/"
+                f"{waits.quantile(0.99):.2f}, end-to-end "
+                f"{e2es.quantile(0.5):.2f}/{e2es.quantile(0.95):.2f}/"
+                f"{e2es.quantile(0.99):.2f}"
             )
         lines.append(
             f"invariants: replay digests "

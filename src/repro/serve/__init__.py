@@ -11,11 +11,19 @@ docs/PERFORMANCE.md, "Serving many sessions".
 
 from .installation import SessionRecord, SharedInstallation, WorkloadCache
 from .opcache import OpPointCache, OpSolution, WarmStart
-from .scheduler import AdmissionPolicy, ServeReport, serve_sessions
+from .scheduler import (
+    AdmissionPolicy,
+    Arrival,
+    ServeReport,
+    serve_arrivals,
+    serve_sessions,
+)
 from .session import TABLE2_PLACEMENT, SessionContext, SessionResult, SessionSpec
 
 __all__ = [
     "AdmissionPolicy",
+    "Arrival",
+    "serve_arrivals",
     "SharedInstallation",
     "WorkloadCache",
     "OpPointCache",

@@ -27,6 +27,13 @@ tests/serve/):
   concurrently on a thread pool.  Safe because sessions only *read*
   shared installation state outside the ``park_lock``-serialized
   spawn/teardown steps.
+
+Beside the batch path sits :func:`serve_arrivals` — the **open-loop,
+arrival-driven** admission path (ROADMAP item 2): sessions are offered
+at arrival instants on one shared virtual timeline instead of handed
+over in a wave, queue wait is charged from *arrival*, and shed sessions
+can re-enter through a retry hook.  The :mod:`repro.traffic` package
+drives it with seeded arrival processes and traffic-class mixes.
 """
 
 from __future__ import annotations
@@ -36,12 +43,23 @@ import itertools
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..resilience.ledger import PercentileLedger
 from .installation import SharedInstallation
 from .session import SessionContext, SessionResult, SessionSpec
 
-__all__ = ["AdmissionPolicy", "ServeReport", "serve_sessions"]
+__all__ = [
+    "AdmissionPolicy",
+    "Arrival",
+    "ServeReport",
+    "serve_arrivals",
+    "serve_sessions",
+]
+
+#: below this much wall time a rate is meaningless noise — the report
+#: says 0.0 (with a note in ``summary()``) instead of inf
+WALL_S_FLOOR = 1e-6
 
 
 @dataclass(frozen=True)
@@ -135,15 +153,71 @@ class ServeReport:
 
     @property
     def points_per_s(self) -> float:
-        return self.points / self.wall_s if self.wall_s > 0 else float("inf")
+        """Wall-clock point throughput; 0.0 (never inf) when the serve
+        was too small to time — see ``WALL_S_FLOOR``."""
+        return self.points / self.wall_s if self.wall_s > WALL_S_FLOOR else 0.0
 
     @property
     def sessions_per_s(self) -> float:
-        return self.sessions / self.wall_s if self.wall_s > 0 else float("inf")
+        """Wall-clock session throughput; 0.0 (never inf) below the
+        ``WALL_S_FLOOR``."""
+        return self.sessions / self.wall_s if self.wall_s > WALL_S_FLOOR else 0.0
 
     @property
     def aggregate_virtual_s(self) -> float:
         return sum(r.virtual_s for r in self.results)
+
+    @property
+    def makespan_virtual_s(self) -> float:
+        """Last completion instant on the serve call's shared virtual
+        timeline — the installation-occupancy denominator of goodput.
+        Under batch handover (arrivals all at 0) this is the largest
+        wait + virtual time; under ``serve_arrivals`` it spans the
+        arrival horizon too."""
+        return max((r.finished_s for r in self.results), default=0.0)
+
+    def class_stats(self) -> Dict[str, dict]:
+        """Per-traffic-class accounting: session dispositions plus
+        exact queue-wait and end-to-end latency percentiles
+        (p50/p95/p99 via :class:`PercentileLedger`).  Sessions with no
+        ``SessionSpec.traffic_class`` label group under ``"default"``.
+        Shed sessions count toward dispositions but contribute no
+        latency samples (they never ran)."""
+        stats: Dict[str, dict] = {}
+        ledgers: Dict[str, Tuple[PercentileLedger, PercentileLedger]] = {}
+        for r in self.results:
+            cls = r.traffic_class or "default"
+            row = stats.setdefault(
+                cls,
+                {
+                    "sessions": 0,
+                    "completed": 0,
+                    "degraded": 0,
+                    "shed": 0,
+                    "replayed": 0,
+                    "points": 0,
+                    "deadline_met": 0,
+                    "deadline_missed": 0,
+                },
+            )
+            wait, e2e = ledgers.setdefault(
+                cls, (PercentileLedger(), PercentileLedger())
+            )
+            row["sessions"] += 1
+            row[r.status] += 1
+            row["replayed"] += 1 if r.replayed else 0
+            row["points"] += len(r.results)
+            if r.deadline_met is True:
+                row["deadline_met"] += 1
+            elif r.deadline_met is False:
+                row["deadline_missed"] += 1
+            if r.status != "shed":
+                wait.add(r.wait_s)
+                e2e.add(r.end_to_end_s)
+        for cls, (wait, e2e) in ledgers.items():
+            stats[cls]["queue_wait_s"] = wait.summary()
+            stats[cls]["end_to_end_s"] = e2e.summary()
+        return stats
 
     def by_name(self, name: str) -> SessionResult:
         for r in self.results:
@@ -152,7 +226,7 @@ class ServeReport:
         raise KeyError(name)
 
     def summary(self) -> dict:
-        return {
+        out = {
             "sessions": self.sessions,
             "points": self.points,
             "wall_s": self.wall_s,
@@ -172,7 +246,15 @@ class ServeReport:
             "op_exact": self.op_exact,
             "op_near": self.op_near,
             "op_miss": self.op_miss,
+            "makespan_virtual_s": self.makespan_virtual_s,
+            "classes": self.class_stats(),
         }
+        if self.wall_s <= WALL_S_FLOOR:
+            out["wall_s_note"] = (
+                f"wall_s {self.wall_s!r} at or below the {WALL_S_FLOOR:g}s "
+                f"floor; points_per_s/sessions_per_s reported as 0.0"
+            )
+        return out
 
 
 def serve_sessions(
@@ -434,6 +516,321 @@ def serve_sessions(
                 step(ctx)
             frontier = max(frontier, ctx.wait_s + ctx.virtual_now)
             work.extend(on_done(ctx))
+
+    wall_s = time.perf_counter() - t0
+    results = [ctx.result() for ctx in contexts]
+    n_replayed = sum(1 for r in results if r.replayed)
+    n_shed = sum(1 for r in results if r.status == "shed")
+    return ServeReport(
+        results=results,
+        wall_s=wall_s,
+        mode=mode,
+        workers=workers,
+        live=len(results) - n_replayed - n_shed,
+        replayed=n_replayed,
+        cache_hits=installation.cache.hits - hits0,
+        cache_misses=installation.cache.misses - misses0,
+        parked=n_parked,
+        op_exact=installation.op_cache.exact_hits - op0[0],
+        op_near=installation.op_cache.near_hits - op0[1],
+        op_miss=installation.op_cache.misses - op0[2],
+    )
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One offered session on the shared virtual timeline: the spec plus
+    the instant it arrives at the installation's front door."""
+
+    at_s: float
+    spec: SessionSpec
+
+
+#: event kinds on the open-loop timeline: at an equal instant a
+#: departure is processed before an arrival (the freed slot is visible
+#: to the arriving session), ties within a kind break by event order
+_DEPART, _ARRIVE = 0, 1
+
+
+def serve_arrivals(
+    arrivals: Sequence,
+    installation: Optional[SharedInstallation] = None,
+    mode: str = "inline",
+    workers: int = 4,
+    dedup: bool = True,
+    wall_parallel: bool = False,
+    admission: Optional[AdmissionPolicy] = None,
+    on_shed: Optional[
+        Callable[[SessionContext, float], Optional[Tuple[float, SessionSpec]]]
+    ] = None,
+) -> ServeReport:
+    """Open-loop serving: admit each session at its *arrival instant* on
+    a shared virtual timeline instead of batch handover.
+
+    ``arrivals`` is a sequence of :class:`Arrival` (or ``(at_s, spec)``
+    pairs); order within an instant follows input order.  The driver is
+    an event simulation over that timeline:
+
+    - an **arrival** is admitted immediately when a live slot is free
+      (queue wait 0), parked when the queue has room (highest priority
+      first; a higher-priority arrival displaces the worst parked
+      session when the queue is full), and shed otherwise — explicitly,
+      with a reason, exactly like the batch path;
+    - a **departure** (at the session's admission instant plus its own
+      deterministic virtual time) frees the slot and admits from the
+      parked queue, charging each admitted session the wait from its
+      *arrival* — so deadlines, which run from arrival, are trimmed by
+      real queue time, and a parked session whose deadline expired is
+      shed instead of run to a guaranteed miss;
+    - ``on_shed`` (the :mod:`repro.traffic` retry-feedback hook) may
+      hand back ``(at_s, spec)`` to re-offer a shed session later on the
+      same timeline — the closed-loop retry storm that makes overload
+      measurements honest.
+
+    Dedup still applies: an arrival whose workload is already cached
+    replays instantly without consuming a slot.  Inline and thread
+    modes produce identical results: all admission decisions happen on
+    the single-threaded event loop, session execution is deterministic
+    regardless of co-scheduling, and sessions sharing an op-point-cache
+    family execute serially in admission order within a wave.
+
+    Everything lands in the ordinary :class:`ServeReport`;
+    per-session ``arrival_s``/``wait_s``/``end_to_end_s`` carry the
+    timeline, and ``summary()['classes']`` the per-class latency
+    ledgers.
+    """
+    if mode not in ("inline", "thread"):
+        raise ValueError(f"unknown serve mode {mode!r}")
+    installation = installation or SharedInstallation.standard()
+    admission = admission or AdmissionPolicy()
+    hits0, misses0 = installation.cache.hits, installation.cache.misses
+    op0 = (
+        installation.op_cache.exact_hits,
+        installation.op_cache.near_hits,
+        installation.op_cache.misses,
+    )
+    t0 = time.perf_counter()
+
+    max_live: float = (
+        float("inf") if admission.max_live is None else max(1, admission.max_live)
+    )
+    max_parked: float = (
+        float("inf")
+        if admission.max_parked is None
+        else admission.effective_max_parked
+    )
+
+    contexts: List[SessionContext] = []
+    order = itertools.count()
+    events: List[Tuple[float, int, int, SessionContext]] = []
+
+    def offer(at_s: float, spec: SessionSpec) -> None:
+        ctx = SessionContext(
+            spec,
+            installation,
+            seq=len(contexts),
+            wall_parallel=wall_parallel,
+            dedup=dedup,
+            arrival_s=float(at_s),
+        )
+        contexts.append(ctx)
+        heapq.heappush(events, (float(at_s), _ARRIVE, next(order), ctx))
+
+    normalized: List[Tuple[float, SessionSpec]] = []
+    for a in arrivals:
+        at_s, spec = (a.at_s, a.spec) if isinstance(a, Arrival) else a
+        if at_s < 0:
+            raise ValueError(f"negative arrival time {at_s!r} for {spec.name!r}")
+        normalized.append((float(at_s), spec))
+    for at_s, spec in sorted(normalized, key=lambda p: p[0]):  # stable: ties keep input order
+        offer(at_s, spec)
+
+    live_count = 0
+    n_parked = 0
+    parked: List[SessionContext] = []
+    #: started-but-not-yet-executed sessions, as (start instant, ctx).
+    #: Inline mode drains this eagerly after every start; thread mode
+    #: lets it accumulate while slots are free and executes it as one
+    #: concurrent wave the moment an admission decision needs the
+    #: departure times.
+    deferred: List[Tuple[float, SessionContext]] = []
+    #: workload keys of deferred cacheable sessions: a duplicate
+    #: arrival forces the wave to resolve first, so the cache lookup
+    #: sees the same settled state inline execution would
+    in_flight: Dict[str, int] = {}
+    pool = (
+        ThreadPoolExecutor(max_workers=max(1, workers), thread_name_prefix="serve")
+        if mode == "thread"
+        else None
+    )
+
+    def rank(ctx: SessionContext) -> Tuple[int, int]:
+        return (-ctx.spec.priority, ctx.seq)
+
+    def execute(ctx: SessionContext) -> None:
+        while not ctx.done:
+            try:
+                ctx.run_next_step()
+            except Exception as exc:
+                ctx.fail(exc)
+
+    def resolve() -> None:
+        """Execute every deferred session and schedule its departure.
+        Thread mode runs them concurrently — except sessions sharing an
+        op-point-cache family, which execute serially in start order so
+        every cache lookup sees the deterministic store state inline
+        execution would produce (same invariant as the batch op chains).
+        A session's departure stays ``start + its own virtual time``
+        regardless of that serialization, matching the batch scheduler's
+        treatment of chained sessions."""
+        if not deferred:
+            return
+        if pool is None or len(deferred) == 1:
+            for _, ctx in deferred:
+                execute(ctx)
+        else:
+            groups: Dict[object, List[SessionContext]] = {}
+            wave: List[List[SessionContext]] = []
+            for _, ctx in deferred:
+                key: object = (
+                    ("fam", ctx.op_chain_key)
+                    if ctx.op_chain_key is not None
+                    else ("solo", ctx.seq)
+                )
+                group = groups.get(key)
+                if group is None:
+                    group = groups[key] = []
+                    wave.append(group)
+                group.append(ctx)
+
+            def run_group(group: List[SessionContext]) -> None:
+                for ctx in group:
+                    execute(ctx)
+
+            for future in [pool.submit(run_group, g) for g in wave]:
+                future.result()
+        for started_at, ctx in deferred:
+            heapq.heappush(
+                events,
+                (started_at + ctx.result().virtual_s, _DEPART, next(order), ctx),
+            )
+        deferred.clear()
+        in_flight.clear()
+
+    def start(ctx: SessionContext, now: float) -> None:
+        nonlocal live_count
+        ctx.wait_s = max(ctx.wait_s, now - ctx.arrival_s)
+        live_count += 1
+        deferred.append((now, ctx))
+        if dedup and ctx.spec.cacheable:
+            in_flight[ctx.key] = ctx.seq
+        if pool is None:
+            resolve()
+
+    def shed(
+        ctx: SessionContext,
+        now: float,
+        reason: str,
+        deadline_met: Optional[bool] = None,
+    ) -> None:
+        ctx.shed(reason, deadline_met=deadline_met)
+        if on_shed is not None:
+            retry = on_shed(ctx, now)
+            if retry is not None:
+                at_s, spec = retry
+                # a retry cannot arrive in the simulated past
+                offer(max(float(at_s), now), spec)
+
+    def handle_arrival(ctx: SessionContext, now: float) -> None:
+        nonlocal n_parked
+        if dedup and ctx.spec.cacheable:
+            if ctx.key in in_flight:
+                resolve()  # settle the in-flight twin before looking up
+            record = installation.cache.get(ctx.key)
+            if record is not None:
+                ctx.replay(record)
+                return
+        if live_count < max_live:
+            start(ctx, now)
+            return
+        if len(parked) < max_parked:
+            parked.append(ctx)
+            n_parked += 1
+            return
+        if parked:
+            worst = max(parked, key=rank)
+            if rank(ctx) < rank(worst):
+                parked.remove(worst)
+                worst.wait_s = max(worst.wait_s, now - worst.arrival_s)
+                shed(
+                    worst,
+                    now,
+                    f"displaced while parked by higher-priority arrival "
+                    f"{ctx.spec.name!r} at t={now:.3f}s",
+                )
+                parked.append(ctx)
+                n_parked += 1
+                return
+        shed(
+            ctx,
+            now,
+            f"queue full ({admission.max_live} live + "
+            f"{admission.effective_max_parked} parked slots, "
+            f"priority {ctx.spec.priority})",
+        )
+
+    def admit_from_parked(now: float) -> None:
+        """Live slots freed at ``now``: admit the best-ranked parked
+        sessions that can still be served, charging each the wait from
+        its own arrival.  The cache lookup here is a scheduling probe
+        (``peek``), matching the batch path's ``admit_next``."""
+        while live_count < max_live and parked:
+            best = min(parked, key=rank)
+            parked.remove(best)
+            best.wait_s = max(best.wait_s, now - best.arrival_s)
+            if (
+                best.spec.deadline_s is not None
+                and best.wait_s >= best.spec.deadline_s
+            ):
+                shed(
+                    best,
+                    now,
+                    f"deadline ({best.spec.deadline_s:g}s) expired while "
+                    f"parked: first live slot freed at t={now:.3f}s",
+                    deadline_met=False,
+                )
+                continue
+            if dedup and best.spec.cacheable:
+                if best.key in in_flight:
+                    resolve()
+                record = installation.cache.peek(best.key)
+                if record is not None:
+                    best.replay(record)
+                    continue
+            start(best, now)
+
+    try:
+        while events or deferred:
+            if not events:
+                resolve()
+                continue
+            at_s, kind, _, ctx = events[0]
+            # an arrival taking a free slot is the only decision safe to
+            # make while departures are unknown (unknown departures can
+            # only *free more* slots, never change that admission);
+            # every other pop needs the wave resolved first
+            if deferred and (kind == _DEPART or live_count >= max_live or parked):
+                resolve()
+                continue
+            heapq.heappop(events)
+            if kind == _ARRIVE:
+                handle_arrival(ctx, at_s)
+            else:
+                live_count -= 1
+                admit_from_parked(at_s)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     wall_s = time.perf_counter() - t0
     results = [ctx.result() for ctx in contexts]

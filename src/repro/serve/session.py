@@ -83,6 +83,12 @@ class SessionSpec:
     #: admission priority (higher wins a scarce slot); a scheduling
     #: hint, so it is *not* part of the workload key
     priority: int = 0
+    #: traffic-class label for per-class accounting (queue-wait and
+    #: latency ledgers in :meth:`ServeReport.summary`, the
+    #: :mod:`repro.traffic` sweeps).  A label like ``name``, so it is
+    #: *not* part of the workload key: two specs differing only in
+    #: class produce identical trace streams
+    traffic_class: str = ""
     #: enable the resilience kit: per-session circuit breakers, the
     #: installation-shared retry budget, and a failover supervisor
     #: (heartbeats + checkpoints + rebind-on-crash)
@@ -159,6 +165,13 @@ class SessionResult:
     work; ``shed_reason`` says why and ``results`` is empty).
     ``wait_s`` is the virtual queue time charged before the session
     started; ``deadline_met`` is None when the spec carried no deadline.
+
+    Open-loop timestamps: ``arrival_s`` is the session's arrival
+    instant on the serve call's shared virtual timeline (0.0 under
+    batch handover), and ``started_s`` / ``finished_s`` /
+    ``end_to_end_s`` derive from it — end-to-end latency is queue wait
+    plus the session's own virtual time, the quantity SLOs are judged
+    against.
     """
 
     name: str
@@ -179,6 +192,8 @@ class SessionResult:
     wait_s: float = 0.0
     deadline_met: Optional[bool] = None
     error: str = ""
+    arrival_s: float = 0.0
+    traffic_class: str = ""
 
     @property
     def shed(self) -> bool:
@@ -187,6 +202,22 @@ class SessionResult:
     @property
     def degraded(self) -> bool:
         return self.status == "degraded"
+
+    @property
+    def started_s(self) -> float:
+        """When service began on the shared timeline: arrival + wait."""
+        return self.arrival_s + self.wait_s
+
+    @property
+    def end_to_end_s(self) -> float:
+        """Arrival-to-done latency: queue wait + own virtual time (0 +
+        wait for shed sessions, which never ran)."""
+        return self.wait_s + self.virtual_s
+
+    @property
+    def finished_s(self) -> float:
+        """Completion instant on the shared timeline."""
+        return self.arrival_s + self.end_to_end_s
 
 
 class SessionContext:
@@ -216,10 +247,14 @@ class SessionContext:
         seq: int = 0,
         wall_parallel: bool = False,
         dedup: bool = True,
+        arrival_s: float = 0.0,
     ):
         self.spec = spec
         self.installation = installation
         self.seq = seq
+        #: arrival instant on the serve call's shared virtual timeline
+        #: (0.0 under batch handover; set by the open-loop driver)
+        self.arrival_s = arrival_s
         self.wall_parallel = wall_parallel
         self.dedup = dedup
         self.key = spec.workload_key()
@@ -535,6 +570,8 @@ class SessionContext:
             shed_reason=reason,
             wait_s=self.wait_s,
             deadline_met=deadline_met,
+            arrival_s=self.arrival_s,
+            traffic_class=self.spec.traffic_class,
         )
         self._cursor = len(self._steps)
 
@@ -629,4 +666,6 @@ class SessionContext:
             wait_s=self.wait_s,
             deadline_met=deadline_met,
             error=self.error,
+            arrival_s=self.arrival_s,
+            traffic_class=self.spec.traffic_class,
         )

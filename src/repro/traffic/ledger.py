@@ -1,0 +1,191 @@
+"""Per-class latency ledgers: the accounting side of a traffic run.
+
+A :class:`ClassLedger` accumulates one traffic class's attempts and
+tasks; a :class:`LedgerBook` holds one per class plus the ``total``
+roll-up.  Two levels of accounting deliberately coexist:
+
+* **attempts** — every offered session, retries included.  Queue-wait
+  and end-to-end percentiles are attempt-level (each attempt really
+  waited that long), as are the served/shed/deadline counters.
+* **tasks** — distinct user requests (an original arrival plus all its
+  retries is one task).  A task is *met* when its final attempt
+  finished inside its deadline; *lost* when its final attempt was shed
+  with no retry budget left.  ``deadline_met_rate`` — the knee metric —
+  is task-level over tasks that carried deadlines, so retry feedback
+  cannot launder a refused user into a smaller denominator.
+
+All latency samples are virtual-time quantities through
+:class:`repro.resilience.PercentileLedger` — exact and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..resilience.ledger import PercentileLedger
+from ..serve import SessionResult
+
+__all__ = ["ClassLedger", "LedgerBook"]
+
+
+def task_name(attempt_name: str) -> str:
+    """Retries are named ``<task>#rN``; strip back to the task."""
+    return attempt_name.split("#", 1)[0]
+
+
+@dataclass
+class ClassLedger:
+    """One traffic class's attempt- and task-level accounting."""
+
+    name: str
+    # ----- attempt level -----
+    offered: int = 0
+    served: int = 0  # completed + degraded (replays included)
+    completed: int = 0
+    degraded: int = 0
+    replayed: int = 0
+    shed: int = 0
+    retries: int = 0  # attempts beyond each task's first
+    points: int = 0
+    good_points: int = 0  # points from attempts that met their deadline
+    deadline_met: int = 0
+    deadline_missed: int = 0
+    queue_wait: PercentileLedger = field(default_factory=PercentileLedger)
+    end_to_end: PercentileLedger = field(default_factory=PercentileLedger)
+    # ----- task level -----
+    tasks: int = 0
+    tasks_with_deadline: int = 0
+    tasks_met: int = 0
+    tasks_missed: int = 0  # final attempt ran (or was shed) but blew the SLO
+    tasks_lost: int = 0  # final attempt shed, no retry budget left
+
+    def observe_attempt(self, r: SessionResult, is_retry: bool) -> None:
+        self.offered += 1
+        if is_retry:
+            self.retries += 1
+        if r.status == "shed":
+            self.shed += 1
+        else:
+            self.served += 1
+            self.completed += 1 if r.status == "completed" else 0
+            self.degraded += 1 if r.status == "degraded" else 0
+            self.replayed += 1 if r.replayed else 0
+            self.points += len(r.results)
+            self.queue_wait.add(r.wait_s)
+            self.end_to_end.add(r.end_to_end_s)
+            if r.deadline_met is not False:
+                self.good_points += len(r.results)
+        if r.deadline_met is True:
+            self.deadline_met += 1
+        elif r.deadline_met is False:
+            self.deadline_missed += 1
+
+    def observe_task(self, attempts: List[SessionResult], had_deadline: bool) -> None:
+        """Fold in one task given its attempts in offer order (the last
+        one is final — either it was served, or it was shed with no
+        retry granted)."""
+        final = attempts[-1]
+        self.tasks += 1
+        if had_deadline:
+            self.tasks_with_deadline += 1
+            if final.deadline_met is True:
+                self.tasks_met += 1
+            elif final.status == "shed":
+                self.tasks_lost += 1
+                # a shed-for-queue-full final attempt never got a
+                # deadline verdict; it is still a missed task
+                self.tasks_missed += 1
+            else:
+                self.tasks_missed += 1
+        elif final.status == "shed":
+            self.tasks_lost += 1
+
+    @property
+    def deadline_met_rate(self) -> Optional[float]:
+        """Task-level SLO attainment — the knee metric.  None when the
+        class carries no deadlines (nothing to attain)."""
+        if self.tasks_with_deadline == 0:
+            return None
+        return self.tasks_met / self.tasks_with_deadline
+
+    def summary(self) -> dict:
+        return {
+            "class": self.name,
+            "offered": self.offered,
+            "tasks": self.tasks,
+            "served": self.served,
+            "completed": self.completed,
+            "degraded": self.degraded,
+            "replayed": self.replayed,
+            "shed": self.shed,
+            "retries": self.retries,
+            "points": self.points,
+            "good_points": self.good_points,
+            "deadline_met": self.deadline_met,
+            "deadline_missed": self.deadline_missed,
+            "tasks_with_deadline": self.tasks_with_deadline,
+            "tasks_met": self.tasks_met,
+            "tasks_missed": self.tasks_missed,
+            "tasks_lost": self.tasks_lost,
+            "deadline_met_rate": self.deadline_met_rate,
+            "queue_wait_s": self.queue_wait.summary(),
+            "end_to_end_s": self.end_to_end.summary(),
+        }
+
+
+class LedgerBook:
+    """Per-class ledgers plus the ``total`` roll-up, built from a serve
+    report's results and the driver's task map."""
+
+    TOTAL = "total"
+
+    def __init__(self) -> None:
+        self._ledgers: Dict[str, ClassLedger] = {}
+
+    def ledger(self, cls: str) -> ClassLedger:
+        name = cls or "default"
+        led = self._ledgers.get(name)
+        if led is None:
+            led = self._ledgers[name] = ClassLedger(name=name)
+        return led
+
+    def observe_attempt(self, r: SessionResult, is_retry: bool) -> None:
+        self.ledger(r.traffic_class).observe_attempt(r, is_retry)
+
+    def observe_task(self, attempts: List[SessionResult], had_deadline: bool) -> None:
+        self.ledger(attempts[-1].traffic_class).observe_task(attempts, had_deadline)
+
+    def total(self) -> ClassLedger:
+        """Merge every class into one roll-up ledger (computed fresh —
+        call after all observations)."""
+        out = ClassLedger(name=self.TOTAL)
+        for led in self._ledgers.values():
+            for attr in (
+                "offered",
+                "served",
+                "completed",
+                "degraded",
+                "replayed",
+                "shed",
+                "retries",
+                "points",
+                "good_points",
+                "deadline_met",
+                "deadline_missed",
+                "tasks",
+                "tasks_with_deadline",
+                "tasks_met",
+                "tasks_missed",
+                "tasks_lost",
+            ):
+                setattr(out, attr, getattr(out, attr) + getattr(led, attr))
+            out.queue_wait.merge(led.queue_wait)
+            out.end_to_end.merge(led.end_to_end)
+        return out
+
+    def classes(self) -> Dict[str, ClassLedger]:
+        """Per-class ledgers in sorted-name order, total last."""
+        out = {name: self._ledgers[name] for name in sorted(self._ledgers)}
+        out[self.TOTAL] = self.total()
+        return out

@@ -1,0 +1,108 @@
+"""PercentileLedger (PR 7, satellite 3): exact quantiles, cross-checked
+against the stdlib, plus merge/empty/streaming behaviour."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.resilience import PercentileLedger
+
+
+class TestQuantileExactness:
+    def test_matches_statistics_quantiles_inclusive(self):
+        """The ledger's quantile must agree with
+        statistics.quantiles(method='inclusive') at every percentile —
+        the same linear-interpolation definition, independently
+        implemented."""
+        rng = random.Random(20260808)
+        samples = [rng.lognormvariate(1.0, 1.2) for _ in range(473)]
+        led = PercentileLedger()
+        led.extend(samples)
+        cuts = statistics.quantiles(samples, n=100, method="inclusive")
+        for k in range(1, 100):
+            assert led.quantile(k / 100) == pytest.approx(cuts[k - 1], abs=1e-12)
+
+    def test_edge_quantiles_are_min_and_max(self):
+        led = PercentileLedger()
+        led.extend([5.0, 1.0, 3.0])
+        assert led.quantile(0.0) == 1.0
+        assert led.quantile(1.0) == 5.0
+        assert led.min == 1.0
+        assert led.max == 5.0
+
+    def test_single_sample_every_quantile(self):
+        led = PercentileLedger()
+        led.add(7.25)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert led.quantile(q) == 7.25
+
+    def test_interpolates_between_order_statistics(self):
+        led = PercentileLedger()
+        led.extend([0.0, 10.0])
+        assert led.quantile(0.25) == 2.5
+        assert led.quantile(0.5) == 5.0
+
+
+class TestEmptyAndErrors:
+    def test_empty_ledger_quantile_is_nan(self):
+        import math
+
+        led = PercentileLedger()
+        assert math.isnan(led.quantile(0.5))
+        assert led.count == 0
+        assert led.summary()["p50"] is None
+
+    def test_out_of_range_quantile_raises(self):
+        led = PercentileLedger()
+        led.add(1.0)
+        with pytest.raises(ValueError):
+            led.quantile(1.5)
+        with pytest.raises(ValueError):
+            led.quantile(-0.1)
+
+
+class TestMergeAndStreaming:
+    def test_merge_equals_union(self):
+        rng = random.Random(7)
+        xs = [rng.random() for _ in range(40)]
+        ys = [rng.random() for _ in range(17)]
+        a, b, u = PercentileLedger(), PercentileLedger(), PercentileLedger()
+        a.extend(xs)
+        b.extend(ys)
+        u.extend(xs + ys)
+        a.merge(b)
+        assert a.count == u.count
+        for q in (0.5, 0.95, 0.99):
+            assert a.quantile(q) == u.quantile(q)
+
+    def test_streaming_adds_after_query(self):
+        """Querying must not freeze the ledger — later adds count."""
+        led = PercentileLedger()
+        led.extend([1.0, 2.0, 3.0])
+        assert led.quantile(0.5) == 2.0
+        led.add(100.0)
+        assert led.count == 4
+        assert led.quantile(1.0) == 100.0
+        assert led.mean == pytest.approx(26.5)
+
+    def test_insertion_order_is_irrelevant(self):
+        rng = random.Random(11)
+        xs = [rng.gauss(0, 1) for _ in range(101)]
+        a, b = PercentileLedger(), PercentileLedger()
+        a.extend(xs)
+        b.extend(sorted(xs, reverse=True))
+        for q in (0.25, 0.5, 0.95, 0.99):
+            assert a.quantile(q) == b.quantile(q)
+
+    def test_percentiles_summary_shape(self):
+        led = PercentileLedger()
+        led.extend(float(i) for i in range(100))
+        pcts = led.percentiles()
+        assert set(pcts) == {"p50", "p95", "p99"}
+        s = led.summary()
+        assert s["count"] == 100
+        assert s["p50"] == pcts["p50"]
+        assert s["mean"] == pytest.approx(49.5)

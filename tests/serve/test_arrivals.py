@@ -1,0 +1,255 @@
+"""Open-loop serving (PR 7 tentpole, part c, + satellites 1-2):
+``serve_arrivals`` timeline semantics, mode equivalence, the per-class
+summary block, and the zero-wall throughput guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    AdmissionPolicy,
+    Arrival,
+    ServeReport,
+    SessionSpec,
+    SharedInstallation,
+    serve_arrivals,
+    serve_sessions,
+)
+from repro.serve.scheduler import WALL_S_FLOOR
+
+
+def _spec(name, wf=1.30, **kw):
+    return SessionSpec(name=name, points=(wf,), **kw)
+
+
+class TestTimeline:
+    def test_free_slot_admits_with_zero_wait(self):
+        report = serve_arrivals([Arrival(at_s=3.5, spec=_spec("a"))], dedup=False)
+        (r,) = report.results
+        assert r.arrival_s == 3.5
+        assert r.wait_s == 0.0
+        assert r.started_s == 3.5
+        assert r.finished_s == pytest.approx(3.5 + r.virtual_s)
+
+    def test_wait_charged_from_arrival_not_handover(self):
+        """With one live slot, the second arrival waits exactly from its
+        own arrival instant to the first session's departure."""
+        report = serve_arrivals(
+            [
+                Arrival(at_s=0.0, spec=_spec("first", 1.30)),
+                Arrival(at_s=2.0, spec=_spec("second", 1.34)),
+            ],
+            dedup=False,
+            admission=AdmissionPolicy(max_live=1, max_parked=4),
+        )
+        first, second = report.results
+        assert first.wait_s == 0.0
+        departure = first.finished_s
+        assert second.wait_s == pytest.approx(departure - 2.0)
+        assert second.started_s == pytest.approx(departure)
+        assert report.parked == 1
+
+    def test_late_arrival_into_idle_installation_waits_zero(self):
+        """Open-loop is not batch: a session arriving after everything
+        drained sees an idle installation, not a backlog."""
+        report = serve_arrivals(
+            [
+                Arrival(at_s=0.0, spec=_spec("early", 1.30)),
+                Arrival(at_s=500.0, spec=_spec("late", 1.34)),
+            ],
+            dedup=False,
+            admission=AdmissionPolicy(max_live=1, max_parked=4),
+        )
+        late = report.by_name("late")
+        assert late.wait_s == 0.0
+        assert late.started_s == 500.0
+
+    def test_pair_form_and_input_order_ties(self):
+        report = serve_arrivals(
+            [(1.0, _spec("x", 1.30)), (1.0, _spec("y", 1.34))], dedup=False
+        )
+        assert [r.name for r in report.results] == ["x", "y"]
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            serve_arrivals([(-0.1, _spec("bad"))])
+
+    def test_makespan_spans_arrival_horizon(self):
+        report = serve_arrivals([Arrival(at_s=40.0, spec=_spec("a"))], dedup=False)
+        assert report.makespan_virtual_s == pytest.approx(40.0 + report.results[0].virtual_s)
+
+
+class TestAdmissionUnderLoad:
+    def test_queue_full_sheds_with_reason(self):
+        report = serve_arrivals(
+            [
+                (0.0, _spec("a", 1.30)),
+                (0.1, _spec("b", 1.34)),
+                (0.2, _spec("c", 1.38)),
+            ],
+            dedup=False,
+            admission=AdmissionPolicy(max_live=1, max_parked=1),
+        )
+        c = report.by_name("c")
+        assert c.status == "shed"
+        assert "queue full" in c.shed_reason
+
+    def test_higher_priority_arrival_displaces_parked(self):
+        report = serve_arrivals(
+            [
+                (0.0, _spec("live", 1.30)),
+                (0.1, _spec("parked-low", 1.34, priority=0)),
+                (0.2, _spec("vip", 1.38, priority=2)),
+            ],
+            dedup=False,
+            admission=AdmissionPolicy(max_live=1, max_parked=1),
+        )
+        assert report.by_name("parked-low").status == "shed"
+        assert "displaced" in report.by_name("parked-low").shed_reason
+        assert report.by_name("vip").status in ("completed", "degraded")
+
+    def test_deadline_expired_while_parked_is_shed(self):
+        """A 1-point session runs ~6 virtual s; a parked deadline of 2 s
+        cannot survive the wait and must be shed, not run to a miss."""
+        report = serve_arrivals(
+            [
+                (0.0, _spec("hog", 1.30)),
+                (0.1, _spec("doomed", 1.34, deadline_s=2.0)),
+            ],
+            dedup=False,
+            admission=AdmissionPolicy(max_live=1, max_parked=2),
+        )
+        doomed = report.by_name("doomed")
+        assert doomed.status == "shed"
+        assert doomed.deadline_met is False
+        assert "deadline" in doomed.shed_reason
+
+    def test_on_shed_retry_reoffered_on_timeline(self):
+        retries = []
+
+        def on_shed(ctx, now):
+            if "#" in ctx.spec.name:
+                return None
+            retries.append(now)
+            from dataclasses import replace
+
+            return (now + 50.0, replace(ctx.spec, name=ctx.spec.name + "#r1"))
+
+        report = serve_arrivals(
+            [
+                (0.0, _spec("hog", 1.30)),
+                (0.1, _spec("shedme", 1.34)),
+            ],
+            dedup=False,
+            admission=AdmissionPolicy(max_live=1, max_parked=0),
+            on_shed=on_shed,
+        )
+        assert len(retries) == 1
+        retry = report.by_name("shedme#r1")
+        # re-offered 50 s after the shed, well past the hog's departure
+        assert retry.status in ("completed", "degraded")
+        assert retry.arrival_s == pytest.approx(retries[0] + 50.0)
+        assert retry.wait_s == 0.0
+
+
+class TestDedupAndModes:
+    def test_duplicate_workload_replays_without_slot(self):
+        spec = _spec("orig", 1.30)
+        from dataclasses import replace
+
+        report = serve_arrivals(
+            [
+                (0.0, spec),
+                (100.0, replace(spec, name="twin")),
+            ],
+            admission=AdmissionPolicy(max_live=1, max_parked=0),
+        )
+        twin = report.by_name("twin")
+        assert twin.replayed
+        assert report.cache_hits == 1
+        assert twin.digest == report.by_name("orig").digest
+
+    def test_inline_and_thread_identical(self):
+        arrivals = [
+            (0.0, _spec("a", 1.30)),
+            (1.0, _spec("b", 1.34, deadline_s=25.0)),
+            (2.0, _spec("c", 1.38, priority=1)),
+            (3.0, _spec("d", 1.42)),
+            (3.0, _spec("e", 1.30)),  # dup of a: replay path
+        ]
+        kw = dict(admission=AdmissionPolicy(max_live=2, max_parked=2))
+        inline = serve_arrivals(arrivals, mode="inline", **kw)
+        threaded = serve_arrivals(arrivals, mode="thread", workers=4, **kw)
+        for i, t in zip(inline.results, threaded.results):
+            assert (i.name, i.status, i.digest, i.wait_s, i.virtual_s) == (
+                t.name,
+                t.status,
+                t.digest,
+                t.wait_s,
+                t.virtual_s,
+            )
+
+
+class TestReportSatellites:
+    def _tiny_report(self, wall_s):
+        return ServeReport(
+            results=[],
+            wall_s=wall_s,
+            mode="inline",
+            workers=1,
+            live=0,
+            replayed=0,
+            cache_hits=0,
+            cache_misses=0,
+        )
+
+    def test_zero_wall_reports_zero_not_inf(self):
+        report = self._tiny_report(0.0)
+        assert report.points_per_s == 0.0
+        assert report.sessions_per_s == 0.0
+        summary = report.summary()
+        assert "wall_s_note" in summary
+        assert f"{WALL_S_FLOOR:g}" in summary["wall_s_note"]
+
+    def test_normal_wall_has_no_floor_note(self):
+        summary = self._tiny_report(0.5).summary()
+        assert "wall_s_note" not in summary
+        assert summary["points_per_s"] == 0.0  # no points, real wall
+
+    def test_summary_surfaces_op_cache_and_classes(self):
+        spec = SessionSpec(
+            name="s",
+            points=(1.30, 1.34),
+            op_cache=True,
+            traffic_class="interactive",
+        )
+        report = serve_sessions(
+            [spec], installation=SharedInstallation.standard(), dedup=False
+        )
+        summary = report.summary()
+        # cold cache: first point is a cold solve, the second warm-starts
+        # off the stored neighbour
+        assert summary["op_miss"] == 1
+        assert summary["op_near"] == 1
+        assert summary["op_exact"] == 0
+        cls = summary["classes"]["interactive"]
+        assert cls["sessions"] == 1
+        assert cls["points"] == 2
+        assert cls["queue_wait_s"]["count"] == 1
+        assert cls["end_to_end_s"]["p95"] == pytest.approx(
+            report.results[0].end_to_end_s
+        )
+
+    def test_shed_sessions_add_no_latency_samples(self):
+        report = serve_sessions(
+            [
+                SessionSpec(name="a", points=(1.30,), traffic_class="t"),
+                SessionSpec(name="b", points=(1.34,), traffic_class="t"),
+                SessionSpec(name="c", points=(1.38,), traffic_class="t"),
+            ],
+            dedup=False,
+            admission=AdmissionPolicy(max_live=1, max_parked=1),
+        )
+        cls = report.summary()["classes"]["t"]
+        assert cls["shed"] == 1
+        assert cls["queue_wait_s"]["count"] == 2
