@@ -428,7 +428,12 @@ class NPSSExecutive:
         workloads deduplicated through the installation's cache.
         ``admission`` is an optional
         :class:`~repro.serve.scheduler.AdmissionPolicy` bounding
-        concurrency under overload.  Returns the
+        concurrency under overload.  ``mode="shard"`` scales across
+        cores: sessions are dealt to ``workers`` OS processes, each
+        serving on its own installation replica, with digests and
+        virtual times bitwise-identical to inline (see
+        :mod:`repro.serve.shards`; ``installation`` must be None — a
+        live one cannot cross the process boundary).  Returns the
         :class:`~repro.serve.scheduler.ServeReport`.
         """
         from ..serve import serve_sessions

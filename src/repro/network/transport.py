@@ -151,6 +151,19 @@ class Transport:
     # is order-sensitive and instead disables the pool entirely)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
+    def __reduce__(self):
+        # pickling a live transport (locks, per-trunk busy times, shared
+        # counters) would ship interpreter state across a process
+        # boundary; fail with the typed shard error, not a pickle trace
+        from ..serve.shards import NotShardSafe
+
+        raise NotShardSafe(
+            "live Transport (locks, trunk-occupancy state, traffic "
+            "counters) cannot cross a process boundary; shard workers "
+            "build their own installation replica — ship SessionSpec "
+            "wire frames instead (see repro.serve.shards)"
+        )
+
     def _trunk_key(self, src: Machine, dst: Machine):
         if src.site == dst.site:
             # LAN/campus segments keyed per subnet pair

@@ -63,6 +63,17 @@ class PercentileLedger:
         self.total += other.total
         self._dirty = True
 
+    @classmethod
+    def merged(cls, ledgers: Iterable["PercentileLedger"]) -> "PercentileLedger":
+        """One ledger folding every input in — how per-shard (or
+        per-class) ledgers roll up into a single report row.  Exactness
+        makes the fold order-independent: the merged quantiles equal
+        those of the concatenated sample set, however it was sharded."""
+        out = cls()
+        for led in ledgers:
+            out.merge(led)
+        return out
+
     # ------------------------------------------------------------ queries
     @property
     def count(self) -> int:

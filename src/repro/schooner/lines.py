@@ -163,6 +163,15 @@ class LinePool:
         self._lock = threading.Lock()
         self._closed = False
 
+    def __reduce__(self):
+        from ..serve.shards import NotShardSafe
+
+        raise NotShardSafe(
+            "live LinePool (per-line worker threads) cannot cross a "
+            "process boundary; threads do not survive fork/spawn — each "
+            "shard worker creates its own pool (see repro.serve.shards)"
+        )
+
     def submit(self, line_id: str, fn: Callable[[], None]) -> "Future":
         with self._lock:
             if self._closed:

@@ -19,8 +19,18 @@ from .scheduler import (
     serve_sessions,
 )
 from .session import TABLE2_PLACEMENT, SessionContext, SessionResult, SessionSpec
+from .shards import (
+    NotShardSafe,
+    ShardPool,
+    ShardProtocolError,
+    serve_sessions_sharded,
+)
 
 __all__ = [
+    "NotShardSafe",
+    "ShardPool",
+    "ShardProtocolError",
+    "serve_sessions_sharded",
     "AdmissionPolicy",
     "Arrival",
     "serve_arrivals",

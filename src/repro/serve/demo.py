@@ -67,10 +67,15 @@ def main(argv: Optional[Sequence[str]] = None) -> ServeReport:
     parser.add_argument("--classes", type=int, default=4, help="distinct workload classes")
     parser.add_argument("--points", type=int, default=3, help="steady points per session")
     parser.add_argument(
-        "--mode", choices=("inline", "thread"), default="inline",
-        help="scheduler mode (results are identical; inline is the baseline)",
+        "--mode", choices=("inline", "thread", "shard"), default="inline",
+        help="scheduler mode (results are identical; inline is the baseline; "
+             "shard deals sessions across OS worker processes)",
     )
-    parser.add_argument("--workers", type=int, default=4, help="thread-mode wave width")
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="thread-mode wave width / shard-mode worker process count "
+             "(shard mode with --workers 0 falls back to inline)",
+    )
     parser.add_argument(
         "--no-dedup", action="store_true",
         help="disable the workload cache (every session runs live)",
@@ -110,7 +115,8 @@ def main(argv: Optional[Sequence[str]] = None) -> ServeReport:
         print(json.dumps(payload, indent=2))
         return report
 
-    print(f"serving {report.sessions} sessions ({report.mode} mode, dedup "
+    workers_note = f", {report.workers} worker processes" if report.mode == "shard" else ""
+    print(f"serving {report.sessions} sessions ({report.mode} mode{workers_note}, dedup "
           f"{'off' if args.no_dedup else 'on'})")
     print(f"{'session':<12} {'ran':<8} {'points':>6} {'virtual s':>10}  digest")
     for r in report.results:
@@ -128,6 +134,13 @@ def main(argv: Optional[Sequence[str]] = None) -> ServeReport:
             f"op-point cache: {report.op_exact} exact (solve skipped), "
             f"{report.op_near} near (warm-started), {report.op_miss} cold"
         )
+    if report.shard_rows:
+        for row in report.shard_rows:
+            print(
+                f"shard {row['shard']}: {row['sessions']} sessions "
+                f"({row['live']} live + {row['replayed']} replayed), "
+                f"{row['points']} points in {row['wall_s'] * 1e3:.1f} ms"
+            )
     return report
 
 

@@ -129,6 +129,16 @@ class SharedInstallation:
     #: cannot amplify into a cross-session retry storm
     retry_budget: RetryBudget = field(default_factory=RetryBudget)
 
+    def __reduce__(self):
+        from .shards import NotShardSafe
+
+        raise NotShardSafe(
+            "live SharedInstallation (park lock, workload/op-point "
+            "caches, retry-budget bucket) cannot cross a process "
+            "boundary; each shard worker builds its own replica via "
+            "SharedInstallation.standard() — see repro.serve.shards"
+        )
+
     @classmethod
     def standard(cls) -> "SharedInstallation":
         """The paper's machine park on the three-tier network, with the

@@ -120,6 +120,10 @@ class ServeReport:
     op_exact: int = 0  # op-point cache: solves skipped outright
     op_near: int = 0  # op-point cache: seeded/interpolated warm starts
     op_miss: int = 0  # op-point cache: cold solves
+    #: per-shard breakdown rows (process-sharded serving only)
+    shard_rows: Optional[List[dict]] = None
+    #: settled cross-shard retry-budget snapshot (sharded + resilient only)
+    retry_budget: Optional[dict] = None
 
     @property
     def sessions(self) -> int:
@@ -249,6 +253,10 @@ class ServeReport:
             "makespan_virtual_s": self.makespan_virtual_s,
             "classes": self.class_stats(),
         }
+        if self.shard_rows is not None:
+            out["shards"] = self.shard_rows
+        if self.retry_budget is not None:
+            out["retry_budget"] = self.retry_budget
         if self.wall_s <= WALL_S_FLOOR:
             out["wall_s_note"] = (
                 f"wall_s {self.wall_s!r} at or below the {WALL_S_FLOOR:g}s "
@@ -280,7 +288,24 @@ def serve_sessions(
     A session step that raises is *contained*: the session finishes as
     ``degraded`` (carrying the error) and is torn down; the other
     sessions keep being served.
+
+    ``mode="shard"`` scales across cores: sessions are dealt to
+    ``workers`` OS processes, each serving inline on its own
+    installation replica (see :mod:`repro.serve.shards`).  Digests and
+    virtual times stay bitwise-identical to inline mode; a live
+    ``installation`` cannot be passed (each shard builds its own).
     """
+    if mode == "shard":
+        from .shards import serve_sessions_sharded
+
+        return serve_sessions_sharded(
+            specs,
+            workers=workers,
+            dedup=dedup,
+            wall_parallel=wall_parallel,
+            admission=admission,
+            installation=installation,
+        )
     if mode not in ("inline", "thread"):
         raise ValueError(f"unknown serve mode {mode!r}")
     installation = installation or SharedInstallation.standard()

@@ -1,0 +1,721 @@
+"""Process-sharded serving: scale ``repro.serve`` across cores.
+
+The paper's deployment model is one Schooner Server per machine, with
+the simulation spread over heterogeneous hosts.  The in-process serve
+plane (:mod:`repro.serve.scheduler`) multiplexes every session on one
+interpreter, so its ~5x speedup comes from virtual-time scheduling, not
+cores — wall-clock ``points_per_s`` is GIL-bound.  This module is the
+Server-per-machine analogue for the serving layer itself: a
+:class:`ShardPool` spawns N OS worker processes, each holding its own
+:class:`~repro.serve.installation.SharedInstallation` replica and
+virtual-time scheduler, and sessions are dealt across them.
+
+Three disciplines make sharding *exact* rather than approximate:
+
+* **Deterministic placement by family.**  Sessions hash to a shard by
+  their op-point-cache family (or workload key when they carry none),
+  so every pair of sessions that could interact — workload-cache
+  leader/follower chains, op-point-cache operating-line families —
+  lands on the same shard.  A session's trace stream is a pure function
+  of its spec plus those interactions, so per-session digests and
+  virtual times are bitwise-identical to inline serving (the
+  differential tests in tests/serve/test_shards.py hold the plane to
+  that).  Placement is rounded out by a work-stealing rebalance: whole
+  family groups migrate from the most-loaded shard to any shard the
+  hash left idle, before anything runs.
+
+* **The zero-copy wire discipline crosses the process boundary.**
+  Session specs and results travel as struct-packed frames over pipes:
+  the 32-byte RPC header layout (:data:`repro.network.transport.HEADER_STRUCT`
+  — call id, kind tag, payload size, src/dst tags, deadline) fronting a
+  canonical-JSON payload, assembled in a pooled
+  :class:`~repro.uts.buffers.BufferPool` buffer and handed to the pipe
+  in one piece.  Live runtime objects never cross: anything holding
+  interpreter state (a ``Transport``, a ``SharedInstallation``, a
+  ``LinePool``) raises the typed :class:`NotShardSafe` instead of an
+  opaque pickle traceback.
+
+* **The SLO machinery spans shards.**  The shared
+  :class:`~repro.resilience.budget.RetryBudget` becomes a
+  parent-arbitrated token lease (each worker draws on a pre-granted
+  slice, settled back at merge), global ``max_live`` admission is
+  partitioned across shards proportionally to their load, and the
+  per-shard reports merge into one :class:`ServeReport` — counters
+  summed, percentile ledgers folded (exact, so order-independent), and
+  a per-shard breakdown in ``summary()`` for spotting imbalance.
+
+Shedding semantics: the *static* admission tier (queue-full rejection)
+is judged by the parent over the global ranked list, exactly as inline
+serving does, so the shed set and reasons are identical.  Deadline
+expiry *while parked* is judged inside each shard against that shard's
+own queue — with deadline-carrying parked sessions, per-shard waits can
+differ from the single global queue's (documented in
+docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+from zlib import crc32
+
+from ..network.transport import HEADER_STRUCT, NO_DEADLINE
+from ..resilience.budget import RetryBudget
+from ..uts.buffers import WIRE_BUFFERS
+from .installation import SharedInstallation
+from .scheduler import AdmissionPolicy, ServeReport, serve_sessions
+from .session import SessionContext, SessionResult, SessionSpec
+
+__all__ = [
+    "NotShardSafe",
+    "ShardProtocolError",
+    "ShardPool",
+    "serve_sessions_sharded",
+    "spec_to_wire",
+    "spec_from_wire",
+    "result_to_wire",
+    "result_from_wire",
+]
+
+
+class NotShardSafe(TypeError):
+    """A live runtime object was about to cross a process boundary.
+
+    Raised eagerly, with the object named, instead of letting ``pickle``
+    fail deep inside ``multiprocessing`` with an opaque traceback.  The
+    shard plane ships *descriptions* (session specs, result rows) as
+    framed wire payloads; objects that own interpreter state — locks,
+    sockets-in-spirit, thread pools, pooled buffers — stay put.
+    """
+
+
+class ShardProtocolError(RuntimeError):
+    """A malformed frame on the parent<->worker pipe: unknown kind tag,
+    truncated payload, or a header/payload length mismatch."""
+
+
+# --------------------------------------------------------------------------
+# wire frames: 32-byte packed header + canonical-JSON payload
+# --------------------------------------------------------------------------
+
+#: frame kinds on the shard pipe; the header carries crc32(kind)
+_FRAME_KINDS = ("shard-serve", "shard-result", "shard-error", "shard-exit")
+_KIND_BY_CRC = {crc32(k.encode()): k for k in _FRAME_KINDS}
+_frame_ids = itertools.count()
+
+#: types that must never cross the process boundary (satellite 1);
+#: resolved lazily so importing shards stays cheap
+def _live_types() -> tuple:
+    from ..network.transport import Transport
+    from ..schooner.lines import LinePool
+    from ..schooner.runtime import SchoonerEnvironment
+    from ..uts.buffers import BufferPool
+
+    return (Transport, SharedInstallation, LinePool, SchoonerEnvironment, BufferPool)
+
+
+def assert_shard_safe(obj, path: str = "payload") -> None:
+    """Walk a payload tree and raise :class:`NotShardSafe` (naming the
+    offending object and where it sat) if any live runtime object is
+    present.  Containers recurse; JSON scalars pass."""
+    if isinstance(obj, _live_types()):
+        raise NotShardSafe(
+            f"live {type(obj).__name__} at {path} cannot cross a process "
+            f"boundary: shard workers hold their own installation replica — "
+            f"ship SessionSpec/SessionResult wire frames instead "
+            f"(see repro.serve.shards)"
+        )
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            assert_shard_safe(k, f"{path}[{k!r}] (key)")
+            assert_shard_safe(v, f"{path}[{k!r}]")
+    elif isinstance(obj, (list, tuple)):
+        for i, v in enumerate(obj):
+            assert_shard_safe(v, f"{path}[{i}]")
+    elif obj is not None and not isinstance(obj, (str, int, float, bool)):
+        raise NotShardSafe(
+            f"{type(obj).__name__} at {path} is not shard-serializable; "
+            f"shard frames carry JSON scalars and containers only"
+        )
+
+
+def send_frame(conn, kind: str, payload_obj, src: str, dst: str,
+               deadline_s: Optional[float] = None) -> None:
+    """Frame ``payload_obj`` and write it to ``conn`` in one piece.
+
+    The frame reuses the RPC runtime's 32-byte packed header
+    (:data:`HEADER_STRUCT`: call id, kind tag, payload size, src/dst
+    tags, propagated deadline) and assembles header + payload in a
+    pooled buffer — the same zero-copy encode discipline the in-process
+    wire path uses, extended across the pipe."""
+    if kind not in _FRAME_KINDS:
+        raise ShardProtocolError(f"unknown frame kind {kind!r}")
+    payload = (
+        b""
+        if payload_obj is None
+        else json.dumps(payload_obj, sort_keys=True, separators=(",", ":")).encode()
+    )
+    buf = WIRE_BUFFERS.acquire()
+    try:
+        buf += HEADER_STRUCT.pack(
+            next(_frame_ids) & 0xFFFFFFFF,
+            crc32(kind.encode()),
+            len(payload),
+            crc32(src.encode()),
+            crc32(dst.encode()),
+            NO_DEADLINE if deadline_s is None else deadline_s,
+        )
+        buf += payload
+        conn.send_bytes(buf)
+    finally:
+        try:
+            WIRE_BUFFERS.release(buf)
+        except BufferError:
+            # an aborted send (broken pipe mid-write) can leave the
+            # pipe's internal memoryview exported over the buffer; drop
+            # the buffer rather than poison the pool
+            pass
+
+
+def recv_frame(conn) -> Tuple[str, Optional[dict]]:
+    """Read one frame; returns ``(kind, payload)`` after validating the
+    header against the payload actually received."""
+    data = conn.recv_bytes()
+    if len(data) < HEADER_STRUCT.size:
+        raise ShardProtocolError(
+            f"runt frame: {len(data)} bytes < {HEADER_STRUCT.size}-byte header"
+        )
+    _msg_id, kind_crc, nbytes, _src, _dst, _deadline = HEADER_STRUCT.unpack_from(data)
+    kind = _KIND_BY_CRC.get(kind_crc)
+    if kind is None:
+        raise ShardProtocolError(f"unknown frame kind tag 0x{kind_crc:08x}")
+    body = memoryview(data)[HEADER_STRUCT.size :]
+    if len(body) != nbytes:
+        raise ShardProtocolError(
+            f"{kind}: header claims {nbytes} payload bytes, got {len(body)}"
+        )
+    payload = json.loads(bytes(body)) if nbytes else None
+    return kind, payload
+
+
+# --------------------------------------------------------------------------
+# spec / result codecs
+# --------------------------------------------------------------------------
+
+def spec_to_wire(spec: SessionSpec) -> dict:
+    """A :class:`SessionSpec` as a shard-safe wire dict.
+
+    Fault-plan sessions are refused: a live plan drives an injector that
+    owns mutable park/network state on *its* installation — shipping it
+    to a shard would silently change which park the faults hit."""
+    if spec.fault_plan is not None:
+        raise NotShardSafe(
+            f"session {spec.name!r} carries a live fault plan; fault-injection "
+            f"sessions mutate shared park/network state and cannot cross a "
+            f"process boundary — serve them inline (workers=0)"
+        )
+    wire = {
+        "name": spec.name,
+        "points": list(spec.points),
+        "placement": dict(spec.placement),
+        "altitude_m": spec.altitude_m,
+        "mach": spec.mach,
+        "transient_s": spec.transient_s,
+        "transient_dt": spec.transient_dt,
+        "avs_machine": spec.avs_machine,
+        "dispatch": spec.dispatch,
+        "deadline_s": spec.deadline_s,
+        "priority": spec.priority,
+        "traffic_class": spec.traffic_class,
+        "resilient": spec.resilient,
+        "op_cache": spec.op_cache,
+    }
+    assert_shard_safe(wire, f"spec {spec.name!r}")
+    return wire
+
+
+def spec_from_wire(wire: dict) -> SessionSpec:
+    return SessionSpec(
+        name=wire["name"],
+        points=tuple(wire["points"]),
+        placement=dict(wire["placement"]),
+        altitude_m=wire["altitude_m"],
+        mach=wire["mach"],
+        transient_s=wire["transient_s"],
+        transient_dt=wire["transient_dt"],
+        avs_machine=wire["avs_machine"],
+        dispatch=wire["dispatch"],
+        deadline_s=wire["deadline_s"],
+        priority=wire["priority"],
+        traffic_class=wire["traffic_class"],
+        resilient=wire["resilient"],
+        op_cache=wire["op_cache"],
+    )
+
+
+def result_to_wire(r: SessionResult) -> dict:
+    return {
+        "name": r.name,
+        "workload_key": r.workload_key,
+        "replayed": r.replayed,
+        "results": r.results,
+        "transient": r.transient,
+        "virtual_s": r.virtual_s,
+        "digest": r.digest,
+        "traces": r.traces,
+        "messages": r.messages,
+        "payload_bytes": r.payload_bytes,
+        "header_bytes": r.header_bytes,
+        "net_virtual_s": r.net_virtual_s,
+        "fault_log": [list(entry) for entry in r.fault_log],
+        "status": r.status,
+        "shed_reason": r.shed_reason,
+        "wait_s": r.wait_s,
+        "deadline_met": r.deadline_met,
+        "error": r.error,
+        "arrival_s": r.arrival_s,
+        "traffic_class": r.traffic_class,
+    }
+
+
+def result_from_wire(wire: dict) -> SessionResult:
+    kw = dict(wire)
+    kw["fault_log"] = [tuple(entry) for entry in kw.get("fault_log", [])]
+    return SessionResult(**kw)
+
+
+# --------------------------------------------------------------------------
+# placement: deterministic family hashing + work-stealing rebalance
+# --------------------------------------------------------------------------
+
+def shard_family(spec: SessionSpec) -> str:
+    """The key sessions co-locate by: the op-point-cache operating-line
+    family when the spec opts in (cross-workload sharing must stay
+    intra-shard for op-cache locality), else the workload key (so
+    leader/follower dedup chains stay intra-shard)."""
+    return spec.op_family() or f"wk:{spec.workload_key()}"
+
+
+def assign_shards(
+    indexed: Sequence[Tuple[int, SessionSpec]], workers: int
+) -> List[List[Tuple[int, SessionSpec]]]:
+    """Deal ``(seq, spec)`` pairs into ``workers`` buckets.
+
+    Whole family groups hash to a shard (crc32 of the family key — a
+    stable hash, identical across interpreters and runs), then the
+    work-stealing pass rebalances: while moving one family group from
+    the most-loaded shard to the least-loaded strictly lowers the pair's
+    peak, the group that lowers it most migrates — which both fills
+    shards the hash left idle and splits hash-collision pileups.
+    Deterministic: loads, donor/recipient choice, and the migrated
+    group are all totally ordered."""
+    groups: Dict[str, List[Tuple[int, SessionSpec]]] = {}
+    for seq, spec in indexed:
+        groups.setdefault(shard_family(spec), []).append((seq, spec))
+
+    assign: List[List[str]] = [[] for _ in range(workers)]
+    for fam in sorted(groups):
+        assign[crc32(fam.encode()) % workers].append(fam)
+
+    def shard_load(w: int) -> int:
+        return sum(len(groups[f]) for f in assign[w])
+
+    while True:
+        loads = [shard_load(w) for w in range(workers)]
+        donor = max(range(workers), key=lambda w: (loads[w], -w))
+        recipient = min(range(workers), key=lambda w: (loads[w], w))
+        moves = [
+            (max(loads[donor] - len(groups[f]), loads[recipient] + len(groups[f])), f)
+            for f in assign[donor]
+        ]
+        best = min(moves, default=None, key=lambda m: m)
+        if best is None or best[0] >= loads[donor]:
+            break  # no single-group move lowers the peak
+        assign[donor].remove(best[1])
+        assign[recipient].append(best[1])
+
+    out: List[List[Tuple[int, SessionSpec]]] = []
+    for w in range(workers):
+        bucket = [pair for fam in assign[w] for pair in groups[fam]]
+        bucket.sort(key=lambda p: p[0])  # preserve admission order in-shard
+        out.append(bucket)
+    return out
+
+
+def partition_live_slots(total: int, counts: Sequence[int]) -> List[Optional[int]]:
+    """Split a global ``max_live`` across shards proportionally to their
+    session counts (largest-remainder rounding, every non-empty shard
+    granted at least one slot so partitioned admission can never
+    deadlock a shard).  ``None`` entries mean "no bound" (empty shard)."""
+    weight = sum(counts)
+    if weight == 0:
+        return [None] * len(counts)
+    quotas = [total * c / weight for c in counts]
+    slots = [max(1, int(q)) if c else 0 for q, c in zip(quotas, counts)]
+    remainder = total - sum(slots)
+    if remainder > 0:
+        order = sorted(
+            range(len(counts)),
+            key=lambda i: (-(quotas[i] - int(quotas[i])), i),
+        )
+        for i in itertools.islice(itertools.cycle(order), remainder):
+            if counts[i]:
+                slots[i] += 1
+                remainder -= 1
+                if remainder == 0:
+                    break
+    return [s if c else None for s, c in zip(slots, counts)]
+
+
+# --------------------------------------------------------------------------
+# the worker process (spawn-safe: module-level entrypoint, no closures)
+# --------------------------------------------------------------------------
+
+def _shard_worker_main(conn, shard_id: int) -> None:
+    """One shard worker: an installation replica served round after
+    round until the parent says exit.  Importable at module level so
+    ``spawn`` start methods (fresh interpreter, re-import by name) work
+    as well as ``fork``."""
+    try:
+        while True:
+            try:
+                kind, payload = recv_frame(conn)
+            except EOFError:
+                break
+            if kind == "shard-exit":
+                break
+            if kind != "shard-serve":
+                send_frame(
+                    conn, "shard-error",
+                    {"shard": shard_id, "error": f"unexpected frame {kind!r}"},
+                    src=f"shard-{shard_id}", dst="parent",
+                )
+                continue
+            try:
+                reply = _serve_one_round(shard_id, payload)
+                send_frame(conn, "shard-result", reply,
+                           src=f"shard-{shard_id}", dst="parent")
+            except Exception:
+                send_frame(
+                    conn, "shard-error",
+                    {"shard": shard_id, "error": traceback.format_exc()},
+                    src=f"shard-{shard_id}", dst="parent",
+                )
+    finally:
+        conn.close()
+
+
+def _serve_one_round(shard_id: int, payload: dict) -> dict:
+    """Serve one round's specs on this worker's fresh installation
+    replica and return the wire report."""
+    specs = [spec_from_wire(w) for w in payload["specs"]]
+    installation = SharedInstallation.standard()
+    lease = payload.get("budget")
+    if lease is not None:
+        installation.retry_budget = RetryBudget(
+            capacity=lease["capacity"],
+            deposit=lease["deposit"],
+            tokens=lease["tokens"],
+        )
+    adm = payload.get("admission")
+    admission = (
+        AdmissionPolicy(max_live=adm["max_live"], max_parked=adm["max_parked"])
+        if adm is not None
+        else None
+    )
+    report = serve_sessions(
+        specs,
+        installation=installation,
+        mode="inline",
+        dedup=payload["dedup"],
+        wall_parallel=payload["wall_parallel"],
+        admission=admission,
+    )
+    return {
+        "shard": shard_id,
+        "seqs": payload["seqs"],
+        "results": [result_to_wire(r) for r in report.results],
+        "wall_s": report.wall_s,
+        "live": report.live,
+        "replayed": report.replayed,
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+        "parked": report.parked,
+        "op_exact": report.op_exact,
+        "op_near": report.op_near,
+        "op_miss": report.op_miss,
+        "budget": installation.retry_budget.snapshot() if lease is not None else None,
+    }
+
+
+def _default_start_method() -> str:
+    import multiprocessing
+
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+class ShardPool:
+    """N shard worker processes behind framed pipes.
+
+    Workers are spawned once and reused across serve rounds (a
+    long-running server's pool), each holding its own installation
+    replica per round.  Use as a context manager, or :meth:`close`
+    explicitly — close sends every worker an exit frame and joins it.
+    """
+
+    def __init__(self, workers: int, start_method: Optional[str] = None):
+        import multiprocessing
+
+        if workers < 1:
+            raise ValueError(f"ShardPool needs >= 1 worker, got {workers!r}")
+        self.workers = workers
+        self.start_method = start_method or _default_start_method()
+        ctx = multiprocessing.get_context(self.start_method)
+        self._procs = []
+        self._conns = []
+        for i in range(workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, i),
+                name=f"serve-shard-{i}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._closed = False
+
+    def serve_round(self, payloads: Sequence[Optional[dict]]) -> List[Optional[dict]]:
+        """Dispatch one serve frame per shard (``None`` skips the shard)
+        and collect every reply.  Workers run concurrently; the parent
+        blocks until all replies are in.  A worker-side failure
+        re-raises here with the worker's traceback."""
+        if self._closed:
+            raise RuntimeError("ShardPool is closed")
+        active = []
+        for i, payload in enumerate(payloads):
+            if payload is None:
+                continue
+            send_frame(self._conns[i], "shard-serve", payload,
+                       src="parent", dst=f"shard-{i}")
+            active.append(i)
+        replies: List[Optional[dict]] = [None] * len(payloads)
+        for i in active:
+            kind, reply = recv_frame(self._conns[i])
+            if kind == "shard-error":
+                raise RuntimeError(
+                    f"shard {i} failed:\n{reply['error'] if reply else '?'}"
+                )
+            if kind != "shard-result":
+                raise ShardProtocolError(
+                    f"shard {i}: expected shard-result, got {kind}"
+                )
+            replies[i] = reply
+        return replies
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                send_frame(conn, "shard-exit", None, src="parent", dst="shard")
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung-worker backstop
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------
+# the parent-side serve entrypoint
+# --------------------------------------------------------------------------
+
+def serve_sessions_sharded(
+    specs: Sequence[SessionSpec],
+    workers: int = 2,
+    dedup: bool = True,
+    wall_parallel: bool = False,
+    admission: Optional[AdmissionPolicy] = None,
+    installation: Optional[SharedInstallation] = None,
+    start_method: Optional[str] = None,
+    pool: Optional[ShardPool] = None,
+) -> ServeReport:
+    """Serve ``specs`` across ``workers`` OS processes and merge the
+    per-shard reports into one :class:`ServeReport`.
+
+    ``workers=0`` is the inline baseline: the whole batch on this
+    interpreter, byte-identical results — the contrast arm of the
+    differential tests.  ``pool`` reuses an existing :class:`ShardPool`
+    (a long-running server amortizing worker startup); otherwise a pool
+    is spawned for the call and torn down after.
+
+    A live ``installation`` cannot be shipped to workers — each shard
+    builds its own replica — so passing one raises
+    :class:`NotShardSafe`.
+    """
+    if installation is not None:
+        raise NotShardSafe(
+            "a live SharedInstallation (locks, machine park, thread state) "
+            "cannot cross a process boundary; shard workers each build their "
+            "own replica — pass installation=None for sharded serving"
+        )
+    if workers <= 0:
+        return serve_sessions(
+            specs, mode="inline", dedup=dedup,
+            wall_parallel=wall_parallel, admission=admission,
+        )
+    t0 = time.perf_counter()
+    admission = admission or AdmissionPolicy()
+
+    # static admission tier, judged by the parent over the *global*
+    # ranked list — exactly the inline scheduler's slicing, so the shed
+    # set and the reasons match inline mode bitwise
+    contexts = [SessionContext(spec, None, seq=i) for i, spec in enumerate(specs)]
+    ranked = sorted(contexts, key=lambda c: (-c.spec.priority, c.seq))
+    max_live = (
+        max(1, admission.max_live) if admission.max_live is not None else len(ranked)
+    )
+    max_parked = (
+        admission.effective_max_parked
+        if admission.max_parked is not None
+        else len(ranked)
+    )
+    n_parked = len(ranked[max_live : max_live + max_parked])
+    for ctx in ranked[max_live + max_parked :]:
+        ctx.shed(
+            f"queue full ({max_live} live + {max_parked} parked slots, "
+            f"priority {ctx.spec.priority})"
+        )
+    admitted = sorted(
+        (c for c in ranked[: max_live + max_parked]), key=lambda c: c.seq
+    )
+
+    buckets = assign_shards([(c.seq, c.spec) for c in admitted], workers)
+    counts = [len(b) for b in buckets]
+    live_slots = (
+        partition_live_slots(max_live, counts)
+        if not admission.unlimited
+        else [None] * workers
+    )
+
+    # parent-arbitrated retry-budget lease, only when someone will draw
+    # on it (a resilient session); settled back into `parent_budget`
+    parent_budget: Optional[RetryBudget] = None
+    leases: List[Optional[dict]] = [None] * workers
+    if any(spec.resilient for spec in specs):
+        parent_budget = RetryBudget()
+        busy = [w for w in range(workers) if counts[w]]
+        for w, lease in zip(busy, parent_budget.lease(max(1, len(busy)))):
+            leases[w] = {
+                "capacity": lease.capacity,
+                "deposit": lease.deposit,
+                "tokens": lease.tokens,
+            }
+
+    payloads: List[Optional[dict]] = []
+    for w, bucket in enumerate(buckets):
+        if not bucket:
+            payloads.append(None)
+            continue
+        payloads.append(
+            {
+                "shard": w,
+                "seqs": [seq for seq, _ in bucket],
+                "specs": [spec_to_wire(spec) for _, spec in bucket],
+                "dedup": dedup,
+                "wall_parallel": wall_parallel,
+                "admission": (
+                    None
+                    if admission.unlimited
+                    else {"max_live": live_slots[w], "max_parked": None}
+                ),
+                "budget": leases[w],
+            }
+        )
+
+    own_pool = pool is None
+    if own_pool:
+        pool = ShardPool(workers, start_method=start_method)
+    try:
+        replies = pool.serve_round(payloads)
+    finally:
+        if own_pool:
+            pool.close()
+
+    # merge: results back into global admission order, counters summed,
+    # per-shard rows for the summary()'s imbalance breakdown
+    results: List[Optional[SessionResult]] = [
+        (c.result() if c.done else None) for c in contexts
+    ]
+    totals = {k: 0 for k in (
+        "live", "replayed", "cache_hits", "cache_misses", "parked",
+        "op_exact", "op_near", "op_miss",
+    )}
+    shard_rows: List[dict] = []
+    for w, reply in enumerate(replies):
+        if reply is None:
+            shard_rows.append({
+                "shard": w, "sessions": 0, "live": 0, "replayed": 0,
+                "shed": 0, "points": 0, "op_exact": 0, "op_near": 0,
+                "op_miss": 0, "wall_s": 0.0,
+            })
+            continue
+        shard_results = [result_from_wire(rw) for rw in reply["results"]]
+        for seq, res in zip(reply["seqs"], shard_results):
+            results[seq] = res
+        for k in totals:
+            totals[k] += reply[k]
+        row = {
+            "shard": w,
+            "sessions": len(shard_results),
+            "live": reply["live"],
+            "replayed": reply["replayed"],
+            "shed": sum(1 for r in shard_results if r.status == "shed"),
+            "points": sum(len(r.results) for r in shard_results),
+            "op_exact": reply["op_exact"],
+            "op_near": reply["op_near"],
+            "op_miss": reply["op_miss"],
+            "wall_s": round(reply["wall_s"], 6),
+        }
+        if reply.get("budget") is not None:
+            row["retry_budget"] = reply["budget"]
+            if parent_budget is not None:
+                parent_budget.absorb(reply["budget"])
+        shard_rows.append(row)
+
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:  # pragma: no cover - protocol invariant
+        raise ShardProtocolError(f"no shard returned sessions {missing}")
+
+    return ServeReport(
+        results=list(results),
+        wall_s=time.perf_counter() - t0,
+        mode="shard",
+        workers=workers,
+        live=totals["live"],
+        replayed=totals["replayed"],
+        cache_hits=totals["cache_hits"],
+        cache_misses=totals["cache_misses"],
+        parked=n_parked + totals["parked"],
+        op_exact=totals["op_exact"],
+        op_near=totals["op_near"],
+        op_miss=totals["op_miss"],
+        shard_rows=shard_rows,
+        retry_budget=parent_budget.snapshot() if parent_budget is not None else None,
+    )

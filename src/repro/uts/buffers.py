@@ -19,10 +19,21 @@ Buffers must have all exported ``memoryview``\\ s released before going
 back to the pool — ``release`` clears the buffer, which raises
 ``BufferError`` if a view is still live, turning a use-after-release
 into an immediate error instead of silent corruption.
+
+Pools are **per-process**: a pooled ``bytearray`` must never be shared
+across an OS process boundary (a forked child would pop copy-on-write
+twins of the parent's buffers — same virtual addresses, divergent
+contents, and any ``memoryview`` discipline the parent holds is
+invisible to the child).  Every pool therefore remembers the pid that
+owns it and silently resets its free list the first time it is touched
+from a different process, so a fork/spawn worker always starts from an
+empty pool (the process-sharded serve plane in :mod:`repro.serve.shards`
+leans on this).
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from typing import Iterator, List
@@ -48,10 +59,24 @@ class BufferPool:
     def __init__(self) -> None:
         self._free: List[bytearray] = []
         self._lock = threading.Lock()
+        #: owning process: a pool touched from a forked/spawned child
+        #: resets itself rather than hand out the parent's buffers
+        self._pid = os.getpid()
+
+    def _ensure_owner(self) -> None:
+        """Fork/spawn safety: the first touch from a process other than
+        the one that created (or last reset) the pool drops the free
+        list.  The inherited buffers are copy-on-write twins of the
+        parent's — reusing them would let a child 'share' pooled memory
+        across the process boundary by accident."""
+        if os.getpid() != self._pid:
+            self._free = []
+            self._pid = os.getpid()
 
     def acquire(self) -> bytearray:
         """An empty buffer, reusing a previously released one if any."""
         with self._lock:
+            self._ensure_owner()
             if self._free:
                 return self._free.pop()
         return bytearray()
@@ -63,6 +88,7 @@ class BufferPool:
         the buffer first; clearing raises ``BufferError`` otherwise."""
         del buf[:]
         with self._lock:
+            self._ensure_owner()
             self._free.append(buf)
 
     @contextmanager
@@ -74,7 +100,9 @@ class BufferPool:
             self.release(buf)
 
     def __len__(self) -> int:
-        return len(self._free)
+        with self._lock:
+            self._ensure_owner()
+            return len(self._free)
 
 
 #: the process-wide pool the RPC runtime encodes into

@@ -106,3 +106,42 @@ class TestMergeAndStreaming:
         assert s["count"] == 100
         assert s["p50"] == pcts["p50"]
         assert s["mean"] == pytest.approx(49.5)
+
+
+class TestMergedClassmethod:
+    """PR 8 satellite 3: the fold per-shard ledgers roll up through."""
+
+    def test_merged_equals_concatenation_regardless_of_sharding(self):
+        rng = random.Random(42)
+        xs = [rng.expovariate(0.5) for _ in range(120)]
+        whole = PercentileLedger(xs)
+        for cut1, cut2 in ((0, 0), (1, 60), (40, 80), (120, 120)):
+            shards = [
+                PercentileLedger(xs[:cut1]),
+                PercentileLedger(xs[cut1:cut2]),
+                PercentileLedger(xs[cut2:]),
+            ]
+            folded = PercentileLedger.merged(shards)
+            assert folded.count == whole.count
+            assert folded.total == pytest.approx(whole.total)
+            for q in (0.0, 0.25, 0.5, 0.95, 0.99, 1.0):
+                assert folded.quantile(q) == whole.quantile(q)
+
+    def test_merged_is_order_independent(self):
+        a = PercentileLedger([3.0, 1.0])
+        b = PercentileLedger([2.0])
+        fwd = PercentileLedger.merged([a, b])
+        rev = PercentileLedger.merged([b, a])
+        assert fwd.summary() == rev.summary()
+
+    def test_merged_of_nothing_is_empty(self):
+        led = PercentileLedger.merged([])
+        assert led.count == 0
+        assert led.summary()["p99"] is None
+
+    def test_merged_leaves_inputs_untouched(self):
+        a = PercentileLedger([1.0, 2.0])
+        b = PercentileLedger([3.0])
+        PercentileLedger.merged([a, b]).add(99.0)
+        assert a.count == 2 and b.count == 1
+        assert a.max == 2.0 and b.max == 3.0

@@ -1,0 +1,311 @@
+"""Process-sharded serving (PR 8 tentpole): the differential contract.
+
+Sharded serving's whole claim is *exactness across cores* — per-session
+digests, virtual times, statuses, and the static shed set are bitwise-
+identical whether the batch runs inline or dealt across 2 or 4 OS worker
+processes.  These tests hold the plane to it, plus the typed boundary
+errors (:class:`NotShardSafe`), the framed wire protocol, and the
+deterministic placement/partition helpers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.core import NPSSExecutive
+from repro.faults.plan import FaultPlan, LatencySpike
+from repro.network.transport import HEADER_STRUCT, Transport
+from repro.network.topology import Topology
+from repro.schooner.lines import LinePool
+from repro.serve import (
+    AdmissionPolicy,
+    NotShardSafe,
+    SessionSpec,
+    SharedInstallation,
+    ShardPool,
+    ShardProtocolError,
+    serve_sessions,
+    serve_sessions_sharded,
+)
+from repro.serve.demo import build_session_specs
+from repro.serve.shards import (
+    assign_shards,
+    assert_shard_safe,
+    partition_live_slots,
+    recv_frame,
+    result_from_wire,
+    result_to_wire,
+    send_frame,
+    shard_family,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.network.clock import VirtualClock
+
+
+def _rows(report):
+    return [
+        (r.name, r.digest, r.virtual_s, r.status, r.shed_reason, r.replayed)
+        for r in report.results
+    ]
+
+
+class TestDifferential:
+    """workers=2/4 serve output must be bitwise-identical to inline."""
+
+    def test_two_and_four_workers_match_inline(self):
+        specs = build_session_specs(12, classes=4, points=2)
+        inline = serve_sessions_sharded(specs, workers=0)
+        assert inline.mode == "inline"
+        base = _rows(inline)
+        for workers in (2, 4):
+            shard = serve_sessions_sharded(specs, workers=workers)
+            assert shard.mode == "shard" and shard.workers == workers
+            assert _rows(shard) == base
+
+    def test_dedup_off_matches_inline(self):
+        specs = build_session_specs(6, classes=3, points=2)
+        inline = serve_sessions_sharded(specs, workers=0, dedup=False)
+        shard = serve_sessions_sharded(specs, workers=2, dedup=False)
+        assert _rows(shard) == _rows(inline)
+        assert shard.live == inline.live == 6
+
+    def test_op_cache_mix_matches_inline_including_counters(self):
+        """Op-cache families land whole on one shard, so the exact/near/
+        miss counters — not just digests — must match inline."""
+        specs = build_session_specs(12, classes=4, points=3, op_cache=True)
+        inline = serve_sessions_sharded(specs, workers=0)
+        shard = serve_sessions_sharded(specs, workers=4)
+        assert _rows(shard) == _rows(inline)
+        assert (shard.op_exact, shard.op_near, shard.op_miss) == (
+            inline.op_exact,
+            inline.op_near,
+            inline.op_miss,
+        )
+
+    def test_shed_under_admission_matches_inline(self):
+        """The static queue-full tier is judged by the parent over the
+        global ranked list: shed set, reasons, and surviving digests all
+        match inline (deadline-free mix — parked-deadline expiry is the
+        documented per-shard divergence)."""
+        specs = build_session_specs(10, classes=4, points=2)
+        adm = AdmissionPolicy(max_live=3, max_parked=2)
+        inline = serve_sessions_sharded(specs, workers=0, admission=adm, dedup=False)
+        shard = serve_sessions_sharded(specs, workers=2, admission=adm, dedup=False)
+        assert _rows(shard) == _rows(inline)
+        assert shard.shed == inline.shed == 5
+        assert {r.shed_reason for r in shard.results if r.status == "shed"} == {
+            "queue full (3 live + 2 parked slots, priority 0)"
+        }
+
+    def test_results_stay_in_submission_order(self):
+        specs = build_session_specs(8, classes=4, points=2)
+        shard = serve_sessions_sharded(specs, workers=4)
+        assert [r.name for r in shard.results] == [s.name for s in specs]
+
+    def test_spawn_start_method_matches_fork(self):
+        specs = build_session_specs(4, classes=2, points=2)
+        base = _rows(serve_sessions_sharded(specs, workers=0))
+        spawned = serve_sessions_sharded(specs, workers=2, start_method="spawn")
+        assert _rows(spawned) == base
+
+
+class TestSurface:
+    def test_serve_sessions_mode_shard_dispatches(self):
+        specs = build_session_specs(4, classes=2, points=2)
+        report = serve_sessions(specs, mode="shard", workers=2)
+        assert report.mode == "shard" and report.workers == 2
+        assert _rows(report) == _rows(serve_sessions(specs, mode="inline"))
+
+    def test_executive_serve_forwards_shard_mode(self):
+        specs = build_session_specs(2, classes=2, points=2)
+        report = NPSSExecutive.serve(specs, mode="shard", workers=2)
+        assert report.mode == "shard"
+
+    def test_summary_gains_workers_and_per_shard_rows(self):
+        specs = build_session_specs(6, classes=3, points=2)
+        report = serve_sessions_sharded(specs, workers=2)
+        s = report.summary()
+        assert s["workers"] == 2
+        assert len(s["shards"]) == 2
+        for row in s["shards"]:
+            assert set(row) >= {
+                "shard", "sessions", "live", "replayed", "shed",
+                "points", "op_exact", "op_near", "op_miss", "wall_s",
+            }
+        assert sum(row["sessions"] for row in s["shards"]) == 6
+        assert sum(row["points"] for row in s["shards"]) == report.points
+        # inline summaries stay clean: no shards key
+        assert "shards" not in serve_sessions(specs).summary()
+
+    def test_retry_budget_is_leased_and_settled(self):
+        import dataclasses
+
+        specs = [
+            dataclasses.replace(s, resilient=True)
+            for s in build_session_specs(4, classes=2, points=2)
+        ]
+        report = serve_sessions_sharded(specs, workers=2)
+        assert report.retry_budget is not None
+        # fault-free run: every leased token came back
+        assert report.retry_budget["tokens"] == pytest.approx(10.0)
+        assert report.retry_budget["spent"] == 0
+        leased_rows = [r for r in report.shard_rows if "retry_budget" in r]
+        assert leased_rows, "busy shards must carry their settled lease"
+
+    def test_pool_reuse_across_rounds(self):
+        specs = build_session_specs(4, classes=2, points=2)
+        base = _rows(serve_sessions_sharded(specs, workers=0))
+        with ShardPool(2) as pool:
+            first = serve_sessions_sharded(specs, workers=2, pool=pool)
+            second = serve_sessions_sharded(specs, workers=2, pool=pool)
+            assert _rows(first) == base
+            assert _rows(second) == base
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.serve_round([None, None])
+
+
+class TestNotShardSafe:
+    def test_fault_plan_spec_is_refused_with_typed_error(self):
+        plan = FaultPlan(seed=1, events=(LatencySpike(at_s=0.5, until_s=2.0, extra_s=0.1),))
+        spec = SessionSpec(name="faulted", points=(1.3,), fault_plan=plan)
+        with pytest.raises(NotShardSafe, match="fault plan"):
+            serve_sessions_sharded([spec], workers=2)
+
+    def test_live_installation_argument_is_refused(self):
+        spec = SessionSpec(name="a", points=(1.3,))
+        with pytest.raises(NotShardSafe, match="own replica"):
+            serve_sessions_sharded(
+                [spec], workers=2, installation=SharedInstallation.standard()
+            )
+
+    def test_pickling_live_installation_raises_typed_error(self):
+        with pytest.raises(NotShardSafe, match="SharedInstallation"):
+            pickle.dumps(SharedInstallation.standard())
+
+    def test_pickling_live_transport_raises_typed_error(self):
+        transport = Transport(topology=Topology(), clock=VirtualClock())
+        with pytest.raises(NotShardSafe, match="Transport"):
+            pickle.dumps(transport)
+
+    def test_pickling_live_line_pool_raises_typed_error(self):
+        with pytest.raises(NotShardSafe, match="LinePool"):
+            pickle.dumps(LinePool())
+
+    def test_message_names_the_object_and_the_remedy(self):
+        with pytest.raises(NotShardSafe) as exc:
+            pickle.dumps(SharedInstallation.standard())
+        msg = str(exc.value)
+        assert "process boundary" in msg
+        assert "replica" in msg
+        assert "Traceback" not in msg  # typed error, not a pickle trace
+
+    def test_payload_walker_finds_nested_live_objects(self):
+        pool = LinePool()
+        with pytest.raises(NotShardSafe, match=r"LinePool at payload\['deep'\]\[1\]"):
+            assert_shard_safe({"deep": ["fine", pool]})
+        assert_shard_safe({"ok": [1, 2.5, "s", None, True]})
+
+
+class TestFrames:
+    def _pipe(self):
+        a, b = multiprocessing.Pipe(duplex=True)
+        return a, b
+
+    def test_round_trip_reuses_the_32_byte_header(self):
+        a, b = self._pipe()
+        send_frame(a, "shard-serve", {"k": [1, 2]}, src="parent", dst="shard-0")
+        raw = b.recv_bytes()
+        assert len(raw) >= HEADER_STRUCT.size
+        b.send_bytes(raw)  # replay the exact bytes back
+        kind, payload = recv_frame(a)
+        assert kind == "shard-serve"
+        assert payload == {"k": [1, 2]}
+
+    def test_empty_payload_frame(self):
+        a, b = self._pipe()
+        send_frame(a, "shard-exit", None, src="parent", dst="shard-0")
+        kind, payload = recv_frame(b)
+        assert kind == "shard-exit" and payload is None
+
+    def test_unknown_kind_is_rejected_on_send(self):
+        a, _ = self._pipe()
+        with pytest.raises(ShardProtocolError, match="unknown frame kind"):
+            send_frame(a, "shard-bogus", {}, src="x", dst="y")
+
+    def test_runt_frame_is_rejected(self):
+        a, b = self._pipe()
+        a.send_bytes(b"tiny")
+        with pytest.raises(ShardProtocolError, match="runt frame"):
+            recv_frame(b)
+
+    def test_length_mismatch_is_rejected(self):
+        a, b = self._pipe()
+        header = HEADER_STRUCT.pack(0, __import__("zlib").crc32(b"shard-exit"),
+                                    99, 0, 0, float("inf"))
+        a.send_bytes(header + b"{}")
+        with pytest.raises(ShardProtocolError, match="claims 99"):
+            recv_frame(b)
+
+    def test_spec_codec_round_trips(self):
+        spec = SessionSpec(
+            name="s", points=(1.3, 1.34), placement={"combustor": "cray"},
+            altitude_m=5000.0, mach=0.4, deadline_s=30.0, priority=2,
+            traffic_class="interactive", resilient=True, op_cache=True,
+        )
+        back = spec_from_wire(spec_to_wire(spec))
+        assert back == spec
+        assert back.workload_key() == spec.workload_key()
+
+    def test_result_codec_round_trips(self):
+        spec = SessionSpec(name="one", points=(1.3,))
+        r = serve_sessions([spec]).results[0]
+        back = result_from_wire(result_to_wire(r))
+        assert back == r
+
+
+class TestPlacement:
+    def _specs(self, n, **kw):
+        return list(enumerate(build_session_specs(n, **kw)))
+
+    def test_same_family_never_splits(self):
+        indexed = self._specs(12, classes=3, points=2)
+        for workers in (2, 3, 4):
+            buckets = assign_shards(indexed, workers)
+            fam_to_shard = {}
+            for w, bucket in enumerate(buckets):
+                for _seq, spec in bucket:
+                    fam = shard_family(spec)
+                    assert fam_to_shard.setdefault(fam, w) == w
+
+    def test_assignment_is_deterministic_and_total(self):
+        indexed = self._specs(10, classes=4, points=2)
+        a = assign_shards(indexed, 4)
+        b = assign_shards(indexed, 4)
+        assert [[seq for seq, _ in bucket] for bucket in a] == [
+            [seq for seq, _ in bucket] for bucket in b
+        ]
+        assert sorted(seq for bucket in a for seq, _ in bucket) == list(range(10))
+
+    def test_rebalance_fills_idle_shards(self):
+        """With as many shards as families, hash collisions must not
+        leave a shard idle while another holds several groups."""
+        indexed = self._specs(12, classes=4, points=2)
+        buckets = assign_shards(indexed, 4)
+        assert all(bucket for bucket in buckets)
+
+    def test_in_shard_order_is_admission_order(self):
+        indexed = self._specs(9, classes=3, points=2)
+        for bucket in assign_shards(indexed, 2):
+            seqs = [seq for seq, _ in bucket]
+            assert seqs == sorted(seqs)
+
+    def test_partition_live_slots_conserves_and_floors(self):
+        assert partition_live_slots(4, [6, 3, 0]) == [3, 1, None]
+        assert sum(s for s in partition_live_slots(7, [5, 5, 5]) if s) == 7
+        # a tiny global bound still grants every busy shard one slot
+        assert partition_live_slots(1, [4, 4]) == [1, 1]
+        assert partition_live_slots(3, [0, 0]) == [None, None]
