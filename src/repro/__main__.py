@@ -8,8 +8,9 @@ correctness check and the modelled 1993 cost.
 instead (see :mod:`repro.faults.demo` for its options),
 ``python -m repro perf [...]`` profiles the distributed transient hot
 loop (see :mod:`repro.core.perf`), ``python -m repro serve [...]``
-serves many concurrent sessions over one shared installation (see
-:mod:`repro.serve.demo`), ``python -m repro chaos [...]`` runs the
+serves many concurrent sessions over one shared installation —
+optionally sharded across OS processes with a shared-memory data plane
+(``--mode shard --transport shm``; see :mod:`repro.serve.demo`), ``python -m repro chaos [...]`` runs the
 deterministic chaos-soak harness over the serving stack (see
 :mod:`repro.resilience.soak`), and ``python -m repro traffic [...]``
 runs open-loop capacity sweeps with arrival-driven traffic (see

@@ -77,6 +77,12 @@ def main(argv: Optional[Sequence[str]] = None) -> ServeReport:
              "(shard mode with --workers 0 falls back to inline)",
     )
     parser.add_argument(
+        "--transport", choices=("auto", "pipe", "shm"), default="auto",
+        help="shard-mode data plane: 'shm' ships large payloads through "
+             "per-worker shared-memory rings, 'pipe' stays on framed pipes, "
+             "'auto' probes and prefers shm",
+    )
+    parser.add_argument(
         "--no-dedup", action="store_true",
         help="disable the workload cache (every session runs live)",
     )
@@ -97,7 +103,8 @@ def main(argv: Optional[Sequence[str]] = None) -> ServeReport:
         transient_every=args.transient_every, op_cache=args.op_cache,
     )
     report = serve_sessions(
-        specs, mode=args.mode, workers=args.workers, dedup=not args.no_dedup
+        specs, mode=args.mode, workers=args.workers, dedup=not args.no_dedup,
+        transport=args.transport,
     )
 
     if args.json:

@@ -273,6 +273,9 @@ def serve_sessions(
     dedup: bool = True,
     wall_parallel: bool = False,
     admission: Optional[AdmissionPolicy] = None,
+    waits: Optional[Sequence[float]] = None,
+    step_trails: Optional[Dict[int, List[float]]] = None,
+    transport: str = "auto",
 ) -> ServeReport:
     """Serve every session in ``specs`` concurrently over one shared
     installation and return the :class:`ServeReport`.
@@ -294,6 +297,19 @@ def serve_sessions(
     installation replica (see :mod:`repro.serve.shards`).  Digests and
     virtual times stay bitwise-identical to inline mode; a live
     ``installation`` cannot be passed (each shard builds its own).
+    ``transport`` picks the shard data plane — ``"pipe"`` (framed
+    pipes), ``"shm"`` (shared-memory payload rings, pipes as the
+    control channel), or ``"auto"`` (shm where available); it is
+    ignored outside shard mode.
+
+    Two hooks exist for the shard plane's parent-side admission
+    simulation and are rarely useful elsewhere: ``waits`` pre-charges
+    each session's queue wait (seconds, by spec position — applied
+    before any deadline is judged, exactly as an admission queue would
+    have charged it), and ``step_trails``, when a dict is passed, is
+    filled with each session's per-step virtual-time trail
+    (``seq -> [virtual_now after each step]``; sessions that replay
+    never step and leave no trail).
     """
     if mode == "shard":
         from .shards import serve_sessions_sharded
@@ -305,6 +321,7 @@ def serve_sessions(
             wall_parallel=wall_parallel,
             admission=admission,
             installation=installation,
+            transport=transport,
         )
     if mode not in ("inline", "thread"):
         raise ValueError(f"unknown serve mode {mode!r}")
@@ -327,6 +344,12 @@ def serve_sessions(
         )
         for i, spec in enumerate(specs)
     ]
+    if waits is not None:
+        # pre-charged queue waits (the shard plane's admission sim):
+        # applied before replay/setup so deadlines are judged net of
+        # queue time, exactly as admit_next would have charged it
+        for ctx, w in zip(contexts, waits):
+            ctx.wait_s = max(ctx.wait_s, float(w))
 
     # Overload admission: rank by (priority desc, admission seq), fill
     # the live slots, park the next tier, shed the rest with a reason.
@@ -405,6 +428,8 @@ def serve_sessions(
             ctx.run_next_step()
         except Exception as exc:
             ctx.fail(exc)
+        if step_trails is not None:
+            step_trails.setdefault(ctx.seq, []).append(ctx.virtual_now)
 
     def requeue_followers(ctx: SessionContext) -> List[SessionContext]:
         """Replay the finished leader's followers from the cache; if the

@@ -10,7 +10,7 @@ Server-per-machine analogue for the serving layer itself: a
 :class:`~repro.serve.installation.SharedInstallation` replica and
 virtual-time scheduler, and sessions are dealt across them.
 
-Three disciplines make sharding *exact* rather than approximate:
+Four disciplines make sharding *exact* rather than approximate:
 
 * **Deterministic placement by family.**  Sessions hash to a shard by
   their op-point-cache family (or workload key when they carry none),
@@ -24,50 +24,76 @@ Three disciplines make sharding *exact* rather than approximate:
   family groups migrate from the most-loaded shard to any shard the
   hash left idle, before anything runs.
 
-* **The zero-copy wire discipline crosses the process boundary.**
-  Session specs and results travel as struct-packed frames over pipes:
-  the 32-byte RPC header layout (:data:`repro.network.transport.HEADER_STRUCT`
-  — call id, kind tag, payload size, src/dst tags, deadline) fronting a
-  canonical-JSON payload, assembled in a pooled
-  :class:`~repro.uts.buffers.BufferPool` buffer and handed to the pipe
-  in one piece.  Live runtime objects never cross: anything holding
-  interpreter state (a ``Transport``, a ``SharedInstallation``, a
-  ``LinePool``) raises the typed :class:`NotShardSafe` instead of an
-  opaque pickle traceback.
+* **The binary wire discipline crosses the process boundary** — over
+  pipes or shared memory (:mod:`repro.serve.shm`).  Session specs and
+  results travel as struct-packed frames: the 32-byte RPC header
+  fronting a typed binary payload (float arrays as raw IEEE-754 bytes,
+  never digit strings), assembled in a pooled
+  :class:`~repro.uts.buffers.BufferPool` buffer.  With
+  ``transport="shm"`` (or ``"auto"`` where available) payloads above a
+  size threshold are written **once** into a per-worker SPSC ring in a
+  ``multiprocessing.shared_memory`` segment and cross the pipe as an
+  ``(offset, length)`` reference; the pipe stays the control/wakeup
+  channel and the fallback.  Live runtime objects never cross: anything
+  holding interpreter state (a ``Transport``, a ``SharedInstallation``,
+  a ``LinePool``) raises the typed
+  :class:`~repro.serve.shm.NotShardSafe` instead of an opaque pickle
+  traceback.
 
-* **The SLO machinery spans shards.**  The shared
+* **Admission is simulated at the parent, exactly.**  Workers run with
+  no admission bound of their own; the parent holds the single global
+  parked queue and replays the inline scheduler's event chronology over
+  it — completions in heap order (reconstructed from each session's
+  per-step virtual-time trail), one admission per freed slot, queue
+  wait charged forward, and *parked-deadline expiry* judged at the
+  exact instant inline would judge it, with the identical shed reason.
+  Admitted sessions are dispatched to their family's shard with the
+  wait pre-charged, so their in-session deadlines (and hence traces)
+  match inline bitwise.
+
+* **Shared state spans shards.**  The
   :class:`~repro.resilience.budget.RetryBudget` becomes a
   parent-arbitrated token lease (each worker draws on a pre-granted
-  slice, settled back at merge), global ``max_live`` admission is
-  partitioned across shards proportionally to their load, and the
-  per-shard reports merge into one :class:`ServeReport` — counters
-  summed, percentile ledgers folded (exact, so order-independent), and
-  a per-shard breakdown in ``summary()`` for spotting imbalance.
+  slice, settled back at merge).  The installation-wide
+  :class:`~repro.serve.opcache.OpPointCache` flows both ways: each
+  worker's episode cache is pre-seeded from the pool's store at open,
+  and the points it solves come back as a binary delta merged into the
+  store at close — so a re-serve, or a family rebalanced onto a
+  different shard, starts warm instead of rebuilding PR 6's cache wins
+  from scratch N times.
 
-Shedding semantics: the *static* admission tier (queue-full rejection)
-is judged by the parent over the global ranked list, exactly as inline
-serving does, so the shed set and reasons are identical.  Deadline
-expiry *while parked* is judged inside each shard against that shard's
-own queue — with deadline-carrying parked sessions, per-shard waits can
-differ from the single global queue's (documented in
-docs/PERFORMANCE.md).
+Known (and deliberate) divergences from inline: cache *counters* can
+differ by probe-vs-traffic accounting (a parked session's replay is a
+counted hit in a worker, a non-counting probe inline), and the corner
+where a *degraded* leader's followers rerun live is replayed at
+follower granularity, not interleaved — digests, statuses, shed sets,
+and waits are identical in every tested mix.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
-import json
 import time
 import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
 from zlib import crc32
 
-from ..network.transport import HEADER_STRUCT, NO_DEADLINE
 from ..resilience.budget import RetryBudget
-from ..uts.buffers import WIRE_BUFFERS
 from .installation import SharedInstallation
+from .opcache import OpPointCache
 from .scheduler import AdmissionPolicy, ServeReport, serve_sessions
 from .session import SessionContext, SessionResult, SessionSpec
+from .shm import (
+    DEFAULT_RING_BYTES,
+    SHM_THRESHOLD,
+    NotShardSafe,
+    ShardProtocolError,
+    ShmRing,
+    recv_frame,
+    resolve_transport,
+    send_frame,
+)
 
 __all__ = [
     "NotShardSafe",
@@ -78,35 +104,14 @@ __all__ = [
     "spec_from_wire",
     "result_to_wire",
     "result_from_wire",
+    "assert_shard_safe",
+    "shard_family",
+    "assign_shards",
+    "partition_live_slots",
 ]
 
 
-class NotShardSafe(TypeError):
-    """A live runtime object was about to cross a process boundary.
-
-    Raised eagerly, with the object named, instead of letting ``pickle``
-    fail deep inside ``multiprocessing`` with an opaque traceback.  The
-    shard plane ships *descriptions* (session specs, result rows) as
-    framed wire payloads; objects that own interpreter state — locks,
-    sockets-in-spirit, thread pools, pooled buffers — stay put.
-    """
-
-
-class ShardProtocolError(RuntimeError):
-    """A malformed frame on the parent<->worker pipe: unknown kind tag,
-    truncated payload, or a header/payload length mismatch."""
-
-
-# --------------------------------------------------------------------------
-# wire frames: 32-byte packed header + canonical-JSON payload
-# --------------------------------------------------------------------------
-
-#: frame kinds on the shard pipe; the header carries crc32(kind)
-_FRAME_KINDS = ("shard-serve", "shard-result", "shard-error", "shard-exit")
-_KIND_BY_CRC = {crc32(k.encode()): k for k in _FRAME_KINDS}
-_frame_ids = itertools.count()
-
-#: types that must never cross the process boundary (satellite 1);
+#: types that must never cross the process boundary;
 #: resolved lazily so importing shards stays cheap
 def _live_types() -> tuple:
     from ..network.transport import Transport
@@ -120,7 +125,8 @@ def _live_types() -> tuple:
 def assert_shard_safe(obj, path: str = "payload") -> None:
     """Walk a payload tree and raise :class:`NotShardSafe` (naming the
     offending object and where it sat) if any live runtime object is
-    present.  Containers recurse; JSON scalars pass."""
+    present.  Containers recurse; wire scalars (including ``bytes`` —
+    the op-cache blobs) pass."""
     if isinstance(obj, _live_types()):
         raise NotShardSafe(
             f"live {type(obj).__name__} at {path} cannot cross a process "
@@ -135,70 +141,13 @@ def assert_shard_safe(obj, path: str = "payload") -> None:
     elif isinstance(obj, (list, tuple)):
         for i, v in enumerate(obj):
             assert_shard_safe(v, f"{path}[{i}]")
-    elif obj is not None and not isinstance(obj, (str, int, float, bool)):
+    elif obj is not None and not isinstance(
+        obj, (str, int, float, bool, bytes, bytearray)
+    ):
         raise NotShardSafe(
             f"{type(obj).__name__} at {path} is not shard-serializable; "
-            f"shard frames carry JSON scalars and containers only"
+            f"shard frames carry wire scalars and containers only"
         )
-
-
-def send_frame(conn, kind: str, payload_obj, src: str, dst: str,
-               deadline_s: Optional[float] = None) -> None:
-    """Frame ``payload_obj`` and write it to ``conn`` in one piece.
-
-    The frame reuses the RPC runtime's 32-byte packed header
-    (:data:`HEADER_STRUCT`: call id, kind tag, payload size, src/dst
-    tags, propagated deadline) and assembles header + payload in a
-    pooled buffer — the same zero-copy encode discipline the in-process
-    wire path uses, extended across the pipe."""
-    if kind not in _FRAME_KINDS:
-        raise ShardProtocolError(f"unknown frame kind {kind!r}")
-    payload = (
-        b""
-        if payload_obj is None
-        else json.dumps(payload_obj, sort_keys=True, separators=(",", ":")).encode()
-    )
-    buf = WIRE_BUFFERS.acquire()
-    try:
-        buf += HEADER_STRUCT.pack(
-            next(_frame_ids) & 0xFFFFFFFF,
-            crc32(kind.encode()),
-            len(payload),
-            crc32(src.encode()),
-            crc32(dst.encode()),
-            NO_DEADLINE if deadline_s is None else deadline_s,
-        )
-        buf += payload
-        conn.send_bytes(buf)
-    finally:
-        try:
-            WIRE_BUFFERS.release(buf)
-        except BufferError:
-            # an aborted send (broken pipe mid-write) can leave the
-            # pipe's internal memoryview exported over the buffer; drop
-            # the buffer rather than poison the pool
-            pass
-
-
-def recv_frame(conn) -> Tuple[str, Optional[dict]]:
-    """Read one frame; returns ``(kind, payload)`` after validating the
-    header against the payload actually received."""
-    data = conn.recv_bytes()
-    if len(data) < HEADER_STRUCT.size:
-        raise ShardProtocolError(
-            f"runt frame: {len(data)} bytes < {HEADER_STRUCT.size}-byte header"
-        )
-    _msg_id, kind_crc, nbytes, _src, _dst, _deadline = HEADER_STRUCT.unpack_from(data)
-    kind = _KIND_BY_CRC.get(kind_crc)
-    if kind is None:
-        raise ShardProtocolError(f"unknown frame kind tag 0x{kind_crc:08x}")
-    body = memoryview(data)[HEADER_STRUCT.size :]
-    if len(body) != nbytes:
-        raise ShardProtocolError(
-            f"{kind}: header claims {nbytes} payload bytes, got {len(body)}"
-        )
-    payload = json.loads(bytes(body)) if nbytes else None
-    return kind, payload
 
 
 # --------------------------------------------------------------------------
@@ -349,7 +298,12 @@ def partition_live_slots(total: int, counts: Sequence[int]) -> List[Optional[int
     """Split a global ``max_live`` across shards proportionally to their
     session counts (largest-remainder rounding, every non-empty shard
     granted at least one slot so partitioned admission can never
-    deadlock a shard).  ``None`` entries mean "no bound" (empty shard)."""
+    deadlock a shard).  ``None`` entries mean "no bound" (empty shard).
+
+    The serve path no longer partitions admission — the parent holds
+    the one global queue (see the module doc) — but the partitioner
+    remains the building block for static capacity planning and is kept
+    under test."""
     weight = sum(counts)
     if weight == 0:
         return [None] * len(counts)
@@ -374,45 +328,15 @@ def partition_live_slots(total: int, counts: Sequence[int]) -> List[Optional[int
 # the worker process (spawn-safe: module-level entrypoint, no closures)
 # --------------------------------------------------------------------------
 
-def _shard_worker_main(conn, shard_id: int) -> None:
-    """One shard worker: an installation replica served round after
-    round until the parent says exit.  Importable at module level so
-    ``spawn`` start methods (fresh interpreter, re-import by name) work
-    as well as ``fork``."""
-    try:
-        while True:
-            try:
-                kind, payload = recv_frame(conn)
-            except EOFError:
-                break
-            if kind == "shard-exit":
-                break
-            if kind != "shard-serve":
-                send_frame(
-                    conn, "shard-error",
-                    {"shard": shard_id, "error": f"unexpected frame {kind!r}"},
-                    src=f"shard-{shard_id}", dst="parent",
-                )
-                continue
-            try:
-                reply = _serve_one_round(shard_id, payload)
-                send_frame(conn, "shard-result", reply,
-                           src=f"shard-{shard_id}", dst="parent")
-            except Exception:
-                send_frame(
-                    conn, "shard-error",
-                    {"shard": shard_id, "error": traceback.format_exc()},
-                    src=f"shard-{shard_id}", dst="parent",
-                )
-    finally:
-        conn.close()
-
-
-def _serve_one_round(shard_id: int, payload: dict) -> dict:
-    """Serve one round's specs on this worker's fresh installation
-    replica and return the wire report."""
-    specs = [spec_from_wire(w) for w in payload["specs"]]
+def _open_episode(payload: dict) -> dict:
+    """Begin one serve episode: a persistent installation replica that
+    lives across this episode's waves (so the workload and op-point
+    caches accumulate exactly as inline's single installation does),
+    pre-seeded from the installation-wide op store."""
     installation = SharedInstallation.standard()
+    seed = payload.get("op_seed")
+    if seed:
+        installation.op_cache.preload(seed)
     lease = payload.get("budget")
     if lease is not None:
         installation.retry_budget = RetryBudget(
@@ -420,35 +344,141 @@ def _serve_one_round(shard_id: int, payload: dict) -> dict:
             deposit=lease["deposit"],
             tokens=lease["tokens"],
         )
-    adm = payload.get("admission")
-    admission = (
-        AdmissionPolicy(max_live=adm["max_live"], max_parked=adm["max_parked"])
-        if adm is not None
-        else None
+    return {
+        "installation": installation,
+        # what the seed already held: the close-time export ships only
+        # the points this worker solved, not the seed it was handed back
+        "preloaded": installation.op_cache.key_set(),
+        "dedup": payload["dedup"],
+        "wall_parallel": payload["wall_parallel"],
+        "leased": lease is not None,
+        "live": 0,
+        "replayed": 0,
+        "wall_s": 0.0,
+    }
+
+
+def _serve_wave(shard_id: int, episode: Optional[dict], payload: dict) -> dict:
+    """Serve one wave of sessions on the episode installation, inline,
+    with the parent's pre-charged queue waits, and return the wire
+    report (plus per-step virtual-time trails when the parent's
+    admission simulation asked for them)."""
+    if episode is None:
+        raise ShardProtocolError(
+            f"shard {shard_id}: shard-serve before shard-open"
+        )
+    specs = [spec_from_wire(w) for w in payload["specs"]]
+    trails: Optional[Dict[int, List[float]]] = (
+        {} if payload.get("trails") else None
     )
     report = serve_sessions(
         specs,
-        installation=installation,
+        installation=episode["installation"],
         mode="inline",
-        dedup=payload["dedup"],
-        wall_parallel=payload["wall_parallel"],
-        admission=admission,
+        dedup=episode["dedup"],
+        wall_parallel=episode["wall_parallel"],
+        admission=None,
+        waits=payload.get("waits"),
+        step_trails=trails,
     )
+    episode["live"] += report.live
+    episode["replayed"] += report.replayed
+    episode["wall_s"] += report.wall_s
     return {
         "shard": shard_id,
         "seqs": payload["seqs"],
         "results": [result_to_wire(r) for r in report.results],
         "wall_s": report.wall_s,
-        "live": report.live,
-        "replayed": report.replayed,
-        "cache_hits": report.cache_hits,
-        "cache_misses": report.cache_misses,
-        "parked": report.parked,
-        "op_exact": report.op_exact,
-        "op_near": report.op_near,
-        "op_miss": report.op_miss,
-        "budget": installation.retry_budget.snapshot() if lease is not None else None,
+        "trails": (
+            [trails.get(i) for i in range(len(specs))]
+            if trails is not None
+            else None
+        ),
     }
+
+
+def _close_episode(shard_id: int, episode: Optional[dict]) -> dict:
+    """Settle one episode: counters, op-cache stats, the settled budget
+    lease, and the binary delta of operating points this worker solved
+    (for the parent to merge into the installation-wide store)."""
+    if episode is None:
+        raise ShardProtocolError(
+            f"shard {shard_id}: shard-close before shard-open"
+        )
+    inst = episode["installation"]
+    oc = inst.op_cache
+    return {
+        "shard": shard_id,
+        "live": episode["live"],
+        "replayed": episode["replayed"],
+        "wall_s": episode["wall_s"],
+        "cache_hits": inst.cache.hits,
+        "cache_misses": inst.cache.misses,
+        "op_exact": oc.exact_hits,
+        "op_near": oc.near_hits,
+        "op_miss": oc.misses,
+        "op_stats": oc.stats(),
+        "budget": (
+            inst.retry_budget.snapshot() if episode["leased"] else None
+        ),
+        "op_export": oc.export(exclude=episode["preloaded"]),
+    }
+
+
+def _shard_worker_main(
+    conn,
+    shard_id: int,
+    ring_in_name: Optional[str] = None,
+    ring_out_name: Optional[str] = None,
+    shm_threshold: int = SHM_THRESHOLD,
+) -> None:
+    """One shard worker: episodes of waves until the parent says exit.
+    Importable at module level so ``spawn`` start methods (fresh
+    interpreter, re-import by name) work as well as ``fork``."""
+    ring_in = ShmRing.attach(ring_in_name) if ring_in_name else None
+    ring_out = ShmRing.attach(ring_out_name) if ring_out_name else None
+    me = f"shard-{shard_id}"
+    episode: Optional[dict] = None
+    try:
+        while True:
+            try:
+                kind, payload = recv_frame(conn, ring=ring_in)
+            except EOFError:
+                break
+            if kind == "shard-exit":
+                break
+            try:
+                if kind == "shard-open":
+                    episode = _open_episode(payload)
+                elif kind == "shard-serve":
+                    reply = _serve_wave(shard_id, episode, payload)
+                    send_frame(conn, "shard-result", reply,
+                               src=me, dst="parent", ring=ring_out,
+                               threshold=shm_threshold)
+                elif kind == "shard-close":
+                    reply = _close_episode(shard_id, episode)
+                    episode = None
+                    send_frame(conn, "shard-closed", reply,
+                               src=me, dst="parent", ring=ring_out,
+                               threshold=shm_threshold)
+                else:
+                    send_frame(
+                        conn, "shard-error",
+                        {"shard": shard_id,
+                         "error": f"unexpected frame {kind!r}"},
+                        src=me, dst="parent",
+                    )
+            except Exception:
+                send_frame(
+                    conn, "shard-error",
+                    {"shard": shard_id, "error": traceback.format_exc()},
+                    src=me, dst="parent",
+                )
+    finally:
+        conn.close()
+        for ring in (ring_in, ring_out):
+            if ring is not None:
+                ring.close()
 
 
 def _default_start_method() -> str:
@@ -458,68 +488,106 @@ def _default_start_method() -> str:
 
 
 class ShardPool:
-    """N shard worker processes behind framed pipes.
+    """N shard worker processes behind framed pipes (and, with
+    ``transport="shm"``, per-worker shared-memory payload rings).
 
-    Workers are spawned once and reused across serve rounds (a
-    long-running server's pool), each holding its own installation
-    replica per round.  Use as a context manager, or :meth:`close`
-    explicitly — close sends every worker an exit frame and joins it.
+    Workers are spawned once and reused across serve calls (a
+    long-running server's pool).  The pool also owns the
+    **installation-wide op-point store** (``op_store``): every serve
+    call seeds worker episodes from it and merges their solved points
+    back, so repeated serves through one pool compound the PR 6 cache
+    wins across processes.  Use as a context manager, or :meth:`close`
+    explicitly — close sends every worker an exit frame, joins it, and
+    unlinks the shared-memory rings even if a worker already died.
     """
 
-    def __init__(self, workers: int, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        workers: int,
+        start_method: Optional[str] = None,
+        transport: str = "auto",
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        shm_threshold: int = SHM_THRESHOLD,
+        op_store: Optional[OpPointCache] = None,
+    ):
         import multiprocessing
 
         if workers < 1:
             raise ValueError(f"ShardPool needs >= 1 worker, got {workers!r}")
         self.workers = workers
         self.start_method = start_method or _default_start_method()
+        self.transport = resolve_transport(transport)
+        self.shm_threshold = shm_threshold
+        self.op_store = op_store if op_store is not None else OpPointCache()
         ctx = multiprocessing.get_context(self.start_method)
         self._procs = []
         self._conns = []
-        for i in range(workers):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=_shard_worker_main,
-                args=(child_conn, i),
-                name=f"serve-shard-{i}",
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._procs.append(proc)
-            self._conns.append(parent_conn)
+        #: parent->worker payload rings (parent writes), worker->parent
+        #: rings (parent reads); None per worker under pipe transport
+        self._rings_out: List[Optional[ShmRing]] = []
+        self._rings_in: List[Optional[ShmRing]] = []
+        try:
+            for i in range(workers):
+                if self.transport == "shm":
+                    ring_out = ShmRing.create(ring_bytes)
+                    ring_in = ShmRing.create(ring_bytes)
+                else:
+                    ring_out = ring_in = None
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(
+                        child_conn,
+                        i,
+                        ring_out.name if ring_out is not None else None,
+                        ring_in.name if ring_in is not None else None,
+                        shm_threshold,
+                    ),
+                    name=f"serve-shard-{i}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+                self._rings_out.append(ring_out)
+                self._rings_in.append(ring_in)
+        except Exception:
+            self._closed = False
+            self.close()
+            raise
         self._closed = False
 
-    def serve_round(self, payloads: Sequence[Optional[dict]]) -> List[Optional[dict]]:
-        """Dispatch one serve frame per shard (``None`` skips the shard)
-        and collect every reply.  Workers run concurrently; the parent
-        blocks until all replies are in.  A worker-side failure
-        re-raises here with the worker's traceback."""
+    def send(self, shard: int, kind: str, payload) -> None:
+        """Frame one control message to a worker (large payloads ride
+        the shard's shared-memory ring under shm transport)."""
         if self._closed:
             raise RuntimeError("ShardPool is closed")
-        active = []
-        for i, payload in enumerate(payloads):
-            if payload is None:
-                continue
-            send_frame(self._conns[i], "shard-serve", payload,
-                       src="parent", dst=f"shard-{i}")
-            active.append(i)
-        replies: List[Optional[dict]] = [None] * len(payloads)
-        for i in active:
-            kind, reply = recv_frame(self._conns[i])
-            if kind == "shard-error":
-                raise RuntimeError(
-                    f"shard {i} failed:\n{reply['error'] if reply else '?'}"
-                )
-            if kind != "shard-result":
-                raise ShardProtocolError(
-                    f"shard {i}: expected shard-result, got {kind}"
-                )
-            replies[i] = reply
-        return replies
+        send_frame(
+            self._conns[shard], kind, payload,
+            src="parent", dst=f"shard-{shard}",
+            ring=self._rings_out[shard],
+            threshold=self.shm_threshold,
+        )
+
+    def recv(self, shard: int, expect: str) -> Optional[dict]:
+        """Collect one reply from a worker, re-raising worker-side
+        failures with their tracebacks."""
+        if self._closed:
+            raise RuntimeError("ShardPool is closed")
+        kind, reply = recv_frame(self._conns[shard], ring=self._rings_in[shard])
+        if kind == "shard-error":
+            raise RuntimeError(
+                f"shard {shard} failed:\n{reply['error'] if reply else '?'}"
+            )
+        if kind != expect:
+            raise ShardProtocolError(
+                f"shard {shard}: expected {expect}, got {kind}"
+            )
+        return reply
 
     def close(self) -> None:
-        if self._closed:
+        if getattr(self, "_closed", True):
             return
         self._closed = True
         for conn in self._conns:
@@ -534,6 +602,11 @@ class ShardPool:
                 proc.join(timeout=5)
         for conn in self._conns:
             conn.close()
+        # unlink the rings last — workers have exited (or been killed),
+        # so the owner's unlink cannot strand a reader
+        for ring in itertools.chain(self._rings_out, self._rings_in):
+            if ring is not None:
+                ring.close()
 
     def __enter__(self) -> "ShardPool":
         return self
@@ -555,6 +628,8 @@ def serve_sessions_sharded(
     installation: Optional[SharedInstallation] = None,
     start_method: Optional[str] = None,
     pool: Optional[ShardPool] = None,
+    transport: str = "auto",
+    op_store: Optional[OpPointCache] = None,
 ) -> ServeReport:
     """Serve ``specs`` across ``workers`` OS processes and merge the
     per-shard reports into one :class:`ServeReport`.
@@ -562,8 +637,10 @@ def serve_sessions_sharded(
     ``workers=0`` is the inline baseline: the whole batch on this
     interpreter, byte-identical results — the contrast arm of the
     differential tests.  ``pool`` reuses an existing :class:`ShardPool`
-    (a long-running server amortizing worker startup); otherwise a pool
-    is spawned for the call and torn down after.
+    (a long-running server amortizing worker startup *and* compounding
+    its op-point store across calls); otherwise a pool is spawned for
+    the call — with ``transport`` (``"pipe"``, ``"shm"``, or ``"auto"``)
+    and, optionally, a caller-held ``op_store`` — and torn down after.
 
     A live ``installation`` cannot be shipped to workers — each shard
     builds its own replica — so passing one raises
@@ -596,23 +673,24 @@ def serve_sessions_sharded(
         if admission.max_parked is not None
         else len(ranked)
     )
-    n_parked = len(ranked[max_live : max_live + max_parked])
+    parked: List[SessionContext] = list(ranked[max_live : max_live + max_parked])
+    n_parked = len(parked)
     for ctx in ranked[max_live + max_parked :]:
         ctx.shed(
             f"queue full ({max_live} live + {max_parked} parked slots, "
             f"priority {ctx.spec.priority})"
         )
-    admitted = sorted(
-        (c for c in ranked[: max_live + max_parked]), key=lambda c: c.seq
-    )
+    admitted = sorted(ranked[:max_live], key=lambda c: c.seq)
 
-    buckets = assign_shards([(c.seq, c.spec) for c in admitted], workers)
-    counts = [len(b) for b in buckets]
-    live_slots = (
-        partition_live_slots(max_live, counts)
-        if not admission.unlimited
-        else [None] * workers
-    )
+    # wire-validate every session that may cross (fault plans are
+    # refused before any worker spawns), and place by family over the
+    # live *and* parked tiers together — a parked session must land on
+    # the shard already holding its family's leaders and op lines
+    union = sorted(admitted + parked, key=lambda c: c.seq)
+    wires = {c.seq: spec_to_wire(c.spec) for c in union}
+    buckets = assign_shards([(c.seq, c.spec) for c in union], workers)
+    shard_of = {seq: w for w, bucket in enumerate(buckets) for seq, _ in bucket}
+    active = [w for w in range(workers) if buckets[w]]
 
     # parent-arbitrated retry-budget lease, only when someone will draw
     # on it (a resilient session); settled back into `parent_budget`
@@ -620,55 +698,265 @@ def serve_sessions_sharded(
     leases: List[Optional[dict]] = [None] * workers
     if any(spec.resilient for spec in specs):
         parent_budget = RetryBudget()
-        busy = [w for w in range(workers) if counts[w]]
-        for w, lease in zip(busy, parent_budget.lease(max(1, len(busy)))):
+        for w, lease in zip(active, parent_budget.lease(max(1, len(active)))):
             leases[w] = {
                 "capacity": lease.capacity,
                 "deposit": lease.deposit,
                 "tokens": lease.tokens,
             }
 
-    payloads: List[Optional[dict]] = []
-    for w, bucket in enumerate(buckets):
-        if not bucket:
-            payloads.append(None)
-            continue
-        payloads.append(
-            {
-                "shard": w,
-                "seqs": [seq for seq, _ in bucket],
-                "specs": [spec_to_wire(spec) for _, spec in bucket],
-                "dedup": dedup,
-                "wall_parallel": wall_parallel,
-                "admission": (
-                    None
-                    if admission.unlimited
-                    else {"max_live": live_slots[w], "max_parked": None}
-                ),
-                "budget": leases[w],
-            }
-        )
-
     own_pool = pool is None
     if own_pool:
-        pool = ShardPool(workers, start_method=start_method)
+        pool = ShardPool(
+            workers, start_method=start_method,
+            transport=transport, op_store=op_store,
+        )
     try:
-        replies = pool.serve_round(payloads)
+        # open one episode per busy shard, seeding each worker's
+        # op-point cache from the installation-wide store.  The parent
+        # cannot compute full cache families (the engine-deck digest is
+        # resolved only at session setup), so every worker receives the
+        # whole store — preload is idempotent and first-write-wins.
+        seed_blob: Optional[bytes] = None
+        if len(pool.op_store) and any(c.spec.op_cache for c in union):
+            seed_blob = pool.op_store.export()
+        for w in active:
+            pool.send(w, "shard-open", {
+                "shard": w,
+                "dedup": dedup,
+                "wall_parallel": wall_parallel,
+                "budget": leases[w],
+                "op_seed": seed_blob,
+            })
+
+        wire_results: Dict[int, SessionResult] = {}
+        trails: Dict[int, List[float]] = {}
+        waits_charged: Dict[int, float] = {}
+        need_trails = bool(parked)
+
+        def dispatch(batch: List[SessionContext]) -> None:
+            """One wave: the batch grouped per shard, sent, collected."""
+            per: Dict[int, List[SessionContext]] = {}
+            for c in batch:
+                per.setdefault(shard_of[c.seq], []).append(c)
+            for w in sorted(per):
+                group = sorted(per[w], key=lambda c: c.seq)
+                pool.send(w, "shard-serve", {
+                    "seqs": [c.seq for c in group],
+                    "specs": [wires[c.seq] for c in group],
+                    "waits": [waits_charged.get(c.seq, 0.0) for c in group],
+                    "trails": need_trails,
+                })
+            for w in sorted(per):
+                reply = pool.recv(w, "shard-result")
+                wave_trails = reply.get("trails")
+                for i, seq in enumerate(reply["seqs"]):
+                    wire_results[seq] = result_from_wire(reply["results"][i])
+                    if wave_trails is not None and wave_trails[i] is not None:
+                        trails[seq] = wave_trails[i]
+
+        # ---- replicate the inline scheduler's admitted-tier split ----
+        leaders: Dict[str, SessionContext] = {}
+        followers: Dict[str, List[SessionContext]] = {}
+        op_chains: Dict[str, List[SessionContext]] = {}
+        runnable: List[SessionContext] = []
+        for c in admitted:
+            if dedup and c.spec.cacheable:
+                if c.key in leaders:
+                    followers.setdefault(c.key, []).append(c)
+                    continue
+                leaders[c.key] = c
+            fam = c.op_chain_key
+            if fam is not None:
+                chain = op_chains.setdefault(fam, [])
+                chain.append(c)
+                if len(chain) > 1:
+                    continue
+            runnable.append(c)
+
+        # wave 1: the whole live tier at wait 0 — each worker's inline
+        # serve reproduces the in-wave leader/follower and op-chain
+        # behaviour exactly (families never split across shards)
+        dispatch(admitted)
+
+        if parked:
+            # ---- exact admission chronology (see the module doc) ----
+            # The wave-1 results are already in hand; what the heap
+            # below reconstructs (from each session's per-step virtual-
+            # time trail) is inline's *event order* — when each live
+            # slot frees — so parked sessions are admitted, charged, and
+            # expiry-shed at exactly the instants inline would pick.
+            done_seqs: set = set()
+            record_keys: set = set()
+            pending_replays: List[SessionContext] = []
+            ticket = itertools.count()
+            heap: List[Tuple[float, int, SessionContext]] = []
+            pos: Dict[int, int] = {}
+
+            def push(c: SessionContext) -> None:
+                # entering sessions have never stepped: fairness key 0.0,
+                # ties broken by push order — inline's exact tuple
+                heapq.heappush(heap, (0.0, next(ticket), c))
+
+            def sim_release_chain(c: SessionContext) -> Optional[SessionContext]:
+                fam = c.op_chain_key
+                if fam is None:
+                    return None
+                chain = op_chains.get(fam)
+                if not chain:
+                    return None
+                if c in chain:
+                    chain.remove(c)
+                if not chain:
+                    op_chains.pop(fam, None)
+                    return None
+                return chain[0]
+
+            def sim_on_done(c: SessionContext) -> List[SessionContext]:
+                """Mirror of inline's ``on_done``: what this completion
+                unblocks.  Admitted-tier followers were already resolved
+                by their shard's first wave (a replay consumed no slot;
+                a live rerun did, and enters the heap here); parked-tier
+                followers either replay with their charged wait (batched
+                into the next dispatch — replay content is timing-
+                independent) or must now run live."""
+                done_seqs.add(c.seq)
+                res = wire_results[c.seq]
+                if dedup and c.spec.cacheable and res.status == "completed":
+                    record_keys.add(c.key)
+                out: List[SessionContext] = []
+                for f in followers.pop(c.key, []):
+                    if f.seq in wire_results:
+                        if not wire_results[f.seq].replayed:
+                            leaders[f.key] = f
+                            out.append(f)
+                    elif c.key in record_keys:
+                        pending_replays.append(f)
+                    else:
+                        leaders[f.key] = f
+                        out.append(f)
+                nxt = sim_release_chain(c)
+                if nxt is not None:
+                    out.append(nxt)
+                return out
+
+            def sim_admit(fair_now: float) -> Optional[SessionContext]:
+                """Mirror of inline's ``admit_next``, including the
+                parked-deadline expiry sweep: shed at the exact instant,
+                with the identical reason string, that inline would."""
+                while parked:
+                    c = parked.pop(0)
+                    c.wait_s = max(c.wait_s, fair_now)
+                    waits_charged[c.seq] = c.wait_s
+                    if (
+                        c.spec.deadline_s is not None
+                        and c.wait_s >= c.spec.deadline_s
+                    ):
+                        c.shed(
+                            f"deadline ({c.spec.deadline_s:g}s) expired while "
+                            f"parked: first live slot freed at "
+                            f"t={c.wait_s:.3f}s",
+                            deadline_met=False,
+                        )
+                        continue
+                    if dedup and c.spec.cacheable:
+                        if c.key in record_keys:
+                            pending_replays.append(c)
+                            continue
+                        leader = leaders.get(c.key)
+                        if leader is not None and leader.seq not in done_seqs:
+                            followers.setdefault(c.key, []).append(c)
+                            continue
+                        leaders[c.key] = c
+                    fam = c.op_chain_key
+                    if fam is not None:
+                        chain = op_chains.get(fam)
+                        if chain:
+                            chain.append(c)
+                            continue
+                        op_chains[fam] = [c]
+                    return c
+                return None
+
+            def run_batch(batch: List[SessionContext]) -> None:
+                """Ship the not-yet-served members of a batch (plus any
+                accumulated instant replays) to their shards before they
+                enter the chronology heap."""
+                fresh = [x for x in batch if x.seq not in wire_results]
+                if fresh or pending_replays:
+                    dispatch(fresh + pending_replays)
+                    pending_replays.clear()
+
+            for c in runnable:
+                push(c)
+            while heap:
+                _, _, c = heapq.heappop(heap)
+                i = pos.get(c.seq, 0)
+                pos[c.seq] = i + 1
+                trail = trails.get(c.seq) or []
+                if i + 1 < len(trail):
+                    heapq.heappush(heap, (trail[i], next(ticket), c))
+                    continue
+                # completion: one freed slot, inline's push order —
+                # unblocked sessions first, then the admitted one
+                to_run = sim_on_done(c)
+                adm = sim_admit(
+                    waits_charged.get(c.seq, 0.0) + wire_results[c.seq].virtual_s
+                )
+                if adm is not None:
+                    to_run.append(adm)
+                run_batch(to_run)
+                for x in to_run:
+                    push(x)
+
+            # straggler parity loop: parked sessions left over because
+            # every live session replayed — admit at the advancing batch
+            # frontier, exactly as inline does
+            frontier = 0.0
+            while parked:
+                nxt = sim_admit(frontier)
+                if nxt is None:
+                    break
+                work = [nxt]
+                while work:
+                    c = work.pop(0)
+                    run_batch([c])
+                    frontier = max(
+                        frontier,
+                        waits_charged.get(c.seq, 0.0)
+                        + wire_results[c.seq].virtual_s,
+                    )
+                    work.extend(sim_on_done(c))
+
+            if pending_replays:
+                dispatch(list(pending_replays))
+                pending_replays.clear()
+
+        # ---- settle the episodes ----
+        for w in active:
+            pool.send(w, "shard-close", None)
+        closes: Dict[int, dict] = {}
+        for w in active:
+            closes[w] = pool.recv(w, "shard-closed")
     finally:
         if own_pool:
             pool.close()
 
     # merge: results back into global admission order, counters summed,
+    # solved op points folded into the installation-wide store,
     # per-shard rows for the summary()'s imbalance breakdown
     results: List[Optional[SessionResult]] = [
         (c.result() if c.done else None) for c in contexts
     ]
+    for seq, res in wire_results.items():
+        results[seq] = res
+
     totals = {k: 0 for k in (
-        "live", "replayed", "cache_hits", "cache_misses", "parked",
-        "op_exact", "op_near", "op_miss",
+        "cache_hits", "cache_misses", "op_exact", "op_near", "op_miss",
     )}
     shard_rows: List[dict] = []
-    for w, reply in enumerate(replies):
+    for w in range(workers):
+        reply = closes.get(w)
         if reply is None:
             shard_rows.append({
                 "shard": w, "sessions": 0, "live": 0, "replayed": 0,
@@ -676,21 +964,26 @@ def serve_sessions_sharded(
                 "op_miss": 0, "wall_s": 0.0,
             })
             continue
-        shard_results = [result_from_wire(rw) for rw in reply["results"]]
-        for seq, res in zip(reply["seqs"], shard_results):
-            results[seq] = res
         for k in totals:
             totals[k] += reply[k]
+        seqs_w = [seq for seq, ws in shard_of.items() if ws == w]
         row = {
             "shard": w,
-            "sessions": len(shard_results),
+            "sessions": sum(1 for seq in seqs_w if seq in wire_results),
             "live": reply["live"],
             "replayed": reply["replayed"],
-            "shed": sum(1 for r in shard_results if r.status == "shed"),
-            "points": sum(len(r.results) for r in shard_results),
+            "shed": sum(
+                1 for seq in seqs_w
+                if results[seq] is not None and results[seq].status == "shed"
+            ),
+            "points": sum(
+                len(wire_results[seq].results)
+                for seq in seqs_w if seq in wire_results
+            ),
             "op_exact": reply["op_exact"],
             "op_near": reply["op_near"],
             "op_miss": reply["op_miss"],
+            "op_cache": reply["op_stats"],
             "wall_s": round(reply["wall_s"], 6),
         }
         if reply.get("budget") is not None:
@@ -698,21 +991,25 @@ def serve_sessions_sharded(
             if parent_budget is not None:
                 parent_budget.absorb(reply["budget"])
         shard_rows.append(row)
+        if reply.get("op_export"):
+            pool.op_store.preload(reply["op_export"])
 
     missing = [i for i, r in enumerate(results) if r is None]
     if missing:  # pragma: no cover - protocol invariant
         raise ShardProtocolError(f"no shard returned sessions {missing}")
 
+    n_replayed = sum(1 for r in results if r.replayed)
+    n_shed = sum(1 for r in results if r.status == "shed")
     return ServeReport(
         results=list(results),
         wall_s=time.perf_counter() - t0,
         mode="shard",
         workers=workers,
-        live=totals["live"],
-        replayed=totals["replayed"],
+        live=len(results) - n_replayed - n_shed,
+        replayed=n_replayed,
         cache_hits=totals["cache_hits"],
         cache_misses=totals["cache_misses"],
-        parked=n_parked + totals["parked"],
+        parked=n_parked,
         op_exact=totals["op_exact"],
         op_near=totals["op_near"],
         op_miss=totals["op_miss"],

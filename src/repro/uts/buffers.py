@@ -91,6 +91,22 @@ class BufferPool:
             self._ensure_owner()
             self._free.append(buf)
 
+    def safe_release(self, buf: bytearray) -> bool:
+        """Return a buffer to the pool, tolerating a still-exported view.
+
+        An aborted pipe/socket send can leave the transport's internal
+        ``memoryview`` exported over the buffer with no way for the
+        caller to release it; clearing would raise ``BufferError``.  The
+        frame senders therefore use this variant on their unwind paths:
+        the buffer goes back to the pool when clean, and is simply
+        dropped (left to the GC, never pooled dirty) when a view is
+        still live.  Returns whether the buffer was pooled."""
+        try:
+            self.release(buf)
+        except BufferError:
+            return False
+        return True
+
     @contextmanager
     def borrowed(self) -> Iterator[bytearray]:
         buf = self.acquire()

@@ -217,3 +217,107 @@ class TestOpPointCacheUnit:
         assert c.lookup("b", 1.3).kind == "miss"
         assert c.families == 1  # a miss does not create the family
         assert len(c) == 1
+
+
+class TestWireBlob:
+    """export()/preload(): the cross-process op-point codec.  Solved
+    points must survive the trip bitwise — a canonical cold entry
+    re-imported elsewhere still serves exact (skip-solve) hits — and a
+    stale or foreign blob is refused loudly, never misread."""
+
+    def _seeded(self):
+        c = OpPointCache()
+        x = np.array([0.1, -0.0, 1e-309, 3.7])
+        j = np.arange(16, dtype=float).reshape(4, 4) / 7.0
+        c.store("fam-a", 1.30, x, j, {"n1": 0.97, "thrust": 1.2e4},
+                provenance="cold")
+        c.store("fam-a", 1.45, 2 * x, None, {}, provenance="cold")
+        c.store("fam-b", 1.30, x + 1.0, j, {"n1": 0.5}, provenance="interp")
+        return c, x, j
+
+    def test_roundtrip_is_bitwise_and_preserves_provenance(self):
+        c, x, j = self._seeded()
+        blob = c.export()
+        d = OpPointCache()
+        assert d.preload(blob) == 3
+        assert d.key_set() == c.key_set()
+        # canonical cold entry: still an exact, skip-solve hit, bit-for-bit
+        ws = d.lookup("fam-a", 1.30)
+        assert ws.kind == "exact" and ws.skip_solve
+        assert ws.x0.tobytes() == x.tobytes()
+        assert ws.jac0.tobytes() == j.tobytes()
+        assert ws.solution.point == {"n1": 0.97, "thrust": 1.2e4}
+        # jacobian-free entry survives as such
+        assert d.lookup("fam-a", 1.45).jac0 is None
+        # non-canonical provenance is preserved: a seed, never an exact
+        assert d.lookup("fam-b", 1.30).kind == "seed"
+        # counters belong to the importer, not the blob: the three
+        # lookups above scored 2 exact + 1 near, zero inherited misses
+        assert d.stats()["exact_hits"] == 2
+        assert d.stats()["near_hits"] == 1
+        assert d.stats()["misses"] == 0
+
+    def test_reexport_is_deterministic_and_identical(self):
+        c, _, _ = self._seeded()
+        blob = c.export()
+        assert c.export() == blob
+        d = OpPointCache()
+        d.preload(blob)
+        assert d.export() == blob
+
+    def test_preload_respects_first_write_wins_and_cold_upgrade(self):
+        c, x, j = self._seeded()
+        blob = c.export()
+        d = OpPointCache()
+        d.store("fam-a", 1.30, 9 * x, None, {}, provenance="cold")
+        d.store("fam-b", 1.30, 9 * x, None, {}, provenance="seed")
+        # fam-a@1.30: incoming cold vs resident cold — first write wins;
+        # fam-b@1.30: incoming "interp" is warm and never displaces;
+        # only fam-a@1.45 is actually new
+        assert d.preload(blob) == 1
+        np.testing.assert_array_equal(d.lookup("fam-a", 1.30).x0, 9 * x)
+        np.testing.assert_array_equal(d.peek("fam-b", 1.30).x0, 9 * x)
+
+    def test_stale_version_is_rejected(self):
+        c, _, _ = self._seeded()
+        blob = bytearray(c.export())
+        blob[4] ^= 0xFF  # bump the version halfword
+        with pytest.raises(ValueError, match="stale or foreign"):
+            OpPointCache().preload(bytes(blob))
+
+    def test_truncated_and_trailing_blobs_are_rejected(self):
+        c, _, _ = self._seeded()
+        blob = c.export()
+        with pytest.raises(ValueError, match="truncated"):
+            OpPointCache().preload(blob[:-5])
+        with pytest.raises(ValueError, match="trailing"):
+            OpPointCache().preload(blob + b"\x00")
+        with pytest.raises(ValueError, match="truncated"):
+            OpPointCache().preload(b"RO")
+
+    def test_foreign_family_is_rejected(self):
+        c, _, _ = self._seeded()
+        blob = c.export()
+        with pytest.raises(ValueError, match="foreign op-cache import"):
+            OpPointCache().preload(blob, families={"fam-a"})
+        # the allowed set admits the whole blob when it covers it
+        d = OpPointCache()
+        assert d.preload(blob, families={"fam-a", "fam-b"}) == 3
+
+    def test_family_restricted_export(self):
+        c, _, _ = self._seeded()
+        d = OpPointCache()
+        d.preload(c.export(families=["fam-b"]))
+        assert d.key_set() == {(f, k) for f, k in c.key_set() if f == "fam-b"}
+
+    def test_delta_export_ships_only_newly_solved_points(self):
+        c, x, j = self._seeded()
+        d = OpPointCache()
+        d.preload(c.export())
+        preloaded = d.key_set()
+        d.store("fam-c", 2.0, x, j, {}, provenance="cold")  # "solved here"
+        delta = OpPointCache()
+        assert delta.preload(d.export(exclude=preloaded)) == 1
+        assert delta.key_set() == {("fam-c", next(iter(
+            k for f, k in delta.key_set() if f == "fam-c"
+        )))}

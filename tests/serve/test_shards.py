@@ -1,15 +1,19 @@
-"""Process-sharded serving (PR 8 tentpole): the differential contract.
+"""Process-sharded serving: the differential contract.
 
 Sharded serving's whole claim is *exactness across cores* — per-session
-digests, virtual times, statuses, and the static shed set are bitwise-
-identical whether the batch runs inline or dealt across 2 or 4 OS worker
-processes.  These tests hold the plane to it, plus the typed boundary
-errors (:class:`NotShardSafe`), the framed wire protocol, and the
-deterministic placement/partition helpers.
+digests, virtual times, statuses, waits, and the shed set (including
+deadline expiry while parked, judged by the parent's admission
+simulation) are bitwise-identical whether the batch runs inline or
+dealt across 2 or 4 OS worker processes, over framed pipes or the
+shared-memory data plane, under fork or spawn.  These tests hold the
+plane to it, plus the typed boundary errors (:class:`NotShardSafe`),
+the framed wire protocol, the cross-serve operating-point store, and
+the deterministic placement/partition helpers.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import pickle
 
@@ -43,6 +47,7 @@ from repro.serve.shards import (
     spec_from_wire,
     spec_to_wire,
 )
+from repro.serve.shm import shm_available
 from repro.network.clock import VirtualClock
 
 
@@ -89,8 +94,7 @@ class TestDifferential:
     def test_shed_under_admission_matches_inline(self):
         """The static queue-full tier is judged by the parent over the
         global ranked list: shed set, reasons, and surviving digests all
-        match inline (deadline-free mix — parked-deadline expiry is the
-        documented per-shard divergence)."""
+        match inline."""
         specs = build_session_specs(10, classes=4, points=2)
         adm = AdmissionPolicy(max_live=3, max_parked=2)
         inline = serve_sessions_sharded(specs, workers=0, admission=adm, dedup=False)
@@ -111,6 +115,90 @@ class TestDifferential:
         base = _rows(serve_sessions_sharded(specs, workers=0))
         spawned = serve_sessions_sharded(specs, workers=2, start_method="spawn")
         assert _rows(spawned) == base
+
+    def test_transport_matrix_matches_inline(self):
+        """The acceptance matrix: pipe and shm transports, fork and
+        spawn start methods, 2 and 4 workers — all bitwise-identical to
+        inline."""
+        specs = build_session_specs(6, classes=3, points=2, op_cache=True)
+        base = _rows(serve_sessions_sharded(specs, workers=0))
+        transports = ["pipe"] + (["shm"] if shm_available() else [])
+        for transport in transports:
+            for start_method in ("fork", "spawn"):
+                for workers in (2, 4):
+                    shard = serve_sessions_sharded(
+                        specs,
+                        workers=workers,
+                        start_method=start_method,
+                        transport=transport,
+                    )
+                    assert _rows(shard) == base, (transport, start_method, workers)
+
+    def test_every_payload_through_the_ring_matches_inline(self):
+        """shm_threshold=1 forces every open/serve/result/close payload
+        by ring reference — parity must survive the full shm path, both
+        directions."""
+        if not shm_available():
+            pytest.skip("no shared memory on this host")
+        specs = build_session_specs(8, classes=4, points=2, op_cache=True)
+        base = _rows(serve_sessions_sharded(specs, workers=0))
+        with ShardPool(2, transport="shm", shm_threshold=1) as pool:
+            shard = serve_sessions_sharded(specs, workers=2, pool=pool)
+        assert _rows(shard) == base
+
+
+def _rows_with_waits(report):
+    return [
+        (r.name, r.digest, r.virtual_s, r.status, r.shed_reason,
+         r.replayed, r.wait_s, r.deadline_met)
+        for r in report.results
+    ]
+
+
+class TestParkedDeadlineParity:
+    """Deadline expiry *while parked* is judged by the parent's
+    admission simulation at the exact instants — and with the exact
+    reason strings — the inline scheduler would use."""
+
+    def _deadlined_specs(self, dedup: bool):
+        specs = build_session_specs(10, classes=4, points=2)
+        adm = AdmissionPolicy(max_live=2, max_parked=8)
+        probe = serve_sessions_sharded(specs, workers=0, admission=adm, dedup=dedup)
+        waits = [r.wait_s for r in probe.results]
+        out = []
+        for i, (spec, w) in enumerate(zip(specs, waits)):
+            if w <= 0:
+                out.append(spec)  # admitted immediately: leave deadline-free
+            elif i % 2:
+                out.append(dataclasses.replace(spec, deadline_s=w * 0.6))  # expires
+            else:
+                out.append(dataclasses.replace(spec, deadline_s=w + 1e3))  # survives
+        return out, adm
+
+    @pytest.mark.parametrize("dedup", [True, False])
+    def test_expiry_while_parked_matches_inline(self, dedup):
+        specs, adm = self._deadlined_specs(dedup)
+        inline = serve_sessions_sharded(specs, workers=0, admission=adm, dedup=dedup)
+        expired = [
+            r for r in inline.results if "expired while parked" in r.shed_reason
+        ]
+        assert expired, "mix must actually exercise parked-deadline expiry"
+        assert all(r.deadline_met is False for r in expired)
+        for workers in (2, 4):
+            shard = serve_sessions_sharded(
+                specs, workers=workers, admission=adm, dedup=dedup
+            )
+            assert _rows_with_waits(shard) == _rows_with_waits(inline)
+
+    def test_queue_waits_match_inline_without_deadlines(self):
+        """Admission chronology parity shows up as identical charged
+        waits even when nothing sheds."""
+        specs = build_session_specs(9, classes=3, points=2)
+        adm = AdmissionPolicy(max_live=2, max_parked=9)
+        inline = serve_sessions_sharded(specs, workers=0, admission=adm)
+        shard = serve_sessions_sharded(specs, workers=3, admission=adm)
+        assert _rows_with_waits(shard) == _rows_with_waits(inline)
+        assert any(r.wait_s > 0 for r in inline.results)
 
 
 class TestSurface:
@@ -165,7 +253,7 @@ class TestSurface:
             assert _rows(first) == base
             assert _rows(second) == base
         with pytest.raises(RuntimeError, match="closed"):
-            pool.serve_round([None, None])
+            pool.send(0, "shard-exit", None)
 
 
 class TestNotShardSafe:
@@ -309,3 +397,72 @@ class TestPlacement:
         # a tiny global bound still grants every busy shard one slot
         assert partition_live_slots(1, [4, 4]) == [1, 1]
         assert partition_live_slots(3, [0, 0]) == [None, None]
+
+
+class TestOpPointPlane:
+    """The cross-shard operating-point plane: per-shard tier counters
+    surface in ``shard_rows`` (and sum to the merged report), and the
+    pool-held op store warm-seeds every later serve."""
+
+    def test_merged_op_tiers_equal_shard_row_sums(self):
+        specs = build_session_specs(8, classes=4, points=2, op_cache=True)
+        report = serve_sessions_sharded(specs, workers=3)
+        busy = [r for r in report.shard_rows if r["sessions"]]
+        assert busy, "workload must land on at least one shard"
+        for row in busy:
+            stats = row["op_cache"]
+            assert stats["exact_hits"] == row["op_exact"]
+            assert stats["near_hits"] == row["op_near"]
+            assert stats["misses"] == row["op_miss"]
+            assert stats["entries"] >= 1
+        assert report.op_exact == sum(r["op_exact"] for r in report.shard_rows)
+        assert report.op_near == sum(r["op_near"] for r in report.shard_rows)
+        assert report.op_miss == sum(r["op_miss"] for r in report.shard_rows)
+        merged = report.summary()
+        assert merged["op_exact"] == report.op_exact
+        assert merged["op_near"] == report.op_near
+        assert merged["op_miss"] == report.op_miss
+
+    def test_pool_op_store_warm_seeds_next_serve(self):
+        """A second sharded serve over a reused pool must behave like a
+        second inline serve over a reused installation: the op store
+        carries every solved point across, so cold solves vanish."""
+        specs = build_session_specs(6, classes=3, points=2, op_cache=True)
+        inst = SharedInstallation.standard()
+        serve_sessions(specs, installation=inst, dedup=False)
+        inline_second = serve_sessions(specs, installation=inst, dedup=False)
+        with ShardPool(2) as pool:
+            first = serve_sessions_sharded(specs, workers=2, dedup=False, pool=pool)
+            assert len(pool.op_store) > 0, "solved points must reach the store"
+            shard_second = serve_sessions_sharded(
+                specs, workers=2, dedup=False, pool=pool
+            )
+        assert first.op_miss > 0, "cold first serve must actually solve"
+        assert _rows(shard_second) == _rows(inline_second)
+        assert (
+            shard_second.op_exact, shard_second.op_near, shard_second.op_miss
+        ) == (
+            inline_second.op_exact, inline_second.op_near, inline_second.op_miss
+        )
+        assert shard_second.op_miss == 0
+
+    def test_explicit_op_store_shared_between_pools(self):
+        """An op store passed by the caller outlives any one pool."""
+        from repro.serve.opcache import OpPointCache
+
+        specs = build_session_specs(4, classes=2, points=2, op_cache=True)
+        store = OpPointCache()
+        cold = serve_sessions_sharded(specs, workers=2, op_store=store)
+        assert len(store) > 0
+        warm = serve_sessions_sharded(specs, workers=2, op_store=store)
+        # a warm serve skips solves outright, so it is *faster*, not
+        # identical: every point lands as an exact hit and virtual time
+        # (solver effort) drops
+        assert [(r.name, r.status) for r in warm.results] == [
+            (r.name, r.status) for r in cold.results
+        ]
+        assert warm.op_miss == 0
+        assert cold.op_miss > 0
+        assert sum(r.virtual_s for r in warm.results) < sum(
+            r.virtual_s for r in cold.results
+        )

@@ -1,0 +1,361 @@
+"""The shard data plane: binary payload codec, SPSC shared-memory
+ring, and the framed wire path over both transports.
+
+The contract under test: every payload the shard protocol ships
+round-trips bitwise through the binary codec; ring references resolve
+to exactly the bytes published (in publication order, or a typed
+protocol error); and *every* failure on the send path — pipe error,
+exported-buffer ``BufferError``, ring-full fallback — releases the
+pooled wire buffer and leaks no shared-memory segment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import struct
+
+import pytest
+
+from repro.network.transport import HEADER_STRUCT
+from repro.serve.shm import (
+    DEFAULT_RING_BYTES,
+    NotShardSafe,
+    ShardProtocolError,
+    ShmRing,
+    SHM_THRESHOLD,
+    decode_payload,
+    encode_payload_into,
+    recv_frame,
+    resolve_transport,
+    send_frame,
+    shm_available,
+)
+from repro.uts.buffers import WIRE_BUFFERS
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="no shared memory on this host"
+)
+
+
+def _roundtrip(obj):
+    buf = bytearray()
+    encode_payload_into(buf, obj)
+    return decode_payload(buf)
+
+
+class TestBinaryCodec:
+    def test_scalar_vocabulary_roundtrips(self):
+        for obj in (
+            None, True, False, 0, -1, 2**63 - 1, -(2**63), 2**80, -(2**90),
+            0.0, -1.5, 1e300, "", "utf-8 ✈ text", b"", b"\x00\xffraw",
+        ):
+            got = _roundtrip(obj)
+            assert got == obj and type(got) is type(obj)
+
+    def test_nested_containers_roundtrip(self):
+        obj = {
+            "specs": [{"name": "s0", "points": [1.0, 2.5], "n": 3}],
+            "flags": [True, False, None],
+            "blob": b"\x01\x02",
+            "empty": {}, "empty_list": [],
+        }
+        assert _roundtrip(obj) == obj
+
+    def test_tuples_decode_as_lists(self):
+        assert _roundtrip((1, "a", (2.5,))) == [1, "a", [2.5]]
+
+    def test_float_list_takes_array_fast_path_bitwise(self):
+        vals = [0.1, -0.0, 1e-309, float("inf"), -2.5]
+        buf = bytearray()
+        encode_payload_into(buf, vals)
+        assert buf[0] == 0x0A  # _T_F8ARRAY, not a generic list
+        # raw little-endian float64s follow the u32 count
+        assert bytes(buf[5:]) == struct.pack(f"<{len(vals)}d", *vals)
+        got = decode_payload(buf)
+        assert struct.pack(f"<{len(vals)}d", *got) == struct.pack(
+            f"<{len(vals)}d", *vals
+        )
+
+    def test_mixed_list_stays_generic(self):
+        buf = bytearray()
+        encode_payload_into(buf, [1.0, 2])  # int member defeats the fast path
+        assert buf[0] == 0x08  # _T_LIST
+        assert decode_payload(buf) == [1.0, 2]
+
+    def test_non_str_dict_key_is_not_shard_safe(self):
+        with pytest.raises(NotShardSafe, match="str keys only"):
+            _roundtrip({1: "x"})
+
+    def test_foreign_type_is_not_shard_safe(self):
+        with pytest.raises(NotShardSafe, match="not shard-serializable"):
+            _roundtrip({"k": {1, 2}})
+
+    def test_unknown_tag_is_protocol_error(self):
+        with pytest.raises(ShardProtocolError, match="unknown payload tag"):
+            decode_payload(b"\xfe")
+
+    def test_truncation_is_protocol_error(self):
+        buf = bytearray()
+        encode_payload_into(buf, {"k": [1.0, 2.0, 3.0]})
+        with pytest.raises(ShardProtocolError, match="truncated"):
+            decode_payload(bytes(buf[:-4]))
+
+    def test_trailing_bytes_are_protocol_error(self):
+        buf = bytearray()
+        encode_payload_into(buf, 7)
+        with pytest.raises(ShardProtocolError, match="trailing"):
+            decode_payload(bytes(buf) + b"\x00")
+
+
+@needs_shm
+class TestShmRing:
+    def test_write_read_roundtrip_returns_offsets(self):
+        ring = ShmRing.create(capacity=256)
+        try:
+            assert ring.write(b"alpha") == 0
+            assert ring.write(b"beta") == 5
+            assert ring.read(0, 5) == b"alpha"
+            assert ring.read(5, 4) == b"beta"
+        finally:
+            ring.close()
+
+    def test_wraparound_split_copy(self):
+        ring = ShmRing.create(capacity=64)
+        try:
+            first = bytes(range(40))
+            assert ring.write(first) == 0
+            assert ring.read(0, 40) == first
+            spanning = bytes(range(48))  # crosses the 64-byte boundary
+            assert ring.write(spanning) == 40
+            assert ring.read(40, 48) == spanning
+        finally:
+            ring.close()
+
+    def test_full_ring_returns_none_for_pipe_fallback(self):
+        ring = ShmRing.create(capacity=32)
+        try:
+            assert ring.write(b"x" * 32) == 0
+            assert ring.write(b"y") is None  # full: caller uses the pipe
+            ring.read(0, 32)
+            assert ring.write(b"y") == 32  # space reclaimed after consume
+        finally:
+            ring.close()
+
+    def test_out_of_order_consume_is_protocol_error(self):
+        ring = ShmRing.create(capacity=64)
+        try:
+            ring.write(b"abc")
+            with pytest.raises(ShardProtocolError, match="publication order"):
+                ring.read(1, 2)
+        finally:
+            ring.close()
+
+    def test_unpublished_length_is_protocol_error(self):
+        ring = ShmRing.create(capacity=64)
+        try:
+            ring.write(b"abc")
+            with pytest.raises(ShardProtocolError, match="only 3 are published"):
+                ring.read(0, 9)
+        finally:
+            ring.close()
+
+    def test_owner_close_unlinks_segment(self):
+        ring = ShmRing.create(capacity=64)
+        name = ring.name
+        peer = ShmRing.attach(name)
+        peer.close()  # non-owner close leaves the segment linked
+        ShmRing.attach(name).close()
+        ring.close()
+        with pytest.raises(FileNotFoundError):
+            ShmRing.attach(name)
+        ring.close()  # idempotent
+
+    def test_attach_sees_owner_writes(self):
+        ring = ShmRing.create(capacity=128)
+        peer = ShmRing.attach(ring.name)
+        try:
+            ring.write(b"cross-process bytes")
+            assert peer.read(0, 19) == b"cross-process bytes"
+        finally:
+            peer.close()
+            ring.close()
+
+
+class _ExplodingConn:
+    """A pipe stand-in whose send always fails; optionally it first
+    exports a memoryview over the outgoing buffer, the way a real
+    ``Connection`` can when interrupted mid-write — forcing the
+    ``BufferError`` release path."""
+
+    def __init__(self, keep_view: bool = False):
+        self.keep_view = keep_view
+        self.kept = []
+
+    def send_bytes(self, data):
+        if self.keep_view and isinstance(data, (bytearray, memoryview)):
+            self.kept.append(memoryview(data))
+        raise OSError("simulated broken pipe")
+
+
+class TestFramePath:
+    def test_pipe_frame_roundtrips_binary_payload(self):
+        rx, tx = multiprocessing.Pipe(duplex=False)
+        try:
+            payload = {"seqs": [0, 1], "vals": [1.5, 2.5], "blob": b"\x00\x01"}
+            send_frame(tx, "shard-serve", payload, src="parent", dst="w0")
+            kind, got = recv_frame(rx)
+            assert (kind, got) == ("shard-serve", payload)
+        finally:
+            rx.close(), tx.close()
+
+    def test_json_codec_still_speaks_the_same_frames(self):
+        rx, tx = multiprocessing.Pipe(duplex=False)
+        try:
+            send_frame(tx, "shard-open", {"k": [1, 2]}, "p", "w", codec="json")
+            assert recv_frame(rx, codec="json") == ("shard-open", {"k": [1, 2]})
+        finally:
+            rx.close(), tx.close()
+
+    @needs_shm
+    def test_large_payload_travels_by_ring_reference(self):
+        rx, tx = multiprocessing.Pipe(duplex=False)
+        ring = ShmRing.create(capacity=1 << 20)
+        try:
+            payload = {"arr": [float(i) for i in range(8192)]}
+            send_frame(tx, "shard-result", payload, "w0", "parent",
+                       ring=ring, threshold=1)
+            # only header + (offset, length) reference crossed the pipe
+            raw = rx.recv_bytes()
+            assert len(raw) == HEADER_STRUCT.size + 16
+            assert ring.used > 0
+            # re-send for the real consume path
+            send_frame(tx, "shard-result", payload, "w0", "parent",
+                       ring=ring, threshold=1)
+            rx2, tx2 = multiprocessing.Pipe(duplex=False)
+            tx2.send_bytes(rx.recv_bytes())  # replay the second frame
+            # resolve the *first* published body manually, then the frame
+            nbytes = struct.unpack_from("<Q", raw, HEADER_STRUCT.size + 8)[0]
+            ring.read(0, nbytes)
+            assert recv_frame(rx2, ring=ring) == ("shard-result", payload)
+            rx2.close(), tx2.close()
+        finally:
+            ring.close()
+            rx.close(), tx.close()
+
+    @needs_shm
+    def test_full_ring_falls_back_to_inline_pipe_frame(self):
+        rx, tx = multiprocessing.Pipe(duplex=False)
+        ring = ShmRing.create(capacity=64)  # far too small for the payload
+        try:
+            payload = {"arr": [float(i) for i in range(1000)]}
+            send_frame(tx, "shard-result", payload, "w0", "parent",
+                       ring=ring, threshold=1)
+            assert ring.used == 0  # nothing was published
+            assert recv_frame(rx, ring=ring) == ("shard-result", payload)
+        finally:
+            ring.close()
+            rx.close(), tx.close()
+
+    def test_reference_frame_without_ring_is_protocol_error(self):
+        if not shm_available():
+            pytest.skip("no shared memory on this host")
+        rx, tx = multiprocessing.Pipe(duplex=False)
+        ring = ShmRing.create(capacity=1 << 16)
+        try:
+            send_frame(tx, "shard-close", {"arr": [1.0] * 500}, "p", "w",
+                       ring=ring, threshold=1)
+            with pytest.raises(ShardProtocolError, match="no ring attached"):
+                recv_frame(rx, ring=None)
+        finally:
+            ring.close()
+            rx.close(), tx.close()
+
+    def test_unknown_kind_is_rejected_before_any_io(self):
+        conn = _ExplodingConn()
+        with pytest.raises(ShardProtocolError, match="unknown frame kind"):
+            send_frame(conn, "shard-bogus", None, "p", "w")
+        assert not conn.kept
+
+
+class TestSendPathLeaks:
+    """Satellite regression: a failure anywhere in ``send_frame`` must
+    release the pooled wire buffer — including when the failed send
+    leaves a memoryview exported over it (``BufferError`` on release)
+    — and must not leak shared-memory segments."""
+
+    def test_pipe_failure_returns_buffer_to_pool(self):
+        conn = _ExplodingConn()
+        # prime: one successful send so the pool holds a reusable buffer
+        rx, tx = multiprocessing.Pipe(duplex=False)
+        send_frame(tx, "shard-open", {"k": 1}, "p", "w")
+        rx.close(), tx.close()
+        n0 = len(WIRE_BUFFERS)
+        assert n0 >= 1
+        for _ in range(16):
+            with pytest.raises(OSError, match="simulated broken pipe"):
+                send_frame(conn, "shard-serve", {"arr": [1.0] * 64}, "p", "w")
+        # every failed send recycled its buffer: the pool is stable
+        assert len(WIRE_BUFFERS) == n0
+
+    def test_exported_view_failure_drops_buffer_without_raising(self):
+        conn = _ExplodingConn(keep_view=True)
+        n0 = len(WIRE_BUFFERS)
+        for _ in range(4):
+            with pytest.raises(OSError, match="simulated broken pipe"):
+                send_frame(conn, "shard-serve", {"arr": [1.0] * 64}, "p", "w")
+        # the poisoned buffers were dropped, not re-pooled, and the
+        # BufferError never masked the transport error
+        assert len(WIRE_BUFFERS) <= n0
+        for view in conn.kept:
+            view.release()
+
+    @needs_shm
+    def test_failure_after_ring_publish_leaks_no_segment(self):
+        ring = ShmRing.create(capacity=1 << 16)
+        name = ring.name
+        conn = _ExplodingConn()
+        with pytest.raises(OSError, match="simulated broken pipe"):
+            send_frame(conn, "shard-result", {"arr": [1.0] * 1000}, "w", "p",
+                       ring=ring, threshold=1)
+        assert ring.used > 0  # the body was published, the reference lost
+        ring.close()  # owner teardown still unlinks the orphaned bytes
+        with pytest.raises(FileNotFoundError):
+            ShmRing.attach(name)
+
+    @needs_shm
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_pool_teardown_unlinks_every_ring(self, start_method):
+        from repro.serve.demo import build_session_specs
+        from repro.serve.shards import ShardPool, serve_sessions_sharded
+
+        specs = build_session_specs(4, classes=2, points=2)
+        pool = ShardPool(2, start_method=start_method, transport="shm")
+        names = [r.name for r in pool._rings_out + pool._rings_in]
+        assert names, "shm transport must actually create rings"
+        serve_sessions_sharded(specs, workers=2, pool=pool)
+        pool.close()
+        leaked = [
+            n for n in names
+            if os.path.exists(os.path.join("/dev/shm", n.lstrip("/")))
+        ]
+        assert not leaked
+
+
+class TestTransportResolution:
+    def test_literal_choices(self):
+        assert resolve_transport("pipe") == "pipe"
+        if shm_available():
+            assert resolve_transport("shm") == "shm"
+            assert resolve_transport("auto") == "shm"
+        else:
+            assert resolve_transport("auto") == "pipe"
+            with pytest.raises(RuntimeError, match="unavailable"):
+                resolve_transport("shm")
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard transport"):
+            resolve_transport("carrier-pigeon")
+
+    def test_threshold_and_capacity_defaults_are_sane(self):
+        assert 0 < SHM_THRESHOLD < DEFAULT_RING_BYTES
