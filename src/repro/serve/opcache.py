@@ -129,6 +129,7 @@ class OpPointCache:
         self.near_window = near_window
         self._families: Dict[str, _Family] = {}
         self._lock = threading.Lock()
+        self._cold_upgrades: Set[Tuple[str, str]] = set()
         self.exact_hits = 0
         self.near_hits = 0
         self.misses = 0
@@ -223,6 +224,11 @@ class OpPointCache:
                 return False
             if old is None:
                 insort(fam.axis, wf)
+            else:
+                # the cold upgrade rewrote an existing (warm-derived)
+                # entry — remembered so delta exports that exclude a
+                # preload seed still ship the upgraded solution
+                self._cold_upgrades.add((family, key))
             fam.entries[key] = OpSolution(
                 wf=wf,
                 x=np.array(x, dtype=float, copy=True),
@@ -244,6 +250,16 @@ class OpPointCache:
                 for name, fam in self._families.items()
                 for key in fam.entries
             }
+
+    def cold_upgraded(self) -> Set[Tuple[str, str]]:
+        """The ``(family, wf_key)`` pairs whose stored entry has been
+        *rewritten* by the cold upgrade since this cache was built.  A
+        delta export that excludes a preload seed must keep these — the
+        seed's warm-derived entry was replaced by this process's
+        bitwise-canonical solve, and dropping it from the export would
+        leave the merged store's bitwise tier non-monotone."""
+        with self._lock:
+            return set(self._cold_upgrades)
 
     def export(
         self,

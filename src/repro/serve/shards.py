@@ -348,6 +348,7 @@ def _open_episode(payload: dict) -> dict:
         "installation": installation,
         # what the seed already held: the close-time export ships only
         # the points this worker solved, not the seed it was handed back
+        # (minus seed entries this worker cold-upgrades — see close)
         "preloaded": installation.op_cache.key_set(),
         "dedup": payload["dedup"],
         "wall_parallel": payload["wall_parallel"],
@@ -421,7 +422,12 @@ def _close_episode(shard_id: int, episode: Optional[dict]) -> dict:
         "budget": (
             inst.retry_budget.snapshot() if episode["leased"] else None
         ),
-        "op_export": oc.export(exclude=episode["preloaded"]),
+        # the delta: points this worker solved, plus seeded warm-derived
+        # entries it cold-upgraded (those were rewritten bitwise-canonical
+        # and must flow back or the merged store's tier is not monotone)
+        "op_export": oc.export(
+            exclude=episode["preloaded"] - oc.cold_upgraded()
+        ),
     }
 
 
@@ -520,6 +526,7 @@ class ShardPool:
         self.shm_threshold = shm_threshold
         self.op_store = op_store if op_store is not None else OpPointCache()
         ctx = multiprocessing.get_context(self.start_method)
+        self._broken = False
         self._procs = []
         self._conns = []
         #: parent->worker payload rings (parent writes), worker->parent
@@ -558,11 +565,19 @@ class ShardPool:
             raise
         self._closed = False
 
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise RuntimeError("ShardPool is closed")
+        if self._broken:
+            raise RuntimeError(
+                "ShardPool is broken: a prior serve failed mid-protocol and "
+                "its workers could not be resynced — create a new pool"
+            )
+
     def send(self, shard: int, kind: str, payload) -> None:
         """Frame one control message to a worker (large payloads ride
         the shard's shared-memory ring under shm transport)."""
-        if self._closed:
-            raise RuntimeError("ShardPool is closed")
+        self._check_usable()
         send_frame(
             self._conns[shard], kind, payload,
             src="parent", dst=f"shard-{shard}",
@@ -573,8 +588,7 @@ class ShardPool:
     def recv(self, shard: int, expect: str) -> Optional[dict]:
         """Collect one reply from a worker, re-raising worker-side
         failures with their tracebacks."""
-        if self._closed:
-            raise RuntimeError("ShardPool is closed")
+        self._check_usable()
         kind, reply = recv_frame(self._conns[shard], ring=self._rings_in[shard])
         if kind == "shard-error":
             raise RuntimeError(
@@ -585,6 +599,54 @@ class ShardPool:
                 f"shard {shard}: expected {expect}, got {kind}"
             )
         return reply
+
+    def recover(self, shards: Sequence[int], settle_timeout_s: float = 10.0) -> None:
+        """Resync the worker protocol after a serve failed mid-stream.
+
+        A caller-supplied pool outlives the serve call that broke: its
+        workers may hold an open episode and unconsumed frames (queued
+        waves, an unread reply) in pipes and rings, and reusing the
+        pool as-is would misattribute replies.  This closes every named
+        worker's episode and drains stale traffic — ``shard-result``
+        frames from waves already in flight, the close reply itself —
+        so the next serve starts from a clean stream (the drained
+        close's op-point delta is discarded: a failed serve contributes
+        nothing to the pool store).  If any worker cannot be settled
+        (died, wedged past ``settle_timeout_s``), the pool is marked
+        broken and every later :meth:`send`/:meth:`recv` raises
+        clearly, rather than desyncing silently."""
+        if self._closed or self._broken:
+            return
+        try:
+            for w in shards:
+                send_frame(
+                    self._conns[w], "shard-close", None,
+                    src="parent", dst=f"shard-{w}",
+                    ring=self._rings_out[w], threshold=self.shm_threshold,
+                )
+            for w in shards:
+                while True:
+                    if not self._conns[w].poll(settle_timeout_s):
+                        raise ShardProtocolError(
+                            f"shard {w} did not settle within "
+                            f"{settle_timeout_s:g}s during recovery"
+                        )
+                    kind, reply = recv_frame(
+                        self._conns[w], ring=self._rings_in[w]
+                    )
+                    if kind == "shard-closed":
+                        break
+                    if kind == "shard-error" and (
+                        "shard-close before shard-open"
+                        in ((reply or {}).get("error") or "")
+                    ):
+                        # the worker had no open episode (the failure
+                        # predated its open, or the serve already closed
+                        # it): the stream is clean past this reply
+                        break
+                    # anything else is stale in-flight traffic: discard
+        except Exception:
+            self._broken = True
 
     def close(self) -> None:
         if getattr(self, "_closed", True):
@@ -938,6 +1000,13 @@ def serve_sessions_sharded(
         closes: Dict[int, dict] = {}
         for w in active:
             closes[w] = pool.recv(w, "shard-closed")
+    except BaseException:
+        # a caller-supplied pool outlives this failed serve: resync its
+        # protocol stream (or mark it broken) before re-raising, so the
+        # caller's next serve cannot misattribute stale replies
+        if not own_pool:
+            pool.recover(active)
+        raise
     finally:
         if own_pool:
             pool.close()

@@ -306,8 +306,17 @@ def decode_payload(data) -> object:
 # the SPSC shared-memory ring
 # --------------------------------------------------------------------------
 
-_CURSORS = struct.Struct("<QQ")  # monotonic head (writer), tail (reader)
-_DATA_OFF = _CURSORS.size
+# segment header: head (writer-owned), tail (reader-owned), capacity
+# (written once at create).  Each side rewrites ONLY its own 8-byte
+# field — packing both cursors from one snapshot would let a concurrent
+# peer update be rolled back (two frames are legitimately in flight on
+# the parent->worker ring: op_seed then wave 1).
+_RING_HEADER = struct.Struct("<QQQ")
+_U64 = struct.Struct("<Q")
+_HEAD_OFF = 0
+_TAIL_OFF = 8
+_CAP_OFF = 16
+_DATA_OFF = _RING_HEADER.size
 
 
 def _attach_segment(name: str):
@@ -331,12 +340,18 @@ class ShmRing:
     segment.
 
     Layout: two monotonic ``u64`` cursors (``head`` — bytes ever
-    written, ``tail`` — bytes ever consumed) followed by ``capacity``
-    data bytes.  The writer publishes *after* copying (head moves
-    last), the reader consumes after reading (tail moves last), and the
-    pipe's control message orders write-before-read — so an aborted
-    write never publishes garbage and a reference is validated against
-    the reader's own cursor.
+    written, ``tail`` — bytes ever consumed), the ``u64`` capacity
+    (written once at create, read back on attach — ``seg.size`` may be
+    page-rounded upward on some platforms, so the mapped size is *not*
+    the wrap point), then ``capacity`` data bytes.  The writer
+    publishes *after* copying (head moves last), the reader consumes
+    after reading (tail moves last), and **each side stores only its
+    own cursor field** — reading the peer's cursor stale is safe (it
+    only under-reports free/published space), but rewriting it from a
+    snapshot would race the peer's concurrent update.  The pipe's
+    control message orders write-before-read, so an aborted write never
+    publishes garbage and a reference is validated against the reader's
+    own cursor.
     """
 
     def __init__(self, segment, capacity: int, owner: bool):
@@ -352,13 +367,31 @@ class ShmRing:
         from multiprocessing import shared_memory
 
         seg = shared_memory.SharedMemory(create=True, size=_DATA_OFF + capacity)
-        _CURSORS.pack_into(seg.buf, 0, 0, 0)
+        _RING_HEADER.pack_into(seg.buf, 0, 0, 0, capacity)
         return cls(seg, capacity, owner=True)
 
     @classmethod
     def attach(cls, name: str) -> "ShmRing":
+        """Attach by name, taking the wrap point from the header's
+        stored capacity — never from ``seg.size``, which some platforms
+        round up to a page multiple and would leave writer and reader
+        disagreeing on where payloads wrap."""
         seg = _attach_segment(name)
-        return cls(seg, seg.size - _DATA_OFF, owner=False)
+        if seg.size < _DATA_OFF:
+            seg.close()
+            raise ShardProtocolError(
+                f"shm segment {name!r} is {seg.size} bytes: too small to "
+                f"hold a {_DATA_OFF}-byte ring header"
+            )
+        (capacity,) = _U64.unpack_from(seg.buf, _CAP_OFF)
+        if capacity == 0 or seg.size < _DATA_OFF + capacity:
+            size = seg.size
+            seg.close()
+            raise ShardProtocolError(
+                f"shm segment {name!r} header claims {capacity} data bytes "
+                f"but the segment maps only {size}"
+            )
+        return cls(seg, capacity, owner=False)
 
     @property
     def name(self) -> str:
@@ -384,7 +417,10 @@ class ShmRing:
 
     # ------------------------------------------------------------- cursors
     def _cursors(self) -> Tuple[int, int]:
-        return _CURSORS.unpack_from(self._buf, 0)
+        return (
+            _U64.unpack_from(self._buf, _HEAD_OFF)[0],
+            _U64.unpack_from(self._buf, _TAIL_OFF)[0],
+        )
 
     @property
     def used(self) -> int:
@@ -418,7 +454,10 @@ class ShmRing:
         finally:
             if src is not data:
                 src.release()
-        _CURSORS.pack_into(self._buf, 0, head + n, tail)
+        # publish: store ONLY the writer-owned head — the reader may be
+        # consuming a previously published frame right now, and packing
+        # a (head, tail) snapshot would roll its tail back
+        _U64.pack_into(self._buf, _HEAD_OFF, head + n)
         return head
 
     # --------------------------------------------------------------- read
@@ -445,7 +484,11 @@ class ShmRing:
         out = bytes(self._buf[pos : pos + first])
         if first < length:
             out += bytes(self._buf[_DATA_OFF : _DATA_OFF + (length - first)])
-        _CURSORS.pack_into(self._buf, 0, head, tail + length)
+        # consume: store ONLY the reader-owned tail — the writer may be
+        # publishing the next frame concurrently (the parent puts the
+        # op_seed and wave-1 frames in flight back to back), and packing
+        # a (head, tail) snapshot would roll its head back
+        _U64.pack_into(self._buf, _TAIL_OFF, tail + length)
         return out
 
 

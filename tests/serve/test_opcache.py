@@ -321,3 +321,26 @@ class TestWireBlob:
         assert delta.key_set() == {("fam-c", next(iter(
             k for f, k in delta.key_set() if f == "fam-c"
         )))}
+
+    def test_cold_upgrade_of_preloaded_entry_stays_in_delta_export(self):
+        """Regression: a worker that cold-upgrades a seeded warm-derived
+        entry must ship the upgrade back in its delta — excluding the
+        whole preload set would strand the bitwise-canonical rewrite in
+        one process and leave the merged store's tier non-monotone."""
+        c, x, j = self._seeded()
+        d = OpPointCache()
+        d.preload(c.export())
+        preloaded = d.key_set()
+        assert d.cold_upgraded() == set()
+        # fam-b@1.30 was seeded warm ("interp"); this process solves it
+        # cold, which rewrites the entry bitwise-canonical
+        assert d.store("fam-b", 1.30, 5 * x, j, {"n1": 0.5},
+                       provenance="cold")
+        upgraded = d.cold_upgraded()
+        assert upgraded == {p for p in preloaded if p[0] == "fam-b"}
+        # the shard close path's delta: preloaded minus the upgrades
+        merged = OpPointCache()
+        assert merged.preload(d.export(exclude=preloaded - upgraded)) == 1
+        ws = merged.peek("fam-b", 1.30)
+        assert ws.kind == "exact" and ws.skip_solve
+        assert ws.x0.tobytes() == (5 * x).tobytes()

@@ -255,6 +255,45 @@ class TestSurface:
         with pytest.raises(RuntimeError, match="closed"):
             pool.send(0, "shard-exit", None)
 
+    def test_caller_pool_resyncs_after_midserve_failure(self, monkeypatch):
+        """Regression: an exception mid-serve on a caller-supplied pool
+        must not strand workers in an open episode with unconsumed
+        frames in pipes/rings — the next serve on the same pool has to
+        start from a clean protocol stream and still match inline."""
+        import repro.serve.shards as shards_mod
+
+        specs = build_session_specs(6, classes=3, points=2)
+        base = _rows(serve_sessions_sharded(specs, workers=0))
+        with ShardPool(2) as pool:
+            real = shards_mod.result_from_wire
+
+            def boom(wire):
+                raise RuntimeError("injected mid-serve failure")
+
+            # blow up while wave-1 replies are still in flight: workers
+            # hold open episodes and undrained result frames
+            monkeypatch.setattr(shards_mod, "result_from_wire", boom)
+            with pytest.raises(RuntimeError, match="injected mid-serve"):
+                serve_sessions_sharded(specs, workers=2, pool=pool)
+            monkeypatch.setattr(shards_mod, "result_from_wire", real)
+            again = serve_sessions_sharded(specs, workers=2, pool=pool)
+            assert _rows(again) == base
+
+    def test_pool_marked_broken_when_recovery_cannot_settle(self):
+        """When resync itself fails (a worker died mid-serve), reuse
+        must raise clearly instead of desyncing silently."""
+        pool = ShardPool(2)
+        try:
+            pool._procs[0].terminate()
+            pool._procs[0].join(timeout=10)
+            pool.recover([0])
+            with pytest.raises(RuntimeError, match="broken"):
+                pool.send(0, "shard-close", None)
+            with pytest.raises(RuntimeError, match="broken"):
+                pool.recv(0, "shard-closed")
+        finally:
+            pool.close()
+
 
 class TestNotShardSafe:
     def test_fault_plan_spec_is_refused_with_typed_error(self):

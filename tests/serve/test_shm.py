@@ -14,6 +14,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import struct
+from unittest import mock
 
 import pytest
 
@@ -177,6 +178,90 @@ class TestShmRing:
         try:
             ring.write(b"cross-process bytes")
             assert peer.read(0, 19) == b"cross-process bytes"
+        finally:
+            peer.close()
+            ring.close()
+
+    def test_reader_tail_survives_concurrent_writer_publish(self):
+        """Regression for the SPSC cursor race: the writer must store
+        only its own head field.  The protocol legitimately puts two
+        parent->worker frames in flight (op_seed, then wave 1), so a
+        publish can land while the reader is mid-consume — emulated
+        here by feeding the writer a cursor snapshot taken *before*
+        the reader advanced its tail."""
+        ring = ShmRing.create(capacity=256)
+        peer = ShmRing.attach(ring.name)
+        try:
+            ring.write(b"frame-one")
+            stale = ring._cursors()  # (9, 0): before the consume below
+            assert peer.read(0, 9) == b"frame-one"  # tail -> 9
+            with mock.patch.object(ring, "_cursors", return_value=stale):
+                ring.write(b"frame-two")  # the concurrent publish
+            # the reader's tail advance was not rolled back to 0 ...
+            assert peer._cursors() == (18, 9)
+            # ... so the next in-order consume still resolves
+            assert peer.read(9, 9) == b"frame-two"
+        finally:
+            peer.close()
+            ring.close()
+
+    def test_writer_head_survives_concurrent_reader_consume(self):
+        """The mirror image: the reader must store only its own tail
+        field, or a consume concurrent with the writer's next publish
+        would roll the published head back."""
+        ring = ShmRing.create(capacity=256)
+        peer = ShmRing.attach(ring.name)
+        try:
+            ring.write(b"frame-one")
+            stale = peer._cursors()  # (9, 0): before the publish below
+            ring.write(b"frame-two")  # head -> 18
+            with mock.patch.object(peer, "_cursors", return_value=stale):
+                assert peer.read(0, 9) == b"frame-one"  # concurrent consume
+            # the writer's second publish was not rolled back ...
+            assert ring._cursors() == (18, 9)
+            # ... so frame two is still published and readable
+            assert peer.read(9, 9) == b"frame-two"
+        finally:
+            peer.close()
+            ring.close()
+
+    def test_attach_capacity_comes_from_header_not_segment_size(
+        self, monkeypatch
+    ):
+        """Regression: some platforms round a segment up to a page
+        multiple, so ``seg.size`` on the attaching side can exceed the
+        creator's request — the wrap point must come from the capacity
+        stored in the header, or wrapped payloads decode corrupted."""
+        import repro.serve.shm as shm_mod
+
+        real_attach = shm_mod._attach_segment
+
+        class _PageRounded:
+            """An attach result whose ``size`` lies upward, the way a
+            page-rounding platform's mapping does."""
+
+            def __init__(self, seg):
+                self._seg = seg
+                self.buf = seg.buf
+                self.name = seg.name
+                self.size = seg.size + 4096
+
+            def close(self):
+                self._seg.close()
+
+        monkeypatch.setattr(
+            shm_mod, "_attach_segment",
+            lambda name: _PageRounded(real_attach(name)),
+        )
+        ring = ShmRing.create(capacity=100)
+        peer = ShmRing.attach(ring.name)
+        try:
+            assert peer.capacity == ring.capacity == 100
+            assert ring.write(bytes(30)) == 0
+            assert peer.read(0, 30) == bytes(30)
+            spanning = bytes(range(80))  # wraps at the 100-byte mark
+            assert ring.write(spanning) == 30
+            assert peer.read(30, 80) == spanning
         finally:
             peer.close()
             ring.close()
