@@ -25,6 +25,7 @@ from .plan import (
     GatewayOutage,
     GatewayRestore,
     HealLink,
+    KillShardWorker,
     LatencySpike,
     PacketLoss,
     PartitionLink,
@@ -44,6 +45,7 @@ __all__ = [
     "CrashProcess",
     "CrashMachine",
     "RestoreMachine",
+    "KillShardWorker",
     "DerateHost",
     "FaultInjector",
     "Checkpoint",

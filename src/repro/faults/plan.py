@@ -37,6 +37,7 @@ __all__ = [
     "CrashProcess",
     "CrashMachine",
     "RestoreMachine",
+    "KillShardWorker",
     "DerateHost",
     "FaultPlan",
 ]
@@ -153,6 +154,39 @@ class RestoreMachine(FaultEvent):
 
     def describe(self) -> str:
         return f"restore machine {self.hostname}"
+
+
+@dataclass(frozen=True)
+class KillShardWorker(FaultEvent):
+    """SIGKILL one shard worker *process* of the serving plane.
+
+    Unlike the virtual-layer events above, this one crosses into the
+    wall layer: the :class:`~repro.serve.shards.ShardPool` executes it
+    by delivering a real ``SIGKILL`` to the worker's OS process.  It is
+    still deterministic — the kill is pinned to a *protocol point*, not
+    a wall instant: ``phase`` names the episode frame kind (``"open"``,
+    ``"wave"``, ``"close"``) and ``wave`` the 0-based ordinal of the
+    ``shard-serve`` frame for ``phase="wave"``; the pool kills the
+    worker immediately before sending that frame, so the frame provably
+    never arrives.  ``at_s`` orders kills within a plan (virtual
+    seconds, nominal)."""
+
+    shard: int = 0
+    phase: str = "wave"  # "open" | "wave" | "close"
+    wave: int = 0
+
+    def __post_init__(self):
+        if self.phase not in ("open", "wave", "close"):
+            raise ValueError(
+                f"KillShardWorker phase must be 'open', 'wave', or "
+                f"'close', got {self.phase!r}"
+            )
+
+    def describe(self) -> str:
+        point = (
+            f"wave {self.wave}" if self.phase == "wave" else f"at {self.phase}"
+        )
+        return f"SIGKILL shard worker {self.shard} ({point})"
 
 
 @dataclass(frozen=True)

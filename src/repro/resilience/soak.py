@@ -48,7 +48,9 @@ from ..serve import (
     ServeReport,
     SessionSpec,
     SharedInstallation,
+    build_kill_plan,
     serve_sessions,
+    serve_sessions_sharded,
 )
 
 __all__ = [
@@ -94,6 +96,13 @@ class SoakConfig:
     max_parked: Optional[int] = None
     mode: str = "inline"
     dedup: bool = True
+    #: shard-mode knobs: worker process count, transport, and how many
+    #: seeded SIGKILLs the kill plan schedules against the pool
+    #: (``mode="shard"`` refuses per-session fault plans — set
+    #: ``faulty_fraction=0.0`` — so worker kills are its chaos species)
+    workers: int = 0
+    transport: str = "auto"
+    worker_kills: int = 0
 
     @property
     def admission(self) -> Optional[AdmissionPolicy]:
@@ -102,7 +111,7 @@ class SoakConfig:
         return AdmissionPolicy(max_live=self.max_live, max_parked=self.max_parked)
 
 
-#: the three fixed-seed postures the CI chaos-soak job runs
+#: the fixed-seed postures the CI chaos-soak job runs
 STOCK_CONFIGS: Dict[str, SoakConfig] = {
     "crash-heavy": SoakConfig(
         name="crash-heavy",
@@ -133,6 +142,20 @@ STOCK_CONFIGS: Dict[str, SoakConfig] = {
         tight_deadlines=True,
         max_live=2,
         max_parked=4,
+    ),
+    # worker-process chaos: sessions carry NO virtual fault plans (the
+    # shard plane refuses them) — the chaos here is seeded SIGKILLs of
+    # the serving pool's own workers, exercising the failover path
+    # (respawn, episode redo, ring rebuild, lease forfeit) end to end
+    "crash-shard": SoakConfig(
+        name="crash-shard",
+        seed=4404,
+        sessions=10,
+        faulty_fraction=0.0,
+        resilient_fraction=0.5,
+        mode="shard",
+        workers=4,
+        worker_kills=3,
     ),
 }
 
@@ -236,6 +259,24 @@ class SoakReport:
             f"({rep.parked} parked; deadlines {rep.deadline_met} met / "
             f"{rep.deadline_missed} missed)"
         ]
+        if rep.shard_rows:
+            crashes = sum(r.get("crashes", 0) for r in rep.shard_rows)
+            if crashes:
+                redone = sum(
+                    r.get("redone_sessions", 0) for r in rep.shard_rows
+                )
+                recovery = sum(
+                    r.get("recovery_wall_s", 0.0) for r in rep.shard_rows
+                )
+                forfeits = sum(
+                    r.get("forfeited_leases", 0) for r in rep.shard_rows
+                )
+                lines.append(
+                    f"  shard chaos: {crashes} worker crash(es), "
+                    f"{redone} session(s) redone, "
+                    f"{forfeits} lease(s) forfeited, "
+                    f"recovery {recovery:.2f}s wall"
+                )
         for r in rep.results:
             extra = ""
             if r.status == "shed":
@@ -281,6 +322,22 @@ class SoakReport:
 
 
 def _serve(config: SoakConfig, specs: List[SessionSpec]) -> ServeReport:
+    if config.mode == "shard":
+        workers = config.workers or 2
+        kill_plan = (
+            build_kill_plan(config.seed, workers, config.worker_kills)
+            if config.worker_kills
+            else None
+        )
+        return serve_sessions_sharded(
+            specs,
+            workers=workers,
+            dedup=config.dedup,
+            admission=config.admission,
+            transport=config.transport,
+            kill_plan=kill_plan,
+            recv_timeout_s=120.0,
+        )
     return serve_sessions(
         specs,
         installation=SharedInstallation.standard(),
@@ -335,6 +392,42 @@ def run_soak(config: SoakConfig, solo_check: bool = True) -> SoakReport:
                 f"({a.status!r} != {b.status!r})"
             )
 
+    # 2b. shard chaos: the kill plan must actually have fired, the
+    # disruption must be accounted identically on replay, and the
+    # killed run's results must match an uninterrupted *inline* run
+    # bitwise — the shard plane's bitwise-redo guarantee, end to end
+    if config.mode == "shard":
+        rows = report.shard_rows or []
+        crashes = sum(r.get("crashes", 0) for r in rows)
+        if config.worker_kills and crashes == 0:
+            violations.append(
+                f"kill plan scheduled {config.worker_kills} worker kills "
+                f"but no shard row accounts a crash"
+            )
+        replay_rows = replay_report.shard_rows or []
+        if [r.get("crashes", 0) for r in rows] != [
+            r.get("crashes", 0) for r in replay_rows
+        ]:
+            violations.append(
+                "replay diverged: per-shard crash accounting differs between "
+                "two runs of the same seeded kill plan"
+            )
+        inline_ref = serve_sessions(
+            specs,
+            installation=SharedInstallation.standard(),
+            mode="inline",
+            dedup=config.dedup,
+            admission=config.admission,
+        )
+        for a, b in zip(report.results, inline_ref.results):
+            if (a.digest, a.status, a.replayed) != (
+                b.digest, b.status, b.replayed,
+            ):
+                violations.append(
+                    f"{a.name}: shard serve under worker kills diverged from "
+                    f"the uninterrupted inline run"
+                )
+
     # 3. solo equivalence: completed == untouched by chaos, so a solo
     # fault-free run of the same spec must produce identical numbers
     solo_checked = 0
@@ -386,9 +479,9 @@ def run_soak(config: SoakConfig, solo_check: bool = True) -> SoakReport:
 
 def main(argv=None) -> int:
     """``python -m repro chaos [name ...] [--seed N] [--sessions N]
-    [--mode inline|thread] [--no-solo-check]``
+    [--mode inline|thread|shard] [--no-solo-check]``
 
-    With no names, runs all three stock configs.  Exit status is the
+    With no names, runs every stock config.  Exit status is the
     number of configs with invariant violations."""
     import argparse
 
@@ -407,7 +500,7 @@ def main(argv=None) -> int:
         "--sessions", type=int, default=None, help="override the session count"
     )
     parser.add_argument(
-        "--mode", choices=("inline", "thread"), default=None, help="serve mode"
+        "--mode", choices=("inline", "thread", "shard"), default=None, help="serve mode"
     )
     parser.add_argument(
         "--no-solo-check",

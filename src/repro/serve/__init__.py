@@ -18,18 +18,24 @@ from .scheduler import (
     serve_arrivals,
     serve_sessions,
 )
+from .failover import build_kill_plan
 from .session import TABLE2_PLACEMENT, SessionContext, SessionResult, SessionSpec
 from .shards import (
     NotShardSafe,
+    ShardCrashed,
     ShardPool,
     ShardProtocolError,
+    ShardTimeout,
     serve_sessions_sharded,
 )
 
 __all__ = [
     "NotShardSafe",
+    "ShardCrashed",
+    "ShardTimeout",
     "ShardPool",
     "ShardProtocolError",
+    "build_kill_plan",
     "serve_sessions_sharded",
     "AdmissionPolicy",
     "Arrival",

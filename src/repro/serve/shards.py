@@ -74,12 +74,22 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
+import signal
+import tempfile
 import time
 import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
 from zlib import crc32
 
+from ..faults.plan import FaultPlan
 from ..resilience.budget import RetryBudget
+from .failover import (
+    KillSchedule,
+    ShardCrashed,
+    ShardTimeout,
+    read_stderr_tail,
+)
 from .installation import SharedInstallation
 from .opcache import OpPointCache
 from .scheduler import AdmissionPolicy, ServeReport, serve_sessions
@@ -98,6 +108,8 @@ from .shm import (
 __all__ = [
     "NotShardSafe",
     "ShardProtocolError",
+    "ShardCrashed",
+    "ShardTimeout",
     "ShardPool",
     "serve_sessions_sharded",
     "spec_to_wire",
@@ -431,16 +443,39 @@ def _close_episode(shard_id: int, episode: Optional[dict]) -> dict:
     }
 
 
+def _redirect_stderr(path: str) -> None:
+    """Point the worker's fd 2 at its stderr spool file, so last words
+    (uncaught tracebacks, allocator complaints) survive the process —
+    the parent reads the tail into :class:`ShardCrashed` after a death.
+    Best-effort: a worker that cannot spool still serves."""
+    import sys
+
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o600)
+        try:
+            sys.stderr.flush()
+        except (OSError, ValueError):
+            pass
+        os.dup2(fd, 2)
+        os.close(fd)
+        sys.stderr = os.fdopen(2, "w", buffering=1, closefd=False)
+    except OSError:  # pragma: no cover - spool dir unwritable
+        pass
+
+
 def _shard_worker_main(
     conn,
     shard_id: int,
     ring_in_name: Optional[str] = None,
     ring_out_name: Optional[str] = None,
     shm_threshold: int = SHM_THRESHOLD,
+    stderr_path: Optional[str] = None,
 ) -> None:
     """One shard worker: episodes of waves until the parent says exit.
     Importable at module level so ``spawn`` start methods (fresh
     interpreter, re-import by name) work as well as ``fork``."""
+    if stderr_path:
+        _redirect_stderr(stderr_path)
     ring_in = ShmRing.attach(ring_in_name) if ring_in_name else None
     ring_out = ShmRing.attach(ring_out_name) if ring_out_name else None
     me = f"shard-{shard_id}"
@@ -467,6 +502,20 @@ def _shard_worker_main(
                     send_frame(conn, "shard-closed", reply,
                                src=me, dst="parent", ring=ring_out,
                                threshold=shm_threshold)
+                elif kind == "shard-sync":
+                    # recovery resync marker: drop any open episode (a
+                    # failed serve contributes nothing) and echo the
+                    # token so the parent can tell this reply from any
+                    # stale traffic queued ahead of it
+                    dropped = episode is not None
+                    episode = None
+                    send_frame(
+                        conn, "shard-synced",
+                        {"shard": shard_id,
+                         "token": (payload or {}).get("token"),
+                         "dropped_episode": dropped},
+                        src=me, dst="parent",
+                    )
                 else:
                     send_frame(
                         conn, "shard-error",
@@ -493,6 +542,11 @@ def _default_start_method() -> str:
     return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 
 
+#: monotone tokens for recover()'s sync markers — uniqueness within the
+#: parent process is all that's needed to tell an echo from stale traffic
+_sync_tokens = itertools.count(1)
+
+
 class ShardPool:
     """N shard worker processes behind framed pipes (and, with
     ``transport="shm"``, per-worker shared-memory payload rings).
@@ -505,6 +559,19 @@ class ShardPool:
     wins across processes.  Use as a context manager, or :meth:`close`
     explicitly — close sends every worker an exit frame, joins it, and
     unlinks the shared-memory rings even if a worker already died.
+
+    The pool is *supervised*: :meth:`recv` polls the worker sentinel
+    while it waits, so a dead worker raises a typed
+    :class:`~repro.serve.failover.ShardCrashed` (exit code + stderr
+    tail + last frame kind) instead of blocking forever, and
+    ``recv_timeout_s`` bounds the wait on a live-but-wedged worker with
+    :class:`~repro.serve.failover.ShardTimeout`.  :meth:`respawn`
+    replaces a dead worker in place — reap, unlink and rebuild its shm
+    rings, fresh pipe and process — which is what lets
+    ``serve_sessions_sharded`` redo the lost episode instead of losing
+    the serve.  ``kill_plan`` arms seeded
+    :class:`~repro.faults.plan.KillShardWorker` chaos events (SIGKILL
+    delivered immediately before the matching protocol frame is sent).
     """
 
     def __init__(
@@ -515,6 +582,8 @@ class ShardPool:
         ring_bytes: int = DEFAULT_RING_BYTES,
         shm_threshold: int = SHM_THRESHOLD,
         op_store: Optional[OpPointCache] = None,
+        recv_timeout_s: Optional[float] = None,
+        kill_plan: Optional[FaultPlan] = None,
     ):
         import multiprocessing
 
@@ -525,7 +594,10 @@ class ShardPool:
         self.transport = resolve_transport(transport)
         self.shm_threshold = shm_threshold
         self.op_store = op_store if op_store is not None else OpPointCache()
-        ctx = multiprocessing.get_context(self.start_method)
+        self.recv_timeout_s = recv_timeout_s
+        self._ring_bytes = ring_bytes
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._kills: Optional[KillSchedule] = None
         self._broken = False
         self._procs = []
         self._conns = []
@@ -533,37 +605,94 @@ class ShardPool:
         #: rings (parent reads); None per worker under pipe transport
         self._rings_out: List[Optional[ShmRing]] = []
         self._rings_in: List[Optional[ShmRing]] = []
+        #: per-worker stderr spool files (a corpse's last words) and the
+        #: last frame kind seen on each worker's stream
+        self._stderr_paths: List[str] = []
+        self._last_kind: List[Optional[str]] = []
+        if kill_plan is not None:
+            self.arm_kills(kill_plan)
         try:
             for i in range(workers):
-                if self.transport == "shm":
-                    ring_out = ShmRing.create(ring_bytes)
-                    ring_in = ShmRing.create(ring_bytes)
-                else:
-                    ring_out = ring_in = None
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_shard_worker_main,
-                    args=(
-                        child_conn,
-                        i,
-                        ring_out.name if ring_out is not None else None,
-                        ring_in.name if ring_in is not None else None,
-                        shm_threshold,
-                    ),
-                    name=f"serve-shard-{i}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._procs.append(proc)
-                self._conns.append(parent_conn)
-                self._rings_out.append(ring_out)
-                self._rings_in.append(ring_in)
+                self._spawn_worker(i)
         except Exception:
             self._closed = False
             self.close()
             raise
         self._closed = False
+
+    def _spawn_worker(self, i: int, replace: bool = False) -> None:
+        """Create worker ``i``'s rings, pipe, stderr spool, and process.
+        With ``replace=True`` the slot's previous (dead, already-reaped)
+        worker's entries are overwritten in place."""
+        if self.transport == "shm":
+            ring_out = ShmRing.create(self._ring_bytes)
+            ring_in = ShmRing.create(self._ring_bytes)
+        else:
+            ring_out = ring_in = None
+        if replace:
+            stderr_path = self._stderr_paths[i]
+        else:
+            fd, stderr_path = tempfile.mkstemp(
+                prefix=f"shard-{i}-stderr-", suffix=".log"
+            )
+            os.close(fd)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                child_conn,
+                i,
+                ring_out.name if ring_out is not None else None,
+                ring_in.name if ring_in is not None else None,
+                self.shm_threshold,
+                stderr_path,
+            ),
+            name=f"serve-shard-{i}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        if replace:
+            self._procs[i] = proc
+            self._conns[i] = parent_conn
+            self._rings_out[i] = ring_out
+            self._rings_in[i] = ring_in
+            self._last_kind[i] = None
+        else:
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+            self._rings_out.append(ring_out)
+            self._rings_in.append(ring_in)
+            self._stderr_paths.append(stderr_path)
+            self._last_kind.append(None)
+
+    def arm_kills(self, plan: Optional[FaultPlan]) -> None:
+        """Arm (or with ``None``, disarm) a seeded worker-kill schedule;
+        :meth:`send` consults it before every episode-protocol frame."""
+        self._kills = KillSchedule(plan.events) if plan is not None else None
+
+    def _crashed(self, shard: int) -> ShardCrashed:
+        """The typed autopsy of a dead worker: reap it, then package its
+        exit code, stderr tail, and the last frame kind seen."""
+        proc = self._procs[shard]
+        proc.join(timeout=5)
+        return ShardCrashed(
+            shard,
+            exitcode=proc.exitcode,
+            last_kind=self._last_kind[shard],
+            stderr_tail=read_stderr_tail(self._stderr_paths[shard]),
+        )
+
+    def _execute_kill(self, shard: int) -> None:
+        """Deliver a scheduled SIGKILL and wait for the corpse, so the
+        frame about to be sent provably never reaches the worker."""
+        proc = self._procs[shard]
+        if proc.is_alive() and proc.pid:
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):  # pragma: no cover
+                pass
+        proc.join(timeout=10)
 
     def _check_usable(self) -> None:
         if self._closed:
@@ -576,20 +705,73 @@ class ShardPool:
 
     def send(self, shard: int, kind: str, payload) -> None:
         """Frame one control message to a worker (large payloads ride
-        the shard's shared-memory ring under shm transport)."""
-        self._check_usable()
-        send_frame(
-            self._conns[shard], kind, payload,
-            src="parent", dst=f"shard-{shard}",
-            ring=self._rings_out[shard],
-            threshold=self.shm_threshold,
-        )
+        the shard's shared-memory ring under shm transport).
 
-    def recv(self, shard: int, expect: str) -> Optional[dict]:
-        """Collect one reply from a worker, re-raising worker-side
-        failures with their tracebacks."""
+        Consults the armed kill schedule first — a matching chaos event
+        SIGKILLs the worker *before* the frame goes out, so the frame
+        deterministically never arrives.  A send to a dead worker (the
+        pipe's read end is gone) raises the typed
+        :class:`~repro.serve.failover.ShardCrashed` instead of a bare
+        ``BrokenPipeError``."""
         self._check_usable()
-        kind, reply = recv_frame(self._conns[shard], ring=self._rings_in[shard])
+        if self._kills is not None and self._kills.take(shard, kind) is not None:
+            self._execute_kill(shard)
+        try:
+            send_frame(
+                self._conns[shard], kind, payload,
+                src="parent", dst=f"shard-{shard}",
+                ring=self._rings_out[shard],
+                threshold=self.shm_threshold,
+            )
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            raise self._crashed(shard) from None
+        self._last_kind[shard] = kind
+
+    #: sentinel poll cadence while waiting on a worker frame
+    _POLL_S = 0.05
+
+    def recv(
+        self,
+        shard: int,
+        expect: str,
+        timeout_s: Optional[float] = None,
+    ) -> Optional[dict]:
+        """Collect one reply from a worker, re-raising worker-side
+        failures with their tracebacks.
+
+        Supervised: while waiting, the worker's sentinel is polled so a
+        death raises :class:`~repro.serve.failover.ShardCrashed` (exit
+        code, stderr tail, last frame kind) promptly instead of
+        blocking forever.  ``timeout_s`` (default: the pool's
+        ``recv_timeout_s``; ``None`` = unbounded) caps the wait on a
+        live worker, raising
+        :class:`~repro.serve.failover.ShardTimeout`."""
+        self._check_usable()
+        timeout = self.recv_timeout_s if timeout_s is None else timeout_s
+        conn, proc = self._conns[shard], self._procs[shard]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not conn.poll(0):
+            # no frame yet: check the sentinel, then nap-poll.  A dead
+            # worker may still have flushed frames in the pipe — those
+            # drain first; only a dead worker with an empty pipe is a
+            # crash at this recv.
+            if not proc.is_alive() and not conn.poll(0):
+                raise self._crashed(shard)
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ShardTimeout(
+                        shard, timeout, last_kind=self._last_kind[shard]
+                    )
+                if conn.poll(min(self._POLL_S, remaining)):
+                    break
+            elif conn.poll(self._POLL_S):
+                break
+        try:
+            kind, reply = recv_frame(conn, ring=self._rings_in[shard])
+        except EOFError:
+            raise self._crashed(shard) from None
+        self._last_kind[shard] = kind
         if kind == "shard-error":
             raise RuntimeError(
                 f"shard {shard} failed:\n{reply['error'] if reply else '?'}"
@@ -600,27 +782,72 @@ class ShardPool:
             )
         return reply
 
+    def respawn(self, shard: int) -> None:
+        """Replace worker ``shard`` in place after a death (or to
+        recycle a wedged worker, which is terminated first).
+
+        Reaps the corpse, closes its pipe, **unlinks and rebuilds its
+        shared-memory rings** (a dead worker may have left unconsumed
+        frames and a desynced cursor on them — the replacement starts
+        from offset 0 on fresh segments), truncates its stderr spool,
+        and starts a fresh process with the same shard id.  The caller
+        owns re-opening the episode and redoing lost work
+        (``serve_sessions_sharded`` replays the dead episode's frames
+        verbatim)."""
+        if self._closed:
+            raise RuntimeError("ShardPool is closed")
+        proc = self._procs[shard]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck in a syscall
+                proc.kill()
+                proc.join(timeout=5)
+        else:
+            proc.join(timeout=5)
+        try:
+            self._conns[shard].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        for rings in (self._rings_out, self._rings_in):
+            if rings[shard] is not None:
+                rings[shard].close()  # owner: unlinks the dead segment
+                rings[shard] = None
+        try:
+            open(self._stderr_paths[shard], "w").close()
+        except OSError:  # pragma: no cover - spool vanished
+            pass
+        self._spawn_worker(shard, replace=True)
+
     def recover(self, shards: Sequence[int], settle_timeout_s: float = 10.0) -> None:
         """Resync the worker protocol after a serve failed mid-stream.
 
         A caller-supplied pool outlives the serve call that broke: its
         workers may hold an open episode and unconsumed frames (queued
-        waves, an unread reply) in pipes and rings, and reusing the
-        pool as-is would misattribute replies.  This closes every named
-        worker's episode and drains stale traffic — ``shard-result``
-        frames from waves already in flight, the close reply itself —
-        so the next serve starts from a clean stream (the drained
-        close's op-point delta is discarded: a failed serve contributes
-        nothing to the pool store).  If any worker cannot be settled
-        (died, wedged past ``settle_timeout_s``), the pool is marked
-        broken and every later :meth:`send`/:meth:`recv` raises
-        clearly, rather than desyncing silently."""
+        waves, an unread reply, ``+shm`` ring references) in pipes and
+        rings, and reusing the pool as-is would misattribute replies.
+        This sends each named worker a ``shard-sync`` marker carrying a
+        fresh token; the worker drops any open episode (a failed serve
+        contributes nothing to the pool store) and echoes the token, so
+        the parent can drain *everything* queued ahead of the echo —
+        stale results, a close reply already in flight, ring-borne
+        payloads (consumed in publication order, resyncing the ring
+        cursors) — and stop exactly at its own marker.  The token is
+        what makes recovery race-free against an episode close already
+        in the stream, and what makes ``recover()`` idempotent: a
+        second call just performs a second clean sync.  If any worker
+        cannot be settled (died, wedged past ``settle_timeout_s``), the
+        pool is marked broken and every later
+        :meth:`send`/:meth:`recv` raises clearly, rather than
+        desyncing silently."""
         if self._closed or self._broken:
             return
         try:
+            tokens: Dict[int, int] = {}
             for w in shards:
+                tokens[w] = next(_sync_tokens)
                 send_frame(
-                    self._conns[w], "shard-close", None,
+                    self._conns[w], "shard-sync", {"token": tokens[w]},
                     src="parent", dst=f"shard-{w}",
                     ring=self._rings_out[w], threshold=self.shm_threshold,
                 )
@@ -634,21 +861,26 @@ class ShardPool:
                     kind, reply = recv_frame(
                         self._conns[w], ring=self._rings_in[w]
                     )
-                    if kind == "shard-closed":
-                        break
-                    if kind == "shard-error" and (
-                        "shard-close before shard-open"
-                        in ((reply or {}).get("error") or "")
+                    if kind == "shard-synced" and (
+                        (reply or {}).get("token") == tokens[w]
                     ):
-                        # the worker had no open episode (the failure
-                        # predated its open, or the serve already closed
-                        # it): the stream is clean past this reply
                         break
                     # anything else is stale in-flight traffic: discard
         except Exception:
             self._broken = True
 
     def close(self) -> None:
+        """Shut the pool down, releasing every OS resource it owns.
+
+        Robust against abnormal worker exits: a terminated or SIGKILLed
+        worker's pipe raises on the exit frame (swallowed), its corpse
+        is reaped (escalating terminate -> kill for the truly wedged),
+        and the shared-memory rings are unlinked *unconditionally* —
+        per step, under its own guard, so one worker's failure cannot
+        leak another's segments.  Stderr spools are removed last.
+        Pooled ``WIRE_BUFFERS`` never outlive a frame call
+        (``send_frame`` releases on every exit path), so no buffer
+        bookkeeping is owed here."""
         if getattr(self, "_closed", True):
             return
         self._closed = True
@@ -658,17 +890,35 @@ class ShardPool:
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - hung-worker backstop
-                proc.terminate()
-                proc.join(timeout=5)
+            try:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - hung-worker backstop
+                    proc.terminate()
+                    proc.join(timeout=5)
+                    if proc.is_alive():
+                        proc.kill()
+                        proc.join(timeout=5)
+            except Exception:  # pragma: no cover - reap must not block teardown
+                pass
         for conn in self._conns:
-            conn.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         # unlink the rings last — workers have exited (or been killed),
-        # so the owner's unlink cannot strand a reader
+        # so the owner's unlink cannot strand a reader; each ring under
+        # its own guard so one failure cannot leak the rest
         for ring in itertools.chain(self._rings_out, self._rings_in):
             if ring is not None:
-                ring.close()
+                try:
+                    ring.close()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+        for path in getattr(self, "_stderr_paths", []):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def __enter__(self) -> "ShardPool":
         return self
@@ -692,6 +942,8 @@ def serve_sessions_sharded(
     pool: Optional[ShardPool] = None,
     transport: str = "auto",
     op_store: Optional[OpPointCache] = None,
+    recv_timeout_s: Optional[float] = None,
+    kill_plan: Optional[FaultPlan] = None,
 ) -> ServeReport:
     """Serve ``specs`` across ``workers`` OS processes and merge the
     per-shard reports into one :class:`ServeReport`.
@@ -703,6 +955,24 @@ def serve_sessions_sharded(
     its op-point store across calls); otherwise a pool is spawned for
     the call — with ``transport`` (``"pipe"``, ``"shm"``, or ``"auto"``)
     and, optionally, a caller-held ``op_store`` — and torn down after.
+
+    **Self-healing**: a worker that dies mid-serve (typed
+    :class:`~repro.serve.failover.ShardCrashed` from the supervised
+    pool) is replaced in place — respawned worker, rebuilt shm rings —
+    and its episode is *redone deterministically*: re-opened from the
+    identical open payload (same op-point seed, the forfeited
+    retry-budget lease re-issued) and every wave it had served replayed
+    verbatim.  Sessions are pure functions of their specs and op-cache
+    exact hits are bitwise-equal to cold solves, so a serve surviving N
+    kills returns per-session digests bitwise-identical to an
+    uninterrupted run; the disruption is accounted in the per-shard
+    rows (``crashes``, ``redone_sessions``, ``recovery_wall_s``,
+    ``forfeited_leases``/``forfeited_tokens``), and the redo wall is
+    charged to the report like any other work.  ``recv_timeout_s``
+    bounds every worker wait (a live-but-wedged worker past it is
+    recycled and redone the same way); ``kill_plan`` arms seeded
+    :class:`~repro.faults.plan.KillShardWorker` chaos events on the
+    pool for the run.
 
     A live ``installation`` cannot be shipped to workers — each shard
     builds its own replica — so passing one raises
@@ -772,7 +1042,10 @@ def serve_sessions_sharded(
         pool = ShardPool(
             workers, start_method=start_method,
             transport=transport, op_store=op_store,
+            recv_timeout_s=recv_timeout_s,
         )
+    if kill_plan is not None:
+        pool.arm_kills(kill_plan)
     try:
         # open one episode per busy shard, seeding each worker's
         # op-point cache from the installation-wide store.  The parent
@@ -782,40 +1055,136 @@ def serve_sessions_sharded(
         seed_blob: Optional[bytes] = None
         if len(pool.op_store) and any(c.spec.op_cache for c in union):
             seed_blob = pool.op_store.export()
-        for w in active:
-            pool.send(w, "shard-open", {
-                "shard": w,
-                "dedup": dedup,
-                "wall_parallel": wall_parallel,
-                "budget": leases[w],
-                "op_seed": seed_blob,
-            })
 
         wire_results: Dict[int, SessionResult] = {}
         trails: Dict[int, List[float]] = {}
         waits_charged: Dict[int, float] = {}
         need_trails = bool(parked)
 
+        # ---- failover bookkeeping: everything needed to redo a dead
+        # shard's episode verbatim, and the honest account of doing so
+        open_payloads: Dict[int, dict] = {}
+        history: Dict[int, List[dict]] = {w: [] for w in active}
+        pending_wave: Dict[int, dict] = {}
+        crash_rows: Dict[int, dict] = {
+            w: {"crashes": 0, "redone_sessions": 0, "recovery_wall_s": 0.0,
+                "forfeited_leases": 0, "forfeited_tokens": 0.0,
+                "crash_exitcodes": []}
+            for w in range(workers)
+        }
+        # a runaway backstop, not a budget: every armed kill is allowed
+        # to fire, plus headroom for genuine deaths — past it, the
+        # serve stops healing and raises the last crash
+        armed = pool._kills
+        recovery_cap = 4 + (len(armed.fired) + len(armed) if armed else 0)
+        total_crashes = 0
+
+        def absorb_wave(reply: dict) -> None:
+            wave_trails = reply.get("trails")
+            for i, seq in enumerate(reply["seqs"]):
+                wire_results[seq] = result_from_wire(reply["results"][i])
+                if wave_trails is not None and wave_trails[i] is not None:
+                    trails[seq] = wave_trails[i]
+
+        def note_crash(w: int, exc: BaseException) -> None:
+            nonlocal total_crashes
+            total_crashes += 1
+            row = crash_rows[w]
+            row["crashes"] += 1
+            row["crash_exitcodes"].append(
+                exc.exitcode if isinstance(exc, ShardCrashed) else None
+            )
+            if leases[w] is not None:
+                # the dead episode's lease is settled as forfeited: its
+                # tokens died with the worker.  The replacement episode
+                # is re-issued the identical grant (no second withdrawal
+                # from the parent bucket — the tokens were withdrawn
+                # once, at lease time), so the settled budget matches an
+                # uninterrupted run while the forfeit stays visible.
+                row["forfeited_leases"] += 1
+                row["forfeited_tokens"] += leases[w]["tokens"]
+
+        def rebuild(w: int, exc: BaseException) -> None:
+            """Deterministic failover for shard ``w``: respawn a
+            replacement worker (fresh shm rings), re-open the episode
+            from the identical open payload (same op-point seed,
+            re-issued lease) so redone sessions warm-start, replay
+            every wave the dead episode had served — sessions are pure
+            functions of their specs, so the redone results are bitwise
+            the lost ones — and re-send any wave still in flight."""
+            note_crash(w, exc)
+            while True:
+                if total_crashes > recovery_cap:
+                    raise exc
+                t_rec = time.perf_counter()
+                try:
+                    pool.respawn(w)
+                    pool.send(w, "shard-open", open_payloads[w])
+                    redone = 0
+                    for wave in history[w]:
+                        pool.send(w, "shard-serve", wave)
+                        absorb_wave(
+                            pool.recv(w, "shard-result", timeout_s=recv_timeout_s)
+                        )
+                        redone += len(wave["seqs"])
+                    if w in pending_wave:
+                        pool.send(w, "shard-serve", pending_wave[w])
+                    crash_rows[w]["redone_sessions"] += redone
+                    crash_rows[w]["recovery_wall_s"] += (
+                        time.perf_counter() - t_rec
+                    )
+                    return
+                except (ShardCrashed, ShardTimeout) as exc2:
+                    crash_rows[w]["recovery_wall_s"] += (
+                        time.perf_counter() - t_rec
+                    )
+                    note_crash(w, exc2)
+                    exc = exc2
+
+        for w in active:
+            open_payloads[w] = {
+                "shard": w,
+                "dedup": dedup,
+                "wall_parallel": wall_parallel,
+                "budget": leases[w],
+                "op_seed": seed_blob,
+            }
+            try:
+                pool.send(w, "shard-open", open_payloads[w])
+            except (ShardCrashed, ShardTimeout) as exc:
+                rebuild(w, exc)
+
         def dispatch(batch: List[SessionContext]) -> None:
-            """One wave: the batch grouped per shard, sent, collected."""
+            """One wave: the batch grouped per shard, sent, collected —
+            crashed shards are rebuilt and their episodes redone before
+            the wave is considered delivered."""
             per: Dict[int, List[SessionContext]] = {}
             for c in batch:
                 per.setdefault(shard_of[c.seq], []).append(c)
             for w in sorted(per):
                 group = sorted(per[w], key=lambda c: c.seq)
-                pool.send(w, "shard-serve", {
+                payload = {
                     "seqs": [c.seq for c in group],
                     "specs": [wires[c.seq] for c in group],
                     "waits": [waits_charged.get(c.seq, 0.0) for c in group],
                     "trails": need_trails,
-                })
+                }
+                pending_wave[w] = payload
+                try:
+                    pool.send(w, "shard-serve", payload)
+                except (ShardCrashed, ShardTimeout) as exc:
+                    rebuild(w, exc)  # replays history + re-sends this wave
             for w in sorted(per):
-                reply = pool.recv(w, "shard-result")
-                wave_trails = reply.get("trails")
-                for i, seq in enumerate(reply["seqs"]):
-                    wire_results[seq] = result_from_wire(reply["results"][i])
-                    if wave_trails is not None and wave_trails[i] is not None:
-                        trails[seq] = wave_trails[i]
+                while True:
+                    try:
+                        reply = pool.recv(
+                            w, "shard-result", timeout_s=recv_timeout_s
+                        )
+                        break
+                    except (ShardCrashed, ShardTimeout) as exc:
+                        rebuild(w, exc)
+                history[w].append(pending_wave.pop(w))
+                absorb_wave(reply)
 
         # ---- replicate the inline scheduler's admitted-tier split ----
         leaders: Dict[str, SessionContext] = {}
@@ -995,11 +1364,22 @@ def serve_sessions_sharded(
                 pending_replays.clear()
 
         # ---- settle the episodes ----
-        for w in active:
-            pool.send(w, "shard-close", None)
+        # per shard: send close, collect the settle.  A worker that dies
+        # at (or before) its close loses the episode's counters and
+        # op-point delta with it, so the rebuild replays the whole
+        # episode and closes the replacement — the settle is then
+        # bitwise the one the dead worker would have sent.
         closes: Dict[int, dict] = {}
         for w in active:
-            closes[w] = pool.recv(w, "shard-closed")
+            while True:
+                try:
+                    pool.send(w, "shard-close", None)
+                    closes[w] = pool.recv(
+                        w, "shard-closed", timeout_s=recv_timeout_s
+                    )
+                    break
+                except (ShardCrashed, ShardTimeout) as exc:
+                    rebuild(w, exc)
     except BaseException:
         # a caller-supplied pool outlives this failed serve: resync its
         # protocol stream (or mark it broken) before re-raising, so the
@@ -1024,13 +1404,27 @@ def serve_sessions_sharded(
         "cache_hits", "cache_misses", "op_exact", "op_near", "op_miss",
     )}
     shard_rows: List[dict] = []
+
+    def crash_fields(w: int) -> dict:
+        extra = crash_rows[w]
+        fields = {
+            "crashes": extra["crashes"],
+            "redone_sessions": extra["redone_sessions"],
+            "recovery_wall_s": round(extra["recovery_wall_s"], 6),
+            "forfeited_leases": extra["forfeited_leases"],
+            "forfeited_tokens": round(extra["forfeited_tokens"], 6),
+        }
+        if extra["crash_exitcodes"]:
+            fields["crash_exitcodes"] = list(extra["crash_exitcodes"])
+        return fields
+
     for w in range(workers):
         reply = closes.get(w)
         if reply is None:
             shard_rows.append({
                 "shard": w, "sessions": 0, "live": 0, "replayed": 0,
                 "shed": 0, "points": 0, "op_exact": 0, "op_near": 0,
-                "op_miss": 0, "wall_s": 0.0,
+                "op_miss": 0, "wall_s": 0.0, **crash_fields(w),
             })
             continue
         for k in totals:
@@ -1054,6 +1448,7 @@ def serve_sessions_sharded(
             "op_miss": reply["op_miss"],
             "op_cache": reply["op_stats"],
             "wall_s": round(reply["wall_s"], 6),
+            **crash_fields(w),
         }
         if reply.get("budget") is not None:
             row["retry_budget"] = reply["budget"]

@@ -100,6 +100,8 @@ FRAME_KINDS = (
     "shard-close",    # parent -> worker: settle the episode
     "shard-closed",   # worker -> parent: episode stats + op-store delta
     "shard-error",    # worker -> parent: traceback
+    "shard-sync",     # parent -> worker: resync marker (drop any episode)
+    "shard-synced",   # worker -> parent: echo of the sync token
     "shard-exit",     # parent -> worker: terminate
 )
 
